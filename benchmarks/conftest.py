@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one exhibit of the paper at full size and
+prints the resulting table, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction run.  Experiments are deterministic
+simulations, so each is measured with a single round.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+        return result
+
+    return _run

@@ -1,0 +1,25 @@
+"""Benchmark: co-allocation scheduling across heterogeneous replicas."""
+
+from repro.experiments import run_ablation_coalloc
+
+
+def test_bench_ablation_coalloc(regenerate):
+    result = regenerate(run_ablation_coalloc, file_size_mb=256, seed=0)
+    seconds = {r["strategy"]: r["seconds"] for r in result.rows}
+    best = seconds["best single server"]
+    worst = seconds["worst single server"]
+    brute = seconds["brute-force coallocation"]
+    conservative = seconds["conservative coallocation"]
+    # Even splitting is dragged down by the slow replica...
+    assert brute > best * 2
+    # ...while conservative scheduling stays close to the best server
+    # and crushes both the bad pick and the naive split.
+    assert conservative < brute * 0.6
+    assert conservative < worst * 0.4
+    assert conservative < best * 2
+    # The fast server carried most of the blocks.
+    shares = next(
+        r for r in result.rows
+        if r["strategy"] == "conservative coallocation"
+    )
+    assert shares["fast_share"] > shares["slow_share"]

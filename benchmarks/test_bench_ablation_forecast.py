@@ -1,0 +1,18 @@
+"""Benchmark: NWS adaptive forecasting vs fixed predictors."""
+
+from repro.experiments import run_ablation_forecast
+
+
+def test_bench_ablation_forecast(regenerate):
+    result = regenerate(run_ablation_forecast, duration=1800.0, seed=0)
+    for row in result.rows:
+        # Adaptive selection never loses to the audited fixed choices.
+        assert row["adaptive_mae_pct"] <= row["last_value_mae_pct"] + 1e-9
+        assert (
+            row["adaptive_mae_pct"] <= row["running_mean_mae_pct"] + 1e-9
+        )
+        assert row["samples"] >= 100
+    # And the winning predictor genuinely varies across series — the
+    # reason NWS selects per series instead of fixing one.
+    winners = {row["best_forecaster"] for row in result.rows}
+    assert len(winners) >= 2

@@ -1,0 +1,23 @@
+"""Benchmark: selection quality in larger dynamic grids (future work #3)."""
+
+from repro.experiments import run_ablation_scale
+
+
+def test_bench_ablation_scale(regenerate):
+    result = regenerate(
+        run_ablation_scale, site_counts=(3, 6, 12), rounds=6, seed=0
+    )
+    advantages = {}
+    for n in (3, 6, 12):
+        pair = {r["selector"]: r for r in result.rows if r["sites"] == n}
+        assert (
+            pair["cost-model"]["mean_fetch_seconds"]
+            <= pair["random"]["mean_fetch_seconds"]
+        )
+        advantages[n] = (
+            pair["random"]["mean_fetch_seconds"]
+            / pair["cost-model"]["mean_fetch_seconds"]
+        )
+    # The advantage over random selection does not shrink as the grid
+    # grows (more bad choices to avoid).
+    assert advantages[12] >= advantages[3] * 0.9

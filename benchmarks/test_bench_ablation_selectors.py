@@ -1,0 +1,16 @@
+"""Benchmark: cost-model selection vs baseline policies."""
+
+from repro.experiments import run_ablation_selectors
+
+
+def test_bench_ablation_selectors(regenerate):
+    result = regenerate(
+        run_ablation_selectors, rounds=8, file_size_mb=128, seed=0
+    )
+    by_name = {r["selector"]: r for r in result.rows}
+    cost_model = by_name["cost-model"]["mean_fetch_seconds"]
+    # The cost model beats every uninformed policy...
+    for naive in ["random", "round-robin"]:
+        assert cost_model <= by_name[naive]["mean_fetch_seconds"]
+    # ...and sits within 10% of the clairvoyant oracle.
+    assert cost_model <= by_name["oracle"]["mean_fetch_seconds"] * 1.10

@@ -1,0 +1,18 @@
+"""Benchmark: selection quality vs monitoring freshness."""
+
+from repro.experiments import run_ablation_staleness
+
+
+def test_bench_ablation_staleness(regenerate):
+    result = regenerate(run_ablation_staleness, rounds=12, seed=0)
+    by_period = {r["sensor_period_s"]: r for r in result.rows}
+    fresh = by_period[5.0]
+    stale_slow = by_period[180.0]
+    very_stale = by_period[600.0]
+    # Fresh information tracks the flipping optimum better than stale.
+    assert fresh["oracle_agreement"] > stale_slow["oracle_agreement"]
+    assert fresh["oracle_agreement"] >= very_stale["oracle_agreement"]
+    # And that quality shows up in realised fetch times.
+    assert (
+        fresh["mean_fetch_seconds"] < stale_slow["mean_fetch_seconds"]
+    )

@@ -1,0 +1,14 @@
+"""Benchmark: striped transfers (future work #1)."""
+
+from repro.experiments import run_ablation_striped
+
+
+def test_bench_ablation_striped(regenerate):
+    result = regenerate(run_ablation_striped, file_size_mb=256, seed=0)
+    by_strategy = {r["strategy"]: r["seconds"] for r in result.rows}
+    single = by_strategy["single-source, 1 stream"]
+    striped2 = by_strategy["striped, 2 sources"]
+    striped3 = by_strategy["striped, 3 sources"]
+    # Striping aggregates source disks roughly linearly.
+    assert striped2 < single * 0.65
+    assert striped3 < striped2

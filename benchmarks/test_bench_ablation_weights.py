@@ -1,0 +1,19 @@
+"""Benchmark: weight-sensitivity ablation (paper §3.3 / future work #2)."""
+
+from repro.experiments import run_ablation_weights
+
+
+def test_bench_ablation_weights(regenerate):
+    result = regenerate(run_ablation_weights, rounds=8, file_size_mb=128,
+                        seed=0)
+    rows = {(r["BW_W"], r["CPU_W"], r["IO_W"]): r for r in result.rows}
+    paper = rows[(0.8, 0.1, 0.1)]
+    load_only = rows[(0.0, 0.5, 0.5)]
+    bandwidth_only = rows[(1.0, 0.0, 0.0)]
+    # Bandwidth-dominant weightings are near-optimal; ignoring the
+    # network is catastrophic — the paper's design intent.
+    assert paper["mean_fetch_seconds"] < load_only["mean_fetch_seconds"]
+    assert (
+        paper["mean_fetch_seconds"]
+        <= bandwidth_only["mean_fetch_seconds"] * 1.25
+    )

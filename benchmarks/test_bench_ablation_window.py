@@ -1,0 +1,17 @@
+"""Benchmark: window tuning vs parallel streams (Fig. 4's mechanism)."""
+
+from repro.experiments import run_ablation_window
+
+
+def test_bench_ablation_window(regenerate):
+    result = regenerate(run_ablation_window, file_size_mb=128, seed=0)
+    cell = {
+        (r["path"], r["window"], r["streams"]): r["seconds"]
+        for r in result.rows
+    }
+    # Clean path: a big window makes one stream match eight.
+    assert cell[("clean", "1MiB", 1)] < cell[("clean", "64KiB", 1)] / 4
+    assert cell[("clean", "1MiB", 1)] < cell[("clean", "1MiB", 8)] * 1.05
+    # Lossy path: the window does not help; parallelism does.
+    assert cell[("lossy", "1MiB", 1)] > cell[("lossy", "64KiB", 1)] * 0.95
+    assert cell[("lossy", "1MiB", 8)] < cell[("lossy", "1MiB", 1)] / 4

@@ -1,0 +1,32 @@
+"""Benchmarks: the architecture exhibits (Fig. 1 scenario trace,
+Fig. 2 testbed description)."""
+
+from repro.experiments import run_fig1, run_fig2
+
+
+def test_bench_fig1(regenerate):
+    result = regenerate(run_fig1, file_size_mb=64, seed=0)
+    actors = result.column("actor")
+    # The Fig. 1 sequence, in order.
+    assert actors == [
+        "application", "application", "replica catalog",
+        "information server", "selection server", "GridFTP",
+        "application",
+    ]
+    times = result.column("time_s")
+    assert times == sorted(times)
+
+
+def test_bench_fig2(regenerate):
+    result = regenerate(run_fig2, seed=0)
+    by_site = {row["site"]: row for row in result.rows}
+    # The paper-stated hardware facts must survive into the model.
+    assert by_site["THU"]["cores"] == 2
+    assert by_site["THU"]["cpu_ghz"] == 2.0
+    assert by_site["THU"]["memory_mb"] == 1024
+    assert by_site["LZ"]["cpu_ghz"] == 0.9
+    assert by_site["LZ"]["wan_mbps"] == 30
+    assert by_site["LZ"]["disk_gb"] == 10
+    assert by_site["HIT"]["cpu_ghz"] == 2.8
+    assert by_site["HIT"]["disk_gb"] == 80
+    assert all(row["hosts"] == 4 for row in result.rows)

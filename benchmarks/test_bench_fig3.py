@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 3 (FTP vs GridFTP) at full size."""
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(regenerate):
+    result = regenerate(run_fig3, sizes_mb=(256, 512, 1024, 2048), seed=0)
+    # Paper's shape: the two protocols track each other; GridFTP's
+    # fixed overhead shrinks (relatively) with file size.
+    overheads = result.column("gridftp_overhead_pct")
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[-1] < 5.0  # near-identical at 2 GB
+    for row in result.rows:
+        assert row["gridftp_seconds"] > row["ftp_seconds"]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 4 (parallel TCP streams) at full size."""
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4(regenerate):
+    result = regenerate(
+        run_fig4,
+        sizes_mb=(256, 512, 1024, 2048),
+        streams=(None, 1, 2, 4, 8, 16),
+        seed=0,
+    )
+    for row in result.rows:
+        # More streams, shorter times, up to saturation.
+        assert row["p2_seconds"] < row["p1_seconds"]
+        assert row["p4_seconds"] < row["p2_seconds"]
+        assert row["p8_seconds"] <= row["p4_seconds"]
+        # Saturated: 16 streams buys nothing meaningful over 8.
+        assert row["p16_seconds"] >= row["p8_seconds"] * 0.9
+        # MODE E with one stream ~ stream mode (the paper's aside).
+        ratio = row["p1_seconds"] / row["no_parallel_seconds"]
+        assert 0.9 < ratio < 1.1
+    # The win from parallelism grows with file size.
+    gains = [
+        row["no_parallel_seconds"] / row["p8_seconds"]
+        for row in result.rows
+    ]
+    assert gains == sorted(gains)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 5 (the cost monitor display)."""
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(regenerate):
+    result = regenerate(
+        run_fig5, duration=600.0, period=15.0, window=120.0, seed=0
+    )
+    # The monitor collected a full history for every site.
+    assert all(row["samples"] >= 30 for row in result.rows)
+    # Costs are valid fractions and the list is sorted best-first.
+    means = [row["mean_cost_120s"] for row in result.rows]
+    assert means == sorted(means, reverse=True)
+    for row in result.rows:
+        assert 0.0 <= row["min_cost"] <= row["max_cost"] <= 1.0
+    # The same-campus replica dominates the cost list.
+    assert result.rows[0]["site"] == "alpha4"

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Tuning GridFTP parallelism for a path — the Fig. 4 study as a tool.
+
+Given a source and destination, sweep the stream count and report where
+the knee is: the paper's observation that parallel streams help until
+the path saturates, after which they only add overhead.  The sweep runs
+on the THU -> Li-Zen path (long RTT, lossy, 30 Mbps) and, for contrast,
+on the THU -> HIT path (short RTT, 155 Mbps), where a single stream is
+already close to the achievable rate.
+
+Run:  python examples/parallel_stream_tuning.py
+"""
+
+from repro.experiments.reporting import format_table, sparkline
+from repro.gridftp import GridFtpClient
+from repro.testbed import build_testbed
+from repro.units import megabytes, to_mbit_per_s
+
+FILE_MB = 256
+STREAM_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def sweep(source, destination, label):
+    testbed = build_testbed(seed=0, monitoring=False)
+    grid = testbed.grid
+    grid.host(source).filesystem.create("payload", megabytes(FILE_MB))
+    path = grid.path(source, destination)
+    single_cap = grid.tcp_model.stream_cap(path)
+
+    rows = []
+    for streams in STREAM_SWEEP:
+        client = GridFtpClient(grid, destination)
+        record = grid.sim.run(
+            until=grid.sim.process(
+                client.get(source, "payload", "incoming",
+                           parallelism=streams)
+            )
+        )
+        rows.append({
+            "streams": streams,
+            "seconds": record.elapsed,
+            "throughput_mbps": to_mbit_per_s(record.throughput),
+        })
+        grid.host(destination).filesystem.delete("incoming")
+
+    best = min(rows, key=lambda r: r["seconds"])
+    print(f"--- {label}: {source} -> {destination} "
+          f"({FILE_MB} MB, RTT {path.rtt * 1e3:.1f} ms, "
+          f"loss {path.loss_rate:.2g}, "
+          f"single-stream TCP cap {to_mbit_per_s(single_cap):.1f} Mbps)")
+    print(format_table(
+        ["streams", "seconds", "throughput_mbps"], rows
+    ))
+    print("throughput profile:",
+          sparkline([r["throughput_mbps"] for r in rows]))
+    print(f"knee: {best['streams']} stream(s) -> "
+          f"{best['seconds']:.1f}s\n")
+    return best
+
+
+def main():
+    wan_best = sweep("alpha2", "lz04", "long fat(ish) pipe")
+    lan_best = sweep("alpha1", "hit3", "short pipe")
+    assert wan_best["streams"] > lan_best["streams"], (
+        "parallelism should matter more on the high-RTT lossy path"
+    )
+
+
+if __name__ == "__main__":
+    main()

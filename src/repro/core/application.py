@@ -1,0 +1,98 @@
+"""The application side of the Fig. 1 scenario.
+
+"At first, the client logs in at the local site and executes parallel
+applications in the Data Grid platform.  This application checks [if]
+the files are located [at the] local site or not.  If they are present
+at the local site, the application accesses them immediately.
+Otherwise, the application passes the logical file names to [the]
+replica catalog server ..." — :meth:`DataGridApplication.access_file`
+implements exactly that flow.
+"""
+
+__all__ = ["AccessResult", "DataGridApplication"]
+
+
+class AccessResult:
+    """How a logical file was obtained."""
+
+    def __init__(self, logical_name, client_name, local_hit,
+                 decision=None, transfer=None, elapsed=0.0):
+        self.logical_name = logical_name
+        self.client_name = client_name
+        self.local_hit = bool(local_hit)
+        self.decision = decision
+        self.transfer = transfer
+        self.elapsed = float(elapsed)
+
+    def __repr__(self):
+        how = "local" if self.local_hit else (
+            f"fetched from {self.decision.chosen}"
+        )
+        return (
+            f"<AccessResult {self.logical_name!r} {how} "
+            f"in {self.elapsed:.2f}s>"
+        )
+
+
+class DataGridApplication:
+    """A data-intensive application running on one grid host."""
+
+    def __init__(self, grid, client_name, selection_server,
+                 parallelism=None, replication_policy=None):
+        self.grid = grid
+        self.client_name = client_name
+        self.selection_server = selection_server
+        self.parallelism = parallelism
+        #: Optional AccessCountReplicationPolicy fed by every access.
+        self.replication_policy = replication_policy
+        #: Access log (AccessResult per call).
+        self.accesses = []
+
+    def __repr__(self):
+        return f"<DataGridApplication on {self.client_name}>"
+
+    def access_file(self, logical_name):
+        """Obtain a logical file; a generator returning AccessResult.
+
+        Local replicas are used directly (no network time); otherwise
+        the selection server picks the best remote replica and the file
+        arrives over GridFTP.
+        """
+        start = self.grid.sim.now
+        local_fs = self.grid.host(self.client_name).filesystem
+        if logical_name in local_fs:
+            result = AccessResult(
+                logical_name, self.client_name, local_hit=True,
+                elapsed=0.0,
+            )
+            self.accesses.append(result)
+            self._notify_policy(result)
+            return result
+
+        decision, record = yield from self.selection_server.fetch(
+            self.client_name, logical_name,
+            parallelism=self.parallelism,
+        )
+        result = AccessResult(
+            logical_name, self.client_name, local_hit=False,
+            decision=decision, transfer=record,
+            elapsed=self.grid.sim.now - start,
+        )
+        self.accesses.append(result)
+        self._notify_policy(result)
+        return result
+
+    def _notify_policy(self, result):
+        if self.replication_policy is not None:
+            self.replication_policy.record_access(
+                self.client_name, result.logical_name,
+                remote=not result.local_hit,
+            )
+
+    def run_workload(self, logical_names):
+        """Access a sequence of files; a generator returning the results."""
+        results = []
+        for name in logical_names:
+            result = yield from self.access_file(name)
+            results.append(result)
+        return results

@@ -1,0 +1,187 @@
+"""Baseline replica selection policies.
+
+The paper's cost model is compared (in our ablation benchmarks) against
+the selection policies a 2005 grid deployment would realistically use
+instead.  Every selector implements the same contract::
+
+    chosen_host = yield from selector.select(client_name, candidates)
+
+so they are interchangeable in the experiment harness.
+"""
+
+from repro.core.cost_model import CostModel
+
+__all__ = [
+    "BandwidthOnlySelector",
+    "CostModelSelector",
+    "LeastLoadedSelector",
+    "OracleSelector",
+    "ProximitySelector",
+    "RandomSelector",
+    "RoundRobinSelector",
+]
+
+
+class _Selector:
+    name = "abstract"
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+    @staticmethod
+    def _require(candidates):
+        if not candidates:
+            raise ValueError("no candidates to select from")
+
+
+class RandomSelector(_Selector):
+    """Uniform random choice — the no-information baseline."""
+
+    name = "random"
+
+    def __init__(self, grid):
+        self.stream = grid.sim.streams.get("selector/random")
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        return self.stream.choice(list(candidates))
+        yield  # pragma: no cover - generator protocol
+
+
+class RoundRobinSelector(_Selector):
+    """Cycles through candidates (per sorted order) across calls."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._counter = 0
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        ordered = sorted(candidates)
+        choice = ordered[self._counter % len(ordered)]
+        self._counter += 1
+        return choice
+        yield  # pragma: no cover - generator protocol
+
+
+class ProximitySelector(_Selector):
+    """Lowest round-trip time wins — GeoDNS-style static selection."""
+
+    name = "proximity"
+
+    def __init__(self, grid):
+        self.grid = grid
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        return min(
+            candidates,
+            key=lambda c: (self.grid.path(c, client_name).rtt, c),
+        )
+        yield  # pragma: no cover - generator protocol
+
+
+class LeastLoadedSelector(_Selector):
+    """Highest CPU idle wins (via MDS); ignores the network entirely."""
+
+    name = "least-loaded"
+
+    def __init__(self, grid, information):
+        self.grid = grid
+        self.information = information
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        best_name, best_idle = None, -1.0
+        for candidate in sorted(candidates):
+            idle = yield from self.information.cpu_idle(candidate)
+            if idle > best_idle:
+                best_name, best_idle = candidate, idle
+        return best_name
+
+
+class BandwidthOnlySelector(_Selector):
+    """Highest forecast bandwidth fraction wins; ignores host load.
+
+    Equivalent to the cost model with weights (1, 0, 0) — the natural
+    simplification the paper's 80/10/10 choice is implicitly judged
+    against.
+    """
+
+    name = "bandwidth-only"
+
+    def __init__(self, grid, information):
+        self.grid = grid
+        self.information = information
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        best_name, best_fraction = None, -1.0
+        for candidate in sorted(candidates):
+            fraction, _ = self.information.bandwidth_fraction(
+                candidate, client_name
+            )
+            if fraction > best_fraction:
+                best_name, best_fraction = candidate, fraction
+        return best_name
+        yield  # pragma: no cover - generator protocol
+
+
+class CostModelSelector(_Selector):
+    """The paper's cost model wrapped in the selector contract."""
+
+    name = "cost-model"
+
+    def __init__(self, grid, information, weights=None):
+        self.grid = grid
+        self.information = information
+        self.cost_model = CostModel(weights)
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        factors = []
+        for candidate in sorted(candidates):
+            f = yield from self.information.site_factors(
+                client_name, candidate
+            )
+            factors.append(f)
+        return self.cost_model.best(factors).candidate
+
+
+class OracleSelector(_Selector):
+    """Perfect instantaneous information: probes the exact end-to-end
+    rate a transfer would get *right now* (network fair share, TCP cap,
+    and both endpoints' disk/CPU channels) and picks the fastest.
+
+    Not realisable in a deployment — used as the regret reference in the
+    ablation benchmarks.
+    """
+
+    name = "oracle"
+
+    def __init__(self, grid):
+        self.grid = grid
+
+    def achievable_rate(self, candidate, client_name):
+        """True bytes/s a single-stream fetch would get at this instant."""
+        path = self.grid.path(candidate, client_name)
+        cap = self.grid.tcp_model.stream_cap(path)
+        source = self.grid.host(candidate)
+        sink = self.grid.host(client_name)
+        # Tightest of: live network share, TCP cap, and both hosts'
+        # resource channel headroom.
+        rate = self.grid.network.probe_rate(candidate, client_name, cap=cap)
+        for channel in (
+            source.transfer_source_links() + sink.transfer_sink_links()
+        ):
+            rate = min(rate, channel.available_capacity)
+        return rate
+
+    def select(self, client_name, candidates):
+        self._require(candidates)
+        return max(
+            sorted(candidates),
+            key=lambda c: self.achievable_rate(c, client_name),
+        )
+        yield  # pragma: no cover - generator protocol

@@ -1,0 +1,92 @@
+"""The replica selection cost model — Equation (1) of the paper.
+
+``Score(i,j) = BW_P(i,j)*BW_W + CPU_P(j)*CPU_W + IO_P(j)*IO_W``
+
+All three inputs are fractions in [0, 1]; with normalised weights the
+score is too.  Higher is better: "the score high or low represents the
+user or application acquiring the replica effectively or not".
+"""
+
+from repro.core.weights import SelectionWeights
+
+__all__ = ["CostModel", "ReplicaScore"]
+
+
+class ReplicaScore:
+    """A scored candidate: the factors, the weighted terms, the total."""
+
+    __slots__ = ("factors", "weights", "bandwidth_term", "cpu_term",
+                 "io_term", "score")
+
+    def __init__(self, factors, weights):
+        self.factors = factors
+        self.weights = weights
+        self.bandwidth_term = weights.bandwidth * factors.bandwidth_fraction
+        self.cpu_term = weights.cpu * factors.cpu_idle
+        self.io_term = weights.io * factors.io_idle
+        self.score = self.bandwidth_term + self.cpu_term + self.io_term
+
+    def __repr__(self):
+        return (
+            f"<ReplicaScore {self.candidate} "
+            f"score={self.score:.4f}>"
+        )
+
+    @property
+    def candidate(self):
+        return self.factors.candidate
+
+    def as_dict(self):
+        row = self.factors.as_dict()
+        row.update(
+            bandwidth_term=self.bandwidth_term,
+            cpu_term=self.cpu_term,
+            io_term=self.io_term,
+            score=self.score,
+        )
+        return row
+
+
+class CostModel:
+    """Scores and ranks candidate replica sites."""
+
+    def __init__(self, weights=None):
+        self.weights = weights or SelectionWeights.paper_default()
+
+    def __repr__(self):
+        return f"<CostModel {self.weights!r}>"
+
+    def score_factors(self, factors):
+        """Apply Equation (1) to one candidate's factors."""
+        self._validate(factors)
+        return ReplicaScore(factors, self.weights)
+
+    def rank(self, factors_list):
+        """Score all candidates, best first.
+
+        Ties break towards the earlier entry (stable sort), mirroring
+        the deterministic sort of the paper's Java program's Cost list.
+        """
+        scores = [self.score_factors(f) for f in factors_list]
+        scores.sort(key=lambda s: -s.score)
+        return scores
+
+    def best(self, factors_list):
+        """The highest-scoring candidate's :class:`ReplicaScore`."""
+        ranked = self.rank(factors_list)
+        if not ranked:
+            raise ValueError("no candidates to rank")
+        return ranked[0]
+
+    @staticmethod
+    def _validate(factors):
+        for label, value in [
+            ("bandwidth_fraction", factors.bandwidth_fraction),
+            ("cpu_idle", factors.cpu_idle),
+            ("io_idle", factors.io_idle),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{label} must be a fraction in [0, 1], got {value} "
+                    f"for candidate {factors.candidate!r}"
+                )

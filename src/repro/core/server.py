@@ -1,0 +1,139 @@
+"""The replica selection server — the Fig. 1 scenario, end to end.
+
+The server receives a client's list of candidate replica locations (from
+the replica catalog), asks the information server for the three system
+factors of every candidate, applies the cost model, and returns the
+best.  :meth:`fetch` continues the scenario: the chosen replica is
+retrieved over GridFTP and the pair (decision, transfer record) returned
+— exactly the data Table 1 reports.
+"""
+
+from repro.core.cost_model import CostModel
+from repro.gridftp.gridftp import GridFtpClient
+
+__all__ = ["ReplicaSelectionServer", "SelectionDecision"]
+
+
+class SelectionDecision:
+    """Outcome of one selection: every candidate scored, one chosen."""
+
+    def __init__(self, logical_name, client_name, scores, decided_at):
+        if not scores:
+            raise ValueError(
+                f"no replicas of {logical_name!r} to choose from"
+            )
+        self.logical_name = logical_name
+        self.client_name = client_name
+        #: ReplicaScore list, best first.
+        self.scores = list(scores)
+        self.decided_at = float(decided_at)
+
+    def __repr__(self):
+        return (
+            f"<SelectionDecision {self.logical_name!r} for "
+            f"{self.client_name}: chose {self.chosen} of "
+            f"{len(self.scores)}>"
+        )
+
+    @property
+    def chosen(self):
+        """The winning candidate host name."""
+        return self.scores[0].candidate
+
+    @property
+    def chosen_score(self):
+        return self.scores[0].score
+
+    def ranking(self):
+        """Candidate names, best first (the sorted Cost list of Fig. 5b)."""
+        return [score.candidate for score in self.scores]
+
+    def table(self):
+        """One dict per candidate — the rows of the paper's Table 1."""
+        return [score.as_dict() for score in self.scores]
+
+
+class ReplicaSelectionServer:
+    """Selection service attached to a grid host."""
+
+    service_name = "replica-selection"
+
+    #: Candidates whose forecast bandwidth fraction falls at or below
+    #: this are treated as unreachable (dead path / failed link) and
+    #: dropped whenever a live alternative exists.
+    unreachable_threshold = 1e-3
+
+    def __init__(self, grid, host_name, catalog, information,
+                 weights=None, exclude_unreachable=True):
+        self.grid = grid
+        self.host_name = host_name
+        self.catalog = catalog
+        self.information = information
+        self.cost_model = CostModel(weights)
+        self.exclude_unreachable = bool(exclude_unreachable)
+        #: All decisions made, in order (diagnostics / experiments).
+        self.decisions = []
+        grid.register_service(host_name, self.service_name, self)
+
+    def __repr__(self):
+        return f"<ReplicaSelectionServer on {self.host_name}>"
+
+    def score_candidates(self, client_name, candidate_names):
+        """Score an explicit candidate list; a generator returning the
+        :class:`SelectionDecision`."""
+        if not candidate_names:
+            raise ValueError("no candidate locations supplied")
+        # Client hands the candidate list to the selection server.
+        if client_name != self.host_name:
+            yield self.grid.sim.timeout(
+                self.grid.path(client_name, self.host_name).rtt
+            )
+        factors = []
+        for candidate in candidate_names:
+            f = yield from self.information.site_factors(
+                client_name, candidate
+            )
+            factors.append(f)
+        if self.exclude_unreachable:
+            live = [
+                f for f in factors
+                if f.bandwidth_fraction > self.unreachable_threshold
+            ]
+            if live:
+                factors = live
+        decision = SelectionDecision(
+            logical_name=None,
+            client_name=client_name,
+            scores=self.cost_model.rank(factors),
+            decided_at=self.grid.sim.now,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def select(self, client_name, logical_name):
+        """Full selection: catalog lookup then scoring.
+
+        A generator returning the :class:`SelectionDecision`.
+        """
+        entries = yield from self.catalog.query_locations(
+            client_name, logical_name
+        )
+        decision = yield from self.score_candidates(
+            client_name, [entry.host_name for entry in entries]
+        )
+        decision.logical_name = logical_name
+        return decision
+
+    def fetch(self, client_name, logical_name, parallelism=None,
+              local_name=None, gsi=None):
+        """Select the best replica and retrieve it over GridFTP.
+
+        A generator returning ``(decision, transfer_record)``.
+        """
+        decision = yield from self.select(client_name, logical_name)
+        client = GridFtpClient(self.grid, client_name, gsi=gsi)
+        record = yield from client.get(
+            decision.chosen, logical_name, local_name,
+            parallelism=parallelism,
+        )
+        return decision, record

@@ -1,0 +1,65 @@
+"""Cost-model weights.
+
+"These weights can be determined by the administrator of the Data Grid
+organization" — the paper's authors, after measuring that bandwidth
+dominates transfer time while CPU and I/O matter slightly, set them to
+80% / 10% / 10%.
+"""
+
+__all__ = ["SelectionWeights"]
+
+
+class SelectionWeights:
+    """Weights (BW_W, CPU_W, IO_W) for the selection cost model."""
+
+    def __init__(self, bandwidth=0.8, cpu=0.1, io=0.1):
+        for label, value in [("bandwidth", bandwidth), ("cpu", cpu),
+                             ("io", io)]:
+            if value < 0:
+                raise ValueError(f"negative {label} weight {value}")
+        if bandwidth + cpu + io <= 0:
+            raise ValueError("weights must not all be zero")
+        self.bandwidth = float(bandwidth)
+        self.cpu = float(cpu)
+        self.io = float(io)
+
+    def __repr__(self):
+        return (
+            f"<SelectionWeights BW={self.bandwidth:g} "
+            f"CPU={self.cpu:g} IO={self.io:g}>"
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SelectionWeights)
+            and (self.bandwidth, self.cpu, self.io)
+            == (other.bandwidth, other.cpu, other.io)
+        )
+
+    @property
+    def total(self):
+        return self.bandwidth + self.cpu + self.io
+
+    def normalized(self):
+        """Equivalent weights scaled to sum to 1."""
+        return SelectionWeights(
+            self.bandwidth / self.total,
+            self.cpu / self.total,
+            self.io / self.total,
+        )
+
+    @classmethod
+    def paper_default(cls):
+        """The 80/10/10 split the paper's testbed uses."""
+        return cls(bandwidth=0.8, cpu=0.1, io=0.1)
+
+    @classmethod
+    def bandwidth_only(cls):
+        """Degenerate weights ignoring host load."""
+        return cls(bandwidth=1.0, cpu=0.0, io=0.0)
+
+    @classmethod
+    def uniform(cls):
+        """Equal weighting of the three factors."""
+        third = 1.0 / 3.0
+        return cls(bandwidth=third, cpu=third, io=third)

@@ -1,0 +1,52 @@
+"""Experiment harness: one module per exhibit of the paper's evaluation.
+
+Each ``run_*`` function builds the testbed, executes the measurement the
+paper describes, and returns an :class:`ExperimentResult` whose rows are
+the exhibit's data points.  ``python -m repro.experiments.runner``
+regenerates everything from the command line.
+
+| Module                | Paper exhibit                                |
+|-----------------------|----------------------------------------------|
+| fig3                  | Fig. 3 — FTP vs GridFTP transfer time        |
+| fig4                  | Fig. 4 — GridFTP parallel TCP streams        |
+| table1                | Table 1 — cost model vs measured times       |
+| fig5                  | Fig. 5 — cost monitor display                |
+| ablation_weights      | §3.3 — weight sweep                          |
+| ablation_selectors    | cost model vs baseline policies              |
+| ablation_scale        | §5 future work — larger, dynamic grids       |
+| ablation_striped      | §5 future work — striped transfers           |
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.table1 import run_table1
+from repro.experiments.ablation_coalloc import run_ablation_coalloc
+from repro.experiments.ablation_forecast import run_ablation_forecast
+from repro.experiments.ablation_scale import run_ablation_scale
+from repro.experiments.ablation_selectors import run_ablation_selectors
+from repro.experiments.ablation_staleness import run_ablation_staleness
+from repro.experiments.ablation_striped import run_ablation_striped
+from repro.experiments.ablation_weights import run_ablation_weights
+from repro.experiments.ablation_window import run_ablation_window
+
+__all__ = [
+    "ExperimentResult",
+    "run_ablation_coalloc",
+    "run_ablation_forecast",
+    "run_ablation_scale",
+    "run_ablation_selectors",
+    "run_ablation_staleness",
+    "run_ablation_striped",
+    "run_ablation_weights",
+    "run_ablation_window",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+]

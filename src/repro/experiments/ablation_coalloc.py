@@ -1,0 +1,107 @@
+"""Ablation — co-allocation scheduling across heterogeneous replicas.
+
+Once the catalog lists several replicas, why pick just one?  This
+ablation downloads a file replicated at HIT (fast path) *and* Li-Zen
+(slow path) to ``alpha1`` four ways:
+
+* best single server (what the paper's selection scenario does),
+* worst single server (what a bad selection does — the cost of getting
+  it wrong),
+* brute-force co-allocation (even split across both replicas),
+* conservative co-allocation (demand-driven blocks).
+
+The instructive shape: an even split is *worse* than the best single
+server (the slow replica drags half the file), while conservative
+scheduling safely uses both.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.gridftp import (
+    GridFtpClient,
+    brute_force_coallocation_get,
+    conservative_coallocation_get,
+)
+from repro.testbed import build_testbed
+from repro.units import MiB, megabytes
+
+__all__ = ["run_ablation_coalloc"]
+
+CLIENT = "alpha1"
+FAST_SOURCE = "hit0"
+SLOW_SOURCE = "lz02"
+
+
+def run_ablation_coalloc(file_size_mb=256, block_mb=16,
+                         streams_per_server=4, seed=0):
+    """One row per download strategy."""
+    testbed = build_testbed(seed=seed, monitoring=False)
+    grid = testbed.grid
+    size = megabytes(file_size_mb)
+    for name in [FAST_SOURCE, SLOW_SOURCE]:
+        grid.host(name).filesystem.create("file-a", size)
+
+    client = GridFtpClient(grid, CLIENT)
+    rows = []
+
+    def run(label, generator, shares=None):
+        outcome = grid.sim.run(until=grid.sim.process(generator))
+        record = getattr(outcome, "record", outcome)
+        row = {
+            "strategy": label,
+            "seconds": record.elapsed,
+            "mbps": record.payload_bytes / record.elapsed / MiB * 8,
+        }
+        if hasattr(outcome, "blocks_by_server"):
+            row["fast_share"] = outcome.blocks_by_server.get(
+                FAST_SOURCE, 0
+            )
+            row["slow_share"] = outcome.blocks_by_server.get(
+                SLOW_SOURCE, 0
+            )
+        rows.append(row)
+        grid.host(CLIENT).filesystem.delete("incoming")
+
+    run(
+        "best single server",
+        client.get(FAST_SOURCE, "file-a", "incoming",
+                   parallelism=streams_per_server),
+    )
+    run(
+        "worst single server",
+        client.get(SLOW_SOURCE, "file-a", "incoming",
+                   parallelism=streams_per_server),
+    )
+    run(
+        "brute-force coallocation",
+        brute_force_coallocation_get(
+            client, [FAST_SOURCE, SLOW_SOURCE], "file-a", "incoming",
+            streams_per_server=streams_per_server,
+        ),
+    )
+    run(
+        "conservative coallocation",
+        conservative_coallocation_get(
+            client, [FAST_SOURCE, SLOW_SOURCE], "file-a", "incoming",
+            block_bytes=block_mb * MiB,
+            streams_per_server=streams_per_server,
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="abl_coalloc",
+        title=(
+            f"Co-allocation strategies: {file_size_mb} MB replicated at "
+            f"{FAST_SOURCE} (fast) and {SLOW_SOURCE} (slow), client "
+            f"{CLIENT}"
+        ),
+        headers=["strategy", "seconds", "mbps", "fast_share",
+                 "slow_share"],
+        rows=rows,
+        notes=[
+            "Expected shape: even-split co-allocation is dragged down "
+            "by the slow replica (worse than the best single server); "
+            "conservative block scheduling approaches the best single "
+            "server (modulo one straggler block) while the slow "
+            "replica still contributes.",
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Ablation — NWS adaptive forecasting versus fixed predictors.
+
+The paper leans on NWS because "network bandwidth is [an] unstable and
+dynamic factor [that] we should often measure and predict ... as
+accurate[ly] as possible".  NWS's distinguishing design is *adaptive*
+predictor selection.  This ablation runs the testbed under dynamic load
+for a while and compares, per monitored bandwidth series, the adaptive
+battery's error against each fixed predictor.
+"""
+
+import math
+
+from repro.experiments.base import ExperimentResult
+from repro.monitoring.nws.series import series_key
+from repro.testbed import build_testbed
+
+__all__ = ["run_ablation_forecast"]
+
+#: Site-representative host pairs whose bandwidth series we audit.
+AUDITED_PAIRS = (
+    ("alpha4", "alpha1"),
+    ("hit0", "alpha1"),
+    ("lz02", "alpha1"),
+    ("alpha1", "lz04"),
+    ("hit3", "lz02"),
+)
+
+
+def run_ablation_forecast(duration=1800.0, seed=0, sensor_period=10.0):
+    """One row per audited bandwidth series: adaptive vs fixed MAE."""
+    testbed = build_testbed(
+        seed=seed, dynamic=True, sensor_period=sensor_period
+    )
+    testbed.grid.run(until=duration)
+
+    rows = []
+    best_names = set()
+    for src, dst in AUDITED_PAIRS:
+        key = series_key("bandwidth", src, dst)
+        battery = testbed.nws_memory._batteries[key]
+        series = testbed.nws_memory.series(key)
+        mean_value = sum(series.values()) / len(series)
+        best = battery.best_name()
+        best_names.add(best)
+        maes = {f.name: battery.mae(f.name) for f in battery.forecasters}
+        adaptive_mae = maes[best]
+        rows.append({
+            "series": f"{src}->{dst}",
+            "samples": len(series),
+            "best_forecaster": best,
+            "adaptive_mae_pct": 100 * adaptive_mae / mean_value,
+            "last_value_mae_pct": 100 * maes["last-value"] / mean_value,
+            "running_mean_mae_pct": (
+                100 * maes["running-mean"] / mean_value
+            ),
+            "median21_mae_pct": 100 * maes["median-21"] / mean_value,
+        })
+
+    return ExperimentResult(
+        experiment_id="abl_forecast",
+        title=(
+            f"NWS adaptive forecasting after {duration:.0f}s of dynamic "
+            "load (MAE as % of series mean)"
+        ),
+        headers=[
+            "series", "samples", "best_forecaster", "adaptive_mae_pct",
+            "last_value_mae_pct", "running_mean_mae_pct",
+            "median21_mae_pct",
+        ],
+        rows=rows,
+        notes=[
+            f"distinct winning forecasters across series: "
+            f"{sorted(best_names)}",
+            "NWS's design point: no single fixed predictor wins "
+            "everywhere, so per-series adaptive selection dominates "
+            "any fixed choice (it equals the per-series best by "
+            "construction, and which one that is varies).",
+        ],
+    )

@@ -1,0 +1,86 @@
+"""Ablation — TCP window tuning versus parallel streams.
+
+Fig. 4's gains come from one stream being unable to fill the pipe.  Two
+distinct mechanisms cause that, and they respond differently to tuning:
+
+* **window limit** (W/RTT): a bigger OS window fixes it — no
+  parallelism needed;
+* **loss limit** (Mathis): no window helps; only multiple streams (each
+  with its own loss clock) recover the capacity.
+
+This ablation separates them on a synthetic 100 Mbps, 40 ms-RTT path:
+clean vs lossy, 64 KiB vs 1 MiB windows, 1 vs 8 streams.  It explains
+*why* GridFTP parallelism mattered so much in 2005 (untuned windows,
+lossy academic WANs) and what modern autotuning changes.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.grid import DataGrid
+from repro.gridftp import GridFtpClient, GridFtpServer
+from repro.network.tcp import TCPParameters
+from repro.units import megabytes, mbit_per_s, to_mbit_per_s
+
+__all__ = ["run_ablation_window"]
+
+
+def _one_transfer(loss_rate, max_window, streams, file_mb, seed):
+    grid = DataGrid(seed=seed)
+    tcp = TCPParameters(max_window=max_window)
+    for name in ["src", "dst"]:
+        grid.add_host(
+            name, name.upper(), disk_bandwidth=500e6,
+            disk_capacity=500e9, tcp=tcp,
+        )
+    grid.connect(
+        "src", "dst", mbit_per_s(100), latency=0.020,
+        loss_rate=loss_rate,
+    )
+    GridFtpServer(grid, "src")
+    grid.host("src").filesystem.create("payload", megabytes(file_mb))
+    client = GridFtpClient(grid, "dst")
+    record = grid.sim.run(
+        until=grid.sim.process(
+            client.get("src", "payload", parallelism=streams)
+        )
+    )
+    return record
+
+
+def run_ablation_window(file_size_mb=128, seed=0):
+    """One row per (loss, window, streams) cell."""
+    rows = []
+    for loss_label, loss_rate in [("clean", 0.0), ("lossy", 1e-3)]:
+        for window_label, window in [
+            ("64KiB", 64 * 1024), ("1MiB", 1024 * 1024)
+        ]:
+            for streams in (1, 8):
+                record = _one_transfer(
+                    loss_rate, window, streams, file_size_mb, seed
+                )
+                rows.append({
+                    "path": loss_label,
+                    "window": window_label,
+                    "streams": streams,
+                    "seconds": record.elapsed,
+                    "throughput_mbps": to_mbit_per_s(
+                        record.data_throughput
+                    ),
+                })
+
+    return ExperimentResult(
+        experiment_id="abl_window",
+        title=(
+            "Window tuning vs parallel streams "
+            f"(100 Mbps, 40 ms RTT, {file_size_mb} MB)"
+        ),
+        headers=["path", "window", "streams", "seconds",
+                 "throughput_mbps"],
+        rows=rows,
+        notes=[
+            "Clean path: enlarging the window makes 1 stream match 8 "
+            "(the window limit was the only problem).",
+            "Lossy path: the Mathis limit caps each stream regardless "
+            "of window; only parallel streams recover the capacity — "
+            "the regime the paper's testbed lived in.",
+        ],
+    )

@@ -1,0 +1,45 @@
+"""Common experiment result container."""
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+class ExperimentResult:
+    """Rows of one regenerated exhibit plus free-form notes."""
+
+    def __init__(self, experiment_id, title, headers, rows, notes=None,
+                 charts=None):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows = list(rows)
+        self.notes = list(notes or [])
+        #: Optional (title, multi-line-chart) pairs rendered after the
+        #: table — the figures' bar charts, in ASCII.
+        self.charts = list(charts or [])
+
+    def __repr__(self):
+        return (
+            f"<ExperimentResult {self.experiment_id} "
+            f"({len(self.rows)} rows)>"
+        )
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        if name not in self.headers:
+            raise KeyError(f"no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def to_text(self):
+        """Full text rendering: title, table, charts, notes."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            format_table(self.headers, self.rows),
+        ]
+        for chart_title, chart in self.charts:
+            parts.append(f"\n[{chart_title}]")
+            parts.append(chart)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

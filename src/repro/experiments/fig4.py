@@ -1,0 +1,94 @@
+"""Figure 4 — GridFTP with parallel data transfer.
+
+The paper transfers 256–2048 MB files from THU ``alpha02`` to Li-Zen
+``lz04`` with no parallelism (stream mode) and with 1, 2, 4, 8 and 16
+TCP streams (MODE E), and finds that parallel streams cut transfer time,
+more so for larger files.
+
+The mechanism reproduced here: the THU→Li-Zen path has long RTT and
+visible loss, so one TCP stream reaches only a fraction of the 30 Mbps
+link; ``n`` streams aggregate until the link saturates.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.reporting import bar_chart
+from repro.gridftp import GridFtpClient
+from repro.testbed import build_testbed
+from repro.units import megabytes
+
+__all__ = ["run_fig4", "DEFAULT_SIZES_MB", "DEFAULT_STREAMS",
+           "SOURCE", "DESTINATION"]
+
+DEFAULT_SIZES_MB = (256, 512, 1024, 2048)
+#: None = "no parallel data transfer" (stream mode), the paper's default
+#: bar; integers = MODE E with that many TCP streams.
+DEFAULT_STREAMS = (None, 1, 2, 4, 8, 16)
+SOURCE = "alpha2"     # the paper's "THU site alpha02"
+DESTINATION = "lz04"  # the paper's "Li-Zen site lz04"
+
+
+def _column_name(parallelism):
+    if parallelism is None:
+        return "no_parallel_seconds"
+    return f"p{parallelism}_seconds"
+
+
+def run_fig4(sizes_mb=DEFAULT_SIZES_MB, streams=DEFAULT_STREAMS, seed=0):
+    """Regenerate Fig. 4.  One row per file size, one column per stream
+    configuration."""
+    testbed = build_testbed(seed=seed, monitoring=False)
+    grid = testbed.grid
+    source_fs = grid.host(SOURCE).filesystem
+    dest_fs = grid.host(DESTINATION).filesystem
+
+    rows = []
+    for size_mb in sizes_mb:
+        filename = f"fig4-{size_mb}mb"
+        source_fs.create(filename, megabytes(size_mb))
+        row = {"file_size_mb": size_mb}
+        for parallelism in streams:
+            client = GridFtpClient(grid, DESTINATION)
+            record = grid.sim.run(
+                until=grid.sim.process(
+                    client.get(
+                        SOURCE, filename, "incoming",
+                        parallelism=parallelism,
+                    )
+                )
+            )
+            row[_column_name(parallelism)] = record.elapsed
+            dest_fs.delete("incoming")
+        rows.append(row)
+        source_fs.delete(filename)
+
+    headers = ["file_size_mb"] + [_column_name(p) for p in streams]
+    largest = rows[-1]
+    chart = bar_chart(
+        [
+            "no parallel" if p is None else f"{p} stream(s)"
+            for p in streams
+        ],
+        [largest[_column_name(p)] for p in streams],
+        unit="s",
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title=(
+            "GridFTP with parallel data transfer, "
+            f"{SOURCE} (THU) -> {DESTINATION} (Li-Zen)"
+        ),
+        headers=headers,
+        rows=rows,
+        charts=[(
+            f"transfer time, {largest['file_size_mb']} MB file (s)",
+            chart,
+        )],
+        notes=[
+            "Paper's shape: more streams -> shorter times, with gains "
+            "growing with file size and flattening by 8-16 streams as "
+            "the 30 Mbps link saturates.",
+            "The Li-Zen host's 10 GB disk cannot hold a 2048 MB file "
+            "twice, hence the delete between runs (as the authors also "
+            "had to).",
+        ],
+    )

@@ -1,0 +1,100 @@
+"""Shared machinery for the ablation experiments.
+
+A *selection trace* replays the paper's usage pattern: every ``gap``
+seconds a client asks for a replicated file, a selection policy picks
+the source, and the fetch is timed.  Because all background dynamics
+draw from named random streams, traces with different policies but the
+same seed see *identical* load trajectories — policy comparisons are
+paired.
+"""
+
+from repro.core.baselines import OracleSelector
+from repro.gridftp.gridftp import GridFtpClient
+from repro.units import megabytes
+
+__all__ = ["TraceResult", "register_replicas", "run_selection_trace"]
+
+
+class TraceResult:
+    """Outcome of one selection trace."""
+
+    def __init__(self, selector_name, fetches, oracle_matches):
+        self.selector_name = selector_name
+        #: List of (round, chosen_host, elapsed_seconds).
+        self.fetches = list(fetches)
+        self.oracle_matches = int(oracle_matches)
+
+    def __repr__(self):
+        return (
+            f"<TraceResult {self.selector_name}: "
+            f"{len(self.fetches)} fetches>"
+        )
+
+    @property
+    def rounds(self):
+        return len(self.fetches)
+
+    @property
+    def mean_seconds(self):
+        if not self.fetches:
+            return float("nan")
+        return sum(f[2] for f in self.fetches) / len(self.fetches)
+
+    @property
+    def total_seconds(self):
+        return sum(f[2] for f in self.fetches)
+
+    @property
+    def oracle_agreement(self):
+        if not self.fetches:
+            return float("nan")
+        return self.oracle_matches / len(self.fetches)
+
+
+def register_replicas(testbed, logical_name, replica_hosts, size_mb):
+    """Create a logical file and place replicas on the given hosts."""
+    size = megabytes(size_mb)
+    testbed.catalog.create_logical_file(logical_name, size)
+    for host_name in replica_hosts:
+        testbed.grid.host(host_name).filesystem.create(logical_name, size)
+        testbed.catalog.register_replica(logical_name, host_name)
+
+
+def run_selection_trace(testbed, selector, client_name, logical_name,
+                        rounds=8, gap=60.0, parallelism=None):
+    """Run a trace and return a :class:`TraceResult`.
+
+    Each round: the selector picks among the catalog's locations, the
+    file is fetched from the pick with GridFTP, the local copy is
+    deleted (to keep disk space and the next round comparable), and the
+    oracle's counterfactual pick is recorded for agreement statistics.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    grid = testbed.grid
+    oracle = OracleSelector(grid)
+    fetches = []
+    oracle_matches = 0
+
+    def trace():
+        nonlocal oracle_matches
+        for round_index in range(rounds):
+            candidates = [
+                entry.host_name
+                for entry in testbed.catalog.locations(logical_name)
+            ]
+            oracle_pick = yield from oracle.select(client_name, candidates)
+            chosen = yield from selector.select(client_name, candidates)
+            if chosen == oracle_pick:
+                oracle_matches += 1
+            client = GridFtpClient(grid, client_name)
+            record = yield from client.get(
+                chosen, logical_name, "trace-incoming",
+                parallelism=parallelism,
+            )
+            fetches.append((round_index, chosen, record.elapsed))
+            grid.host(client_name).filesystem.delete("trace-incoming")
+            yield grid.sim.timeout(gap)
+
+    grid.sim.run(until=grid.sim.process(trace()))
+    return TraceResult(selector.name, fetches, oracle_matches)

@@ -1,0 +1,73 @@
+"""Replicating experiments over seeds.
+
+One run per seed, then per-row aggregation: non-numeric columns (and
+integer parameters) identify the row; every float column becomes a
+``mean`` and a ``ci95`` column.  Rows are matched positionally — all of
+this library's experiments emit the same row structure regardless of
+seed.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.stats import summarize
+
+__all__ = ["replicate"]
+
+
+def replicate(run_fn, seeds, **kwargs):
+    """Run ``run_fn(seed=s, **kwargs)`` per seed and aggregate.
+
+    Returns an :class:`ExperimentResult` whose float columns are
+    replaced by ``<name>_mean`` and ``<name>_ci95`` (the CI half-width).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [run_fn(seed=seed, **kwargs) for seed in seeds]
+
+    first = results[0]
+    for other in results[1:]:
+        if len(other.rows) != len(first.rows):
+            raise ValueError(
+                "seed runs produced different row counts: "
+                f"{len(first.rows)} vs {len(other.rows)}"
+            )
+
+    # Classify columns on the first result: floats aggregate, the rest
+    # must agree across seeds and carry through.
+    float_columns = [
+        h for h in first.headers
+        if isinstance(first.rows[0][h], float)
+        and not isinstance(first.rows[0][h], bool)
+    ]
+    key_columns = [h for h in first.headers if h not in float_columns]
+
+    rows = []
+    for index, base_row in enumerate(first.rows):
+        row = {}
+        for key in key_columns:
+            values = {r.rows[index][key] for r in results}
+            if len(values) != 1:
+                raise ValueError(
+                    f"key column {key!r} differs across seeds at row "
+                    f"{index}: {sorted(map(str, values))}"
+                )
+            row[key] = base_row[key]
+        for column in float_columns:
+            summary = summarize(
+                r.rows[index][column] for r in results
+            )
+            row[f"{column}_mean"] = summary.mean
+            row[f"{column}_ci95"] = summary.ci_half_width
+        rows.append(row)
+
+    headers = key_columns + [
+        f"{c}_{suffix}" for c in float_columns
+        for suffix in ("mean", "ci95")
+    ]
+    return ExperimentResult(
+        experiment_id=f"{first.experiment_id}@{len(seeds)}seeds",
+        title=f"{first.title} — {len(seeds)} seeds, mean ± 95% CI",
+        headers=headers,
+        rows=rows,
+        notes=[f"seeds: {seeds}"] + first.notes,
+    )

@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment results.
+
+The paper's exhibits are bar charts and a Java GUI; headless equivalents
+here are aligned text tables and ASCII sparklines.
+"""
+
+import math
+
+__all__ = ["bar_chart", "format_number", "format_table", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_number(value, precision=3):
+    """Human-friendly number: trims noise, keeps small values readable."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+
+
+def format_table(headers, rows, precision=3):
+    """Render rows (sequences or dicts) as an aligned text table."""
+    headers = list(headers)
+    text_rows = []
+    for row in rows:
+        if isinstance(row, dict):
+            cells = [row.get(h) for h in headers]
+        else:
+            cells = list(row)
+            if len(cells) != len(headers):
+                raise ValueError(
+                    f"row has {len(cells)} cells, expected {len(headers)}"
+                )
+        text_rows.append([format_number(c, precision) for c in cells])
+
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(labels, values, width=50, unit=""):
+    """Horizontal ASCII bar chart (the paper's figures are bar charts).
+
+    ``labels`` and ``values`` run in parallel; bars scale to the
+    largest value.  Returns a multi-line string.
+    """
+    labels = [str(label) for label in labels]
+    values = list(values)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} "
+            f"{format_number(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values):
+    """A one-line ASCII chart of a numeric sequence."""
+    values = [v for v in values if v is not None and not math.isnan(v)]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_CHARS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[index])
+    return "".join(chars)

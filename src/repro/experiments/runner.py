@@ -1,0 +1,209 @@
+"""Command-line runner: regenerate any or all exhibits.
+
+Usage::
+
+    python -m repro.experiments.runner                 # everything
+    python -m repro.experiments.runner fig3 table1     # a subset
+    python -m repro.experiments.runner --quick fig4    # small sizes
+    python -m repro.experiments.runner --list
+"""
+
+import argparse
+import sys
+
+from repro.experiments.ablation_coalloc import run_ablation_coalloc
+from repro.experiments.ablation_forecast import run_ablation_forecast
+from repro.experiments.ablation_scale import run_ablation_scale
+from repro.experiments.ablation_selectors import run_ablation_selectors
+from repro.experiments.ablation_staleness import run_ablation_staleness
+from repro.experiments.ablation_striped import run_ablation_striped
+from repro.experiments.ablation_weights import run_ablation_weights
+from repro.experiments.ablation_window import run_ablation_window
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.table1 import run_table1
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+
+def _fig1(quick, seed):
+    return run_fig1(file_size_mb=16 if quick else 64, seed=seed)
+
+
+def _fig2(quick, seed):
+    return run_fig2(seed=seed)
+
+
+def _fig3(quick, seed):
+    sizes = (16, 32) if quick else (256, 512, 1024, 2048)
+    return run_fig3(sizes_mb=sizes, seed=seed)
+
+
+def _fig4(quick, seed):
+    sizes = (16, 32) if quick else (256, 512, 1024, 2048)
+    streams = (None, 1, 4) if quick else (None, 1, 2, 4, 8, 16)
+    return run_fig4(sizes_mb=sizes, streams=streams, seed=seed)
+
+
+def _table1(quick, seed):
+    return run_table1(file_size_mb=64 if quick else 1024, seed=seed)
+
+
+def _fig5(quick, seed):
+    duration = 120.0 if quick else 600.0
+    return run_fig5(duration=duration, seed=seed)
+
+
+def _abl_weights(quick, seed):
+    rounds = 3 if quick else 8
+    size = 32 if quick else 128
+    return run_ablation_weights(rounds=rounds, file_size_mb=size, seed=seed)
+
+
+def _abl_selectors(quick, seed):
+    rounds = 3 if quick else 8
+    size = 32 if quick else 128
+    return run_ablation_selectors(
+        rounds=rounds, file_size_mb=size, seed=seed
+    )
+
+
+def _abl_scale(quick, seed):
+    counts = (3, 6) if quick else (3, 6, 12)
+    rounds = 3 if quick else 6
+    return run_ablation_scale(
+        site_counts=counts, rounds=rounds, seed=seed
+    )
+
+
+def _abl_striped(quick, seed):
+    return run_ablation_striped(
+        file_size_mb=64 if quick else 256, seed=seed
+    )
+
+
+def _abl_window(quick, seed):
+    return run_ablation_window(
+        file_size_mb=32 if quick else 128, seed=seed
+    )
+
+
+def _abl_forecast(quick, seed):
+    return run_ablation_forecast(
+        duration=300.0 if quick else 1800.0, seed=seed
+    )
+
+
+def _abl_staleness(quick, seed):
+    periods = (15.0, 180.0) if quick else None
+    kwargs = {"rounds": 4 if quick else 10,
+              "file_size_mb": 32 if quick else 96, "seed": seed}
+    if periods is not None:
+        kwargs["periods"] = periods
+    return run_ablation_staleness(**kwargs)
+
+
+def _abl_coalloc(quick, seed):
+    return run_ablation_coalloc(
+        file_size_mb=64 if quick else 256,
+        block_mb=8 if quick else 16, seed=seed,
+    )
+
+
+#: Experiment id -> runner(quick, seed).
+EXPERIMENTS = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "table1": _table1,
+    "fig5": _fig5,
+    "abl_weights": _abl_weights,
+    "abl_selectors": _abl_selectors,
+    "abl_scale": _abl_scale,
+    "abl_striped": _abl_striped,
+    "abl_window": _abl_window,
+    "abl_forecast": _abl_forecast,
+    "abl_coalloc": _abl_coalloc,
+    "abl_staleness": _abl_staleness,
+}
+
+
+def run_experiment(experiment_id, quick=False, seed=0, seeds=1):
+    """Run one experiment by id; returns its ExperimentResult.
+
+    With ``seeds > 1`` the experiment replicates over seeds
+    ``seed .. seed+seeds-1`` and reports mean ± 95% CI per cell.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        )
+    if seeds <= 1:
+        return EXPERIMENTS[experiment_id](quick, seed)
+    from repro.experiments.replication import replicate
+
+    def one_run(seed):
+        return EXPERIMENTS[experiment_id](quick, seed)
+
+    return replicate(one_run, range(seed, seed + seeds))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller file sizes / fewer rounds for a fast smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="replicate over this many seeds and report mean ± 95%% CI",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the results to this text file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    requested = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    sections = []
+    for experiment_id in requested:
+        result = run_experiment(
+            experiment_id, quick=args.quick, seed=args.seed,
+            seeds=args.seeds,
+        )
+        text = result.to_text()
+        print(text)
+        print()
+        sections.append(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""GRAM: Grid Resource Allocation and Management.
+
+The paper describes the Globus Toolkit as three pillars — Resource
+Management (GRAM), Information Services (MDS) and Data Management
+(GridFTP) — all sharing GSI.  The other two pillars are elsewhere in
+this library; this package is the third: job submission and execution
+management.
+
+A :class:`JobManager` runs on each host, schedules submitted jobs onto
+the host's CPU cores (FIFO, like the default "fork" scheduler backed by
+a queue), and drives the standard GRAM state machine::
+
+    UNSUBMITTED -> PENDING -> ACTIVE -> DONE
+                                   \\-> FAILED
+    (any non-terminal state) -> CANCELED
+
+Running jobs genuinely occupy CPU cores, so they lower the host's
+CPU-idle observable — the very signal the paper's cost model reads
+through MDS.  That closes the loop: compute load submitted through GRAM
+steers replica selection away from busy sites.
+"""
+
+from repro.gram.client import GramClient
+from repro.gram.job import Job, JobState
+from repro.gram.manager import JobManager
+
+__all__ = ["GramClient", "Job", "JobManager", "JobState"]

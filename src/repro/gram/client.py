@@ -1,0 +1,59 @@
+"""The GRAM client: remote job submission over GSI.
+
+Submitting to a remote job manager costs a GSI handshake plus a round
+trip for the RSL request, matching ``globusrun`` against a gatekeeper.
+"""
+
+from repro.gram.manager import JobManager
+from repro.gridftp.gsi import GSIConfig, gsi_handshake
+
+__all__ = ["GramClient"]
+
+
+class GramClient:
+    """Submits jobs from one host to remote job managers."""
+
+    def __init__(self, grid, host_name, gsi=None):
+        self.grid = grid
+        self.host_name = host_name
+        self.gsi = gsi or GSIConfig()
+        #: (job, target_host) submission log.
+        self.submissions = []
+
+    def __repr__(self):
+        return f"<GramClient on {self.host_name}>"
+
+    def submit(self, target_host, job):
+        """Submit ``job`` to ``target_host``; a generator returning it.
+
+        Charges GSI authentication to the gatekeeper plus one round
+        trip for the request/acknowledgement.
+        """
+        manager = self.grid.service(target_host, JobManager.service_name)
+        yield from gsi_handshake(
+            self.grid, self.host_name, target_host, self.gsi
+        )
+        if target_host != self.host_name:
+            yield self.grid.sim.timeout(
+                self.grid.path(self.host_name, target_host).rtt
+            )
+        manager.submit(job)
+        self.submissions.append((job, target_host))
+        return job
+
+    def wait(self, job):
+        """Block until the job reaches a terminal state; returns it."""
+        if job.is_terminal:
+            return job
+        result = yield job.terminal_event
+        return result
+
+    def cancel(self, target_host, job):
+        """Cancel a job on a remote manager (one round trip)."""
+        manager = self.grid.service(target_host, JobManager.service_name)
+        if target_host != self.host_name:
+            yield self.grid.sim.timeout(
+                self.grid.path(self.host_name, target_host).rtt
+            )
+        manager.cancel(job)
+        return job

@@ -1,0 +1,91 @@
+"""GRAM jobs and their state machine."""
+
+import itertools
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState:
+    """The GRAM job states (GRAM2 protocol constants)."""
+
+    UNSUBMITTED = "unsubmitted"
+    PENDING = "pending"
+    ACTIVE = "active"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELED = "canceled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELED})
+
+    #: Legal transitions of the state machine.
+    TRANSITIONS = {
+        UNSUBMITTED: {PENDING, CANCELED},
+        PENDING: {ACTIVE, CANCELED, FAILED},
+        ACTIVE: {DONE, FAILED, CANCELED},
+        DONE: set(),
+        FAILED: set(),
+        CANCELED: set(),
+    }
+
+
+class Job:
+    """One GRAM job: a CPU burst on some cores of one host.
+
+    Parameters
+    ----------
+    cpu_seconds:
+        Core-seconds of work (e.g. 120.0 = one core for two minutes).
+    cores:
+        Cores the job occupies while active; its wall-clock duration is
+        ``cpu_seconds / cores``.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, cpu_seconds, cores=1, label=None):
+        if cpu_seconds <= 0:
+            raise ValueError("cpu_seconds must be positive")
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.id = next(Job._ids)
+        self.cpu_seconds = float(cpu_seconds)
+        self.cores = int(cores)
+        self.label = label or f"job-{self.id}"
+        self.state = JobState.UNSUBMITTED
+        self.submitted_at = None
+        self.started_at = None
+        self.finished_at = None
+        #: Callbacks invoked as fn(job, new_state) on every transition —
+        #: GRAM's job-state callback contract.
+        self.callbacks = []
+
+    def __repr__(self):
+        return f"<Job #{self.id} {self.label!r} {self.state}>"
+
+    @property
+    def wall_seconds(self):
+        """Execution time once running."""
+        return self.cpu_seconds / self.cores
+
+    @property
+    def is_terminal(self):
+        return self.state in JobState.TERMINAL
+
+    @property
+    def queue_seconds(self):
+        """Time spent PENDING (None until it has run)."""
+        if self.started_at is None or self.submitted_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def transition(self, new_state):
+        """Move to ``new_state``, enforcing the GRAM state machine."""
+        allowed = JobState.TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ValueError(
+                f"illegal transition {self.state} -> {new_state} "
+                f"for {self!r}"
+            )
+        self.state = new_state
+        for callback in list(self.callbacks):
+            callback(self, new_state)

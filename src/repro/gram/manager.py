@@ -1,0 +1,129 @@
+"""The per-host GRAM job manager.
+
+A FIFO, space-shared scheduler (the default fork job manager backed by
+a queue): the head-of-queue job starts as soon as enough free cores
+exist.  Running jobs occupy real cores on the host's CPU model, so MDS
+and the cost model see the load.
+"""
+
+from collections import deque
+
+from repro.gram.job import JobState
+from repro.sim import Interrupt
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """GRAM job manager attached to one grid host."""
+
+    service_name = "gram"
+
+    def __init__(self, grid, host_name, notify=None):
+        self.grid = grid
+        self.host = grid.host(host_name)
+        #: Called on every occupancy change (normally
+        #: ``grid.network.rebalance`` so transfer rates react).
+        self.notify = notify
+        self._queue = deque()
+        self._running = {}
+        self._runners = {}
+        #: All jobs ever submitted, in order.
+        self.jobs = []
+        grid.register_service(host_name, self.service_name, self)
+
+    def __repr__(self):
+        return (
+            f"<JobManager on {self.host.name}: "
+            f"{len(self._running)} running, {len(self._queue)} queued>"
+        )
+
+    @property
+    def occupied_cores(self):
+        return sum(job.cores for job in self._running.values())
+
+    @property
+    def free_cores(self):
+        return self.host.cpu.cores - self.occupied_cores
+
+    @property
+    def queue_length(self):
+        return len(self._queue)
+
+    def running_jobs(self):
+        return list(self._running.values())
+
+    # -- submission / control -------------------------------------------------
+
+    def submit(self, job):
+        """Accept a job: PENDING, then scheduled FIFO."""
+        if job.cores > self.host.cpu.cores:
+            raise ValueError(
+                f"{job!r} needs {job.cores} cores; "
+                f"{self.host.name} has {self.host.cpu.cores}"
+            )
+        job.submitted_at = self.grid.sim.now
+        job.terminal_event = self.grid.sim.event()
+        job.transition(JobState.PENDING)
+        self.jobs.append(job)
+        self._queue.append(job)
+        self._schedule()
+        return job
+
+    def cancel(self, job):
+        """Cancel a pending or running job."""
+        if job.is_terminal:
+            return
+        if job in self._queue:
+            self._queue.remove(job)
+            self._finish(job, JobState.CANCELED)
+            return
+        if job.id in self._running:
+            runner = self._runners.pop(job.id)
+            runner.interrupt(cause="canceled")
+            return
+        # Unsubmitted job: just mark it.
+        job.transition(JobState.CANCELED)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _schedule(self):
+        started = False
+        while self._queue and self._queue[0].cores <= self.free_cores:
+            job = self._queue.popleft()
+            self._running[job.id] = job
+            job.started_at = self.grid.sim.now
+            job.transition(JobState.ACTIVE)
+            self._runners[job.id] = self.grid.sim.process(
+                self._run_job(job)
+            )
+            started = True
+        if started:
+            self._apply_occupancy()
+
+    def _run_job(self, job):
+        try:
+            yield self.grid.sim.timeout(job.wall_seconds)
+        except Interrupt:
+            self._running.pop(job.id, None)
+            self._runners.pop(job.id, None)
+            self._finish(job, JobState.CANCELED)
+            self._apply_occupancy()
+            self._schedule()
+            return
+        self._running.pop(job.id, None)
+        self._runners.pop(job.id, None)
+        self._finish(job, JobState.DONE)
+        self._apply_occupancy()
+        self._schedule()
+
+    def _finish(self, job, state):
+        job.finished_at = self.grid.sim.now
+        job.transition(state)
+        if getattr(job, "terminal_event", None) is not None:
+            job.terminal_event.succeed(job)
+
+    def _apply_occupancy(self):
+        self.host.cpu.set_gram_busy(self.occupied_cores)
+        if self.notify is not None:
+            self.notify()

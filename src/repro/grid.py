@@ -1,0 +1,99 @@
+"""The DataGrid container: one object wiring the whole simulated testbed.
+
+A :class:`DataGrid` owns the simulator, the network topology, the flow
+network, and the set of :class:`Host` machines.  Services (FTP/GridFTP
+servers, replica catalog, NWS, MDS, the replica selection server) attach
+to it.  Experiments build a grid, attach services, and run processes.
+"""
+
+from repro.hosts import Host
+from repro.network import FlowNetwork, Router, TCPModel, Topology
+from repro.sim import Simulator
+
+__all__ = ["DataGrid"]
+
+
+class DataGrid:
+    """A simulated Data Grid: machines, network, and attached services."""
+
+    def __init__(self, sim=None, seed=0):
+        self.sim = sim or Simulator(seed=seed)
+        self.topology = Topology()
+        self.router = Router(self.topology)
+        self.network = FlowNetwork(self.sim, self.topology, self.router)
+        self.tcp_model = TCPModel()
+        self.hosts = {}
+        #: Attached services, keyed by (host_name, service_name).
+        self.services = {}
+
+    def __repr__(self):
+        return (
+            f"<DataGrid {len(self.hosts)} hosts, "
+            f"{len(self.topology.links())} links>"
+        )
+
+    # -- construction -----------------------------------------------------
+
+    def add_host(self, name, site, **host_kwargs):
+        """Add a machine: a topology node plus a :class:`Host` model."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        self.topology.add_node(name, site=site)
+        host = Host(self.sim, name, site, **host_kwargs)
+        self.hosts[name] = host
+        return host
+
+    def add_router(self, name, site=None):
+        """Add a pure forwarding node (switch / backbone router)."""
+        return self.topology.add_node(name, site=site, is_router=True)
+
+    def connect(self, a, b, capacity, latency=0.0, loss_rate=0.0):
+        """Full-duplex link between two nodes."""
+        return self.topology.add_duplex_link(
+            a, b, capacity, latency=latency, loss_rate=loss_rate
+        )
+
+    # -- lookup -------------------------------------------------------------
+
+    def host(self, name):
+        """The :class:`Host` for ``name`` (KeyError if absent)."""
+        return self.hosts[name]
+
+    def host_names(self):
+        return sorted(self.hosts)
+
+    def site_hosts(self, site):
+        """Hosts belonging to a site, sorted by name."""
+        return sorted(
+            (h for h in self.hosts.values() if h.site == site),
+            key=lambda h: h.name,
+        )
+
+    def path(self, src, dst):
+        """Routed network path between two hosts."""
+        return self.router.path(src, dst)
+
+    # -- services ---------------------------------------------------------------
+
+    def register_service(self, host_name, service_name, service):
+        """Attach a service instance to a host."""
+        if host_name not in self.hosts:
+            raise KeyError(f"unknown host {host_name!r}")
+        key = (host_name, service_name)
+        if key in self.services:
+            raise ValueError(
+                f"service {service_name!r} already registered on {host_name}"
+            )
+        self.services[key] = service
+        return service
+
+    def service(self, host_name, service_name):
+        """Look up a service (KeyError if absent)."""
+        return self.services[(host_name, service_name)]
+
+    def has_service(self, host_name, service_name):
+        return (host_name, service_name) in self.services
+
+    def run(self, until=None):
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)

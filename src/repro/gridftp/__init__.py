@@ -1,0 +1,70 @@
+"""Simulated data-transfer protocols: plain FTP and GridFTP.
+
+GridFTP (Allcock et al. 2002) extends FTP with the features Data Grids
+need; the ones the paper exercises are all modelled here:
+
+* **GSI security** on the control channel (handshake latency + crypto CPU
+  time) — :mod:`repro.gridftp.gsi`;
+* **stream mode vs extended block mode (MODE E)** framing —
+  :mod:`repro.gridftp.modes`;
+* **parallel data transfer** (``-p N``, Fig. 4) — multiple TCP streams
+  per transfer, each a separate flow with its own TCP cap;
+* **partial file transfer** (offset + length);
+* **third-party transfer** (client steers data between two servers);
+* **striped transfer** (future-work feature: stripes pulled from several
+  source hosts at once) — :mod:`repro.gridftp.striped`.
+
+High-level use mirrors ``globus-url-copy`` — see
+:func:`repro.gridftp.url_copy.globus_url_copy`.
+"""
+
+from repro.gridftp.coallocation import (
+    CoallocationResult,
+    brute_force_coallocation_get,
+    conservative_coallocation_get,
+)
+from repro.gridftp.control import ControlChannel
+from repro.gridftp.errors import (
+    AuthenticationError,
+    RemoteFileNotFoundError,
+    TransferError,
+)
+from repro.gridftp.ftp import FtpClient, FtpServer
+from repro.gridftp.gridftp import GridFtpClient, GridFtpServer
+from repro.gridftp.faults import TransferFault, TransferFaultInjector
+from repro.gridftp.gsi import GSIConfig
+from repro.gridftp.modes import ExtendedBlockMode, StreamMode
+from repro.gridftp.record import TransferRecord
+from repro.gridftp.reliable import (
+    ReliableFileTransfer,
+    ReliableTransferResult,
+    TooManyAttemptsError,
+)
+from repro.gridftp.striped import striped_get
+from repro.gridftp.url_copy import GridUrl, globus_url_copy
+
+__all__ = [
+    "AuthenticationError",
+    "CoallocationResult",
+    "ControlChannel",
+    "brute_force_coallocation_get",
+    "conservative_coallocation_get",
+    "ExtendedBlockMode",
+    "FtpClient",
+    "FtpServer",
+    "GSIConfig",
+    "GridFtpClient",
+    "GridFtpServer",
+    "GridUrl",
+    "ReliableFileTransfer",
+    "ReliableTransferResult",
+    "RemoteFileNotFoundError",
+    "StreamMode",
+    "TooManyAttemptsError",
+    "TransferError",
+    "TransferFault",
+    "TransferFaultInjector",
+    "TransferRecord",
+    "globus_url_copy",
+    "striped_get",
+]

@@ -1,0 +1,75 @@
+"""Control-channel model.
+
+FTP and GridFTP both run a command/reply dialogue over a TCP control
+connection before (and during) data movement.  At flow granularity the
+dialogue costs round trips plus per-command server processing time, so
+the control channel is modelled as a generator-friendly object that
+charges the right amount of simulated time per exchange.
+"""
+
+__all__ = ["ControlChannel"]
+
+#: Server-side processing time per command, seconds (directory lookups,
+#: reply formatting) on the reference CPU.
+_COMMAND_PROCESSING = 0.002
+
+
+class ControlChannel:
+    """An established control connection between client and server hosts.
+
+    Obtain one via :meth:`open`; each :meth:`exchange` charges one round
+    trip per command plus processing.
+    """
+
+    def __init__(self, grid, client_name, server_name):
+        self.grid = grid
+        self.client_name = client_name
+        self.server_name = server_name
+        self.path = grid.path(client_name, server_name)
+        #: Count of command/reply exchanges performed (diagnostics).
+        self.commands_sent = 0
+
+    def __repr__(self):
+        return (
+            f"<ControlChannel {self.client_name} -> {self.server_name}>"
+        )
+
+    @property
+    def rtt(self):
+        return self.path.rtt
+
+    @classmethod
+    def open(cls, grid, client_name, server_name):
+        """Connect: a generator charging the TCP handshake, then the channel.
+
+        Usage from a process::
+
+            channel = yield from ControlChannel.open(grid, "c", "s")
+        """
+        channel = cls(grid, client_name, server_name)
+        yield grid.sim.timeout(
+            grid.tcp_model.connection_setup_time(channel.path)
+        )
+        return channel
+
+    def exchange(self, n_commands=1):
+        """Perform ``n_commands`` command/reply round trips.
+
+        A generator: ``yield from channel.exchange(4)``.  Processing time
+        scales with the server's current CPU availability, so a loaded
+        server answers commands slower.
+        """
+        if n_commands < 0:
+            raise ValueError("n_commands must be non-negative")
+        server = self.grid.host(self.server_name)
+        # A fully loaded server processes commands at ~1/10 speed.
+        slowdown = 1.0 + 9.0 * (1.0 - server.cpu.idle_fraction)
+        cost = n_commands * (
+            self.rtt + _COMMAND_PROCESSING * slowdown
+        )
+        self.commands_sent += n_commands
+        yield self.grid.sim.timeout(cost)
+
+    def close(self):
+        """Tear down: a generator charging half a round trip (FIN)."""
+        yield self.grid.sim.timeout(0.5 * self.rtt)

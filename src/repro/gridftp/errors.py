@@ -1,0 +1,21 @@
+"""Errors raised by the transfer protocols."""
+
+
+class TransferError(Exception):
+    """Base class for protocol-level transfer failures."""
+
+
+class AuthenticationError(TransferError):
+    """GSI or FTP login failed."""
+
+
+class RemoteFileNotFoundError(TransferError):
+    """The server does not hold the requested file."""
+
+
+class InvalidRangeError(TransferError):
+    """A partial-transfer range falls outside the file."""
+
+
+class ServerBusyError(TransferError):
+    """The server refused a connection (connection limit reached)."""

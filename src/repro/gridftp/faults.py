@@ -1,0 +1,61 @@
+"""Fault injection for transfers.
+
+2005-era WAN transfers failed constantly — dropped control connections,
+flapping links, rebooted servers — which is why GridFTP has restart
+markers and the Globus Reliable File Transfer service exists.  The
+injector arms a one-shot fault against a running transfer process: after
+an exponentially distributed delay the process is interrupted with a
+:class:`TransferFault` cause.
+"""
+
+from repro.sim import Interrupt
+
+__all__ = ["TransferFault", "TransferFaultInjector"]
+
+
+class TransferFault(Exception):
+    """Cause attached to an injected transfer interruption."""
+
+    def __init__(self, description):
+        super().__init__(description)
+        self.description = description
+
+
+class TransferFaultInjector:
+    """Interrupts guarded processes after random delays."""
+
+    def __init__(self, grid, mean_time_between_faults, stream=None,
+                 fault_description="connection dropped"):
+        if mean_time_between_faults <= 0:
+            raise ValueError("mean_time_between_faults must be positive")
+        self.grid = grid
+        self.mtbf = float(mean_time_between_faults)
+        self.stream = stream or grid.sim.streams.get("faults/transfers")
+        self.fault_description = fault_description
+        #: Number of faults actually delivered.
+        self.faults_injected = 0
+
+    def __repr__(self):
+        return (
+            f"<TransferFaultInjector mtbf={self.mtbf:g}s "
+            f"injected={self.faults_injected}>"
+        )
+
+    def guard(self, process):
+        """Arm one fault against ``process``.
+
+        Returns the watchdog process.  If the guarded process outlives
+        the fault delay it is interrupted; if it finishes first nothing
+        happens.
+        """
+        delay = self.stream.expovariate(1.0 / self.mtbf)
+
+        def watchdog():
+            yield self.grid.sim.timeout(delay)
+            if process.is_alive:
+                process.interrupt(
+                    cause=TransferFault(self.fault_description)
+                )
+                self.faults_injected += 1
+
+        return self.grid.sim.process(watchdog())

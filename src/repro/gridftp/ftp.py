@@ -1,0 +1,143 @@
+"""Plain FTP: the Fig. 3 baseline.
+
+A wu-ftpd-style server speaking stream mode over a single TCP data
+connection, with a USER/PASS login and the classic TYPE/SIZE/PASV/RETR
+command sequence per retrieval.
+"""
+
+from repro.gridftp.control import ControlChannel
+from repro.gridftp.datachannel import run_data_transfer
+from repro.gridftp.errors import RemoteFileNotFoundError
+from repro.gridftp.modes import StreamMode
+from repro.gridftp.record import TransferRecord
+from repro.sim import Resource
+
+__all__ = ["FtpClient", "FtpServer"]
+
+
+class FtpServer:
+    """An FTP daemon serving its host's filesystem."""
+
+    service_name = "ftp"
+    protocol = "ftp"
+
+    def __init__(self, grid, host_name, max_connections=64):
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.grid = grid
+        self.host_name = host_name
+        self.host = grid.host(host_name)
+        self.connections = Resource(grid.sim, max_connections)
+        #: Completed transfer records served by this server.
+        self.served = []
+        grid.register_service(host_name, self.service_name, self)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} on {self.host_name}>"
+
+    def has_file(self, name):
+        return name in self.host.filesystem
+
+    def size_of(self, name):
+        if not self.has_file(name):
+            raise RemoteFileNotFoundError(
+                f"{self.host_name}: no such file {name!r}"
+            )
+        return self.host.filesystem.size_of(name)
+
+    #: Command/reply round trips for login (USER, PASS).
+    login_commands = 2
+    #: Round trips to set up one retrieval (TYPE, SIZE, PASV, RETR).
+    retrieve_commands = 4
+
+
+class FtpClient:
+    """An FTP client running on one grid host."""
+
+    protocol = "ftp"
+    server_service = FtpServer.service_name
+
+    def __init__(self, grid, host_name):
+        self.grid = grid
+        self.host_name = host_name
+        self.host = grid.host(host_name)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} on {self.host_name}>"
+
+    def get(self, server_name, remote_name, local_name=None):
+        """Retrieve a file; a generator returning a :class:`TransferRecord`.
+
+        Usage from a simulation process::
+
+            record = yield from client.get("gridhit3", "file-a")
+        """
+        local_name = local_name or remote_name
+        server = self.grid.service(server_name, self.server_service)
+        sim = self.grid.sim
+        started_at = sim.now
+
+        with server.connections.request() as slot:
+            yield slot
+            channel = yield from ControlChannel.open(
+                self.grid, self.host_name, server_name
+            )
+            control_start = sim.now
+            yield from channel.exchange(server.login_commands)
+            auth_seconds = yield from self._authenticate(channel, server)
+            yield from channel.exchange(server.retrieve_commands)
+            payload = server.size_of(remote_name)
+            control_seconds = sim.now - control_start - auth_seconds
+
+            result = yield from self._move_data(
+                server_name, payload, remote_name
+            )
+
+            yield from channel.close()
+
+        self._store_local(local_name, payload)
+        record = TransferRecord(
+            protocol=self.protocol,
+            source=server_name,
+            destination=self.host_name,
+            filename=remote_name,
+            payload_bytes=payload,
+            wire_bytes=result.wire_bytes,
+            streams=self._streams(),
+            mode_name=self._mode().name,
+            started_at=started_at,
+            auth_seconds=auth_seconds,
+            control_seconds=control_seconds,
+            startup_seconds=result.startup_seconds,
+            data_seconds=result.data_seconds,
+            finished_at=sim.now,
+        )
+        server.served.append(record)
+        return record
+
+    # -- protocol hooks overridden by GridFTP ------------------------------
+
+    def _authenticate(self, channel, server):
+        """Plain FTP: the USER/PASS exchange already counted as control."""
+        return 0.0
+        yield  # pragma: no cover - makes this a generator
+
+    def _mode(self):
+        return StreamMode()
+
+    def _streams(self):
+        return 1
+
+    def _move_data(self, server_name, payload, remote_name):
+        result = yield from run_data_transfer(
+            self.grid, server_name, self.host_name, payload,
+            mode=self._mode(), streams=self._streams(),
+            label=f"{self.protocol}:{remote_name}",
+        )
+        return result
+
+    def _store_local(self, local_name, payload):
+        fs = self.host.filesystem
+        if local_name in fs:
+            fs.delete(local_name)
+        fs.create(local_name, payload)

@@ -1,0 +1,62 @@
+"""Grid Security Infrastructure (GSI) handshake model.
+
+Every GridFTP session authenticates with GSI before any command runs:
+an SSL/TLS-style certificate exchange (several round trips) plus
+public-key cryptography on both ends.  On 2005 hardware the crypto is a
+visible fixed cost — the reason GridFTP lags plain FTP on small files in
+Fig. 3 — so it is modelled explicitly: a latency part (round trips) and
+a CPU part scaled by each endpoint's clock speed and current load.
+"""
+
+__all__ = ["GSIConfig", "gsi_handshake"]
+
+#: Reference cost of the public-key operations on a 2 GHz core, seconds.
+_REFERENCE_CRYPTO_SECONDS = 0.35
+_REFERENCE_GHZ = 2.0
+
+
+class GSIConfig:
+    """Tunables of the GSI handshake model."""
+
+    def __init__(self, round_trips=4, crypto_seconds=_REFERENCE_CRYPTO_SECONDS,
+                 enabled=True):
+        if round_trips < 0:
+            raise ValueError("round_trips must be non-negative")
+        if crypto_seconds < 0:
+            raise ValueError("crypto_seconds must be non-negative")
+        self.round_trips = int(round_trips)
+        self.crypto_seconds = float(crypto_seconds)
+        self.enabled = bool(enabled)
+
+    def __repr__(self):
+        return (
+            f"<GSIConfig rtts={self.round_trips} "
+            f"crypto={self.crypto_seconds:.3f}s "
+            f"{'on' if self.enabled else 'off'}>"
+        )
+
+
+def _crypto_time(host, config):
+    """Crypto cost on one endpoint: scaled by clock and current load."""
+    scale = _REFERENCE_GHZ / host.cpu.frequency_ghz
+    # A busy CPU timeslices the handshake.
+    slowdown = 1.0 + 4.0 * (1.0 - host.cpu.idle_fraction)
+    return config.crypto_seconds * scale * slowdown
+
+
+def gsi_handshake(grid, client_name, server_name, config=None):
+    """Perform mutual GSI authentication; returns the elapsed seconds.
+
+    A generator: ``elapsed = yield from gsi_handshake(...)``.
+    """
+    config = config or GSIConfig()
+    if not config.enabled:
+        return 0.0
+    start = grid.sim.now
+    path = grid.path(client_name, server_name)
+    latency_cost = config.round_trips * path.rtt
+    crypto_cost = _crypto_time(grid.host(client_name), config) + _crypto_time(
+        grid.host(server_name), config
+    )
+    yield grid.sim.timeout(latency_cost + crypto_cost)
+    return grid.sim.now - start

@@ -1,0 +1,76 @@
+"""Data-channel wire modes.
+
+GridFTP defines multiple data-channel wire protocols ("MODEs"):
+
+* **Stream mode** — bytes flow in order over a single TCP connection;
+  the only mode plain FTP servers implement, and GridFTP's default for
+  compatibility.
+* **Extended block mode (MODE E)** — data travels in blocks, each
+  prefixed by an 8-bit flag field, a 64-bit offset and a 64-bit length
+  (17 header bytes).  Because every block is self-describing, blocks may
+  arrive out of order — which is what makes multiple parallel TCP
+  channels possible.  ``globus-url-copy`` switches to MODE E
+  automatically whenever parallelism is requested.
+
+A mode answers two questions for the transfer engine: how many bytes hit
+the wire for a given payload, and how much per-block CPU framing costs.
+"""
+
+__all__ = ["ExtendedBlockMode", "StreamMode", "MODE_E_HEADER_BYTES"]
+
+#: MODE E block header: 8 flag bits + 64-bit offset + 64-bit length.
+MODE_E_HEADER_BYTES = 17
+
+#: CPU time to frame/deframe one MODE E block on the reference core.
+_BLOCK_CPU_SECONDS = 2e-5
+
+
+class StreamMode:
+    """In-order byte stream over exactly one TCP connection."""
+
+    name = "stream"
+    max_streams = 1
+
+    def __repr__(self):
+        return "<StreamMode>"
+
+    def wire_bytes(self, payload_bytes):
+        """Stream mode adds no framing beyond TCP itself."""
+        return float(payload_bytes)
+
+    def framing_cpu_seconds(self, payload_bytes):
+        return 0.0
+
+
+class ExtendedBlockMode:
+    """MODE E: self-describing blocks, out-of-order arrival allowed."""
+
+    name = "extended-block"
+    max_streams = None  # unbounded
+
+    def __init__(self, block_size=64 * 1024):
+        if block_size <= MODE_E_HEADER_BYTES:
+            raise ValueError(
+                f"block_size must exceed the header ({MODE_E_HEADER_BYTES}B)"
+            )
+        self.block_size = float(block_size)
+
+    def __repr__(self):
+        return f"<ExtendedBlockMode block={self.block_size / 1024:.0f}KiB>"
+
+    def blocks_for(self, payload_bytes):
+        """Number of blocks needed for ``payload_bytes`` of data."""
+        if payload_bytes <= 0:
+            return 0
+        full, rem = divmod(payload_bytes, self.block_size)
+        return int(full) + (1 if rem else 0)
+
+    def wire_bytes(self, payload_bytes):
+        """Payload plus one 17-byte header per block."""
+        return float(payload_bytes) + (
+            MODE_E_HEADER_BYTES * self.blocks_for(payload_bytes)
+        )
+
+    def framing_cpu_seconds(self, payload_bytes):
+        """CPU time spent framing blocks (charged to the transfer)."""
+        return _BLOCK_CPU_SECONDS * self.blocks_for(payload_bytes)

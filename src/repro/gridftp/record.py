@@ -1,0 +1,83 @@
+"""Transfer bookkeeping.
+
+Every completed transfer yields a :class:`TransferRecord` describing
+what moved, how, and where the time went — the raw material of every
+figure in the paper's evaluation.
+"""
+
+__all__ = ["TransferRecord"]
+
+
+class TransferRecord:
+    """Timing and shape of one completed transfer."""
+
+    def __init__(self, protocol, source, destination, filename,
+                 payload_bytes, wire_bytes, streams, mode_name,
+                 started_at, auth_seconds, control_seconds,
+                 startup_seconds, data_seconds, finished_at):
+        self.protocol = protocol
+        self.source = source
+        self.destination = destination
+        self.filename = filename
+        self.payload_bytes = float(payload_bytes)
+        self.wire_bytes = float(wire_bytes)
+        self.streams = int(streams)
+        self.mode_name = mode_name
+        self.started_at = float(started_at)
+        self.auth_seconds = float(auth_seconds)
+        self.control_seconds = float(control_seconds)
+        self.startup_seconds = float(startup_seconds)
+        self.data_seconds = float(data_seconds)
+        self.finished_at = float(finished_at)
+
+    def __repr__(self):
+        return (
+            f"<TransferRecord {self.protocol} {self.source}->"
+            f"{self.destination} {self.filename!r} "
+            f"{self.payload_bytes / 2**20:.0f}MB in {self.elapsed:.2f}s>"
+        )
+
+    @property
+    def elapsed(self):
+        """Total wall-clock transfer time, seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def overhead_seconds(self):
+        """Non-data time: auth + control + data-channel startup."""
+        return self.auth_seconds + self.control_seconds + self.startup_seconds
+
+    @property
+    def throughput(self):
+        """Payload bytes per second of total elapsed time."""
+        if self.elapsed <= 0.0:
+            return float("inf")
+        return self.payload_bytes / self.elapsed
+
+    @property
+    def data_throughput(self):
+        """Payload bytes per second of pure data time."""
+        if self.data_seconds <= 0.0:
+            return float("inf")
+        return self.payload_bytes / self.data_seconds
+
+    def as_dict(self):
+        """Flat dict (for tabular reporting)."""
+        return {
+            "protocol": self.protocol,
+            "source": self.source,
+            "destination": self.destination,
+            "filename": self.filename,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "streams": self.streams,
+            "mode": self.mode_name,
+            "started_at": self.started_at,
+            "auth_seconds": self.auth_seconds,
+            "control_seconds": self.control_seconds,
+            "startup_seconds": self.startup_seconds,
+            "data_seconds": self.data_seconds,
+            "finished_at": self.finished_at,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+        }

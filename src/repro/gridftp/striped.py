@@ -1,0 +1,109 @@
+"""Striped data transfer (the paper's future-work item #1).
+
+In striped GridFTP a logical transfer is spread across *multiple source
+hosts*: each stripe server sends a disjoint slice of the file, so the
+aggregate rate can exceed any single server's disk or access link.  Here
+every listed source must hold a full replica; the client fetches an even
+slice from each in parallel (each slice may itself use parallel
+streams), then assembles the local file.
+"""
+
+from repro.gridftp.control import ControlChannel
+from repro.gridftp.datachannel import run_data_transfer
+from repro.gridftp.gsi import gsi_handshake
+from repro.gridftp.modes import ExtendedBlockMode
+from repro.gridftp.record import TransferRecord
+from repro.sim import AllOf
+
+__all__ = ["striped_get"]
+
+
+def striped_get(client, source_server_names, remote_name, local_name=None,
+                streams_per_stripe=1):
+    """Fetch ``remote_name`` striped across several servers.
+
+    A generator (run it with ``yield from``) returning a
+    :class:`TransferRecord`.  ``client`` is a
+    :class:`repro.gridftp.GridFtpClient`.
+    """
+    if not source_server_names:
+        raise ValueError("need at least one stripe source")
+    if streams_per_stripe < 1:
+        raise ValueError("streams_per_stripe must be >= 1")
+    local_name = local_name or remote_name
+    grid = client.grid
+    sim = grid.sim
+    mode = ExtendedBlockMode()
+    started_at = sim.now
+
+    servers = [
+        grid.service(name, client.server_service)
+        for name in source_server_names
+    ]
+    # Every stripe source must hold the file; sizes must agree.
+    sizes = {server.size_of(remote_name) for server in servers}
+    if len(sizes) != 1:
+        raise ValueError(
+            f"stripe sources disagree on the size of {remote_name!r}: "
+            f"{sorted(sizes)}"
+        )
+    payload = sizes.pop()
+    slice_bytes = payload / len(servers)
+
+    # Authenticate and set up control channels to all sources, serially
+    # from the client's point of view (one client process drives them).
+    auth_seconds = 0.0
+    control_start_total = 0.0
+    channels = []
+    for name, server in zip(source_server_names, servers):
+        channel = yield from ControlChannel.open(grid, client.host_name, name)
+        auth_seconds += yield from gsi_handshake(
+            grid, client.host_name, name, client.gsi
+        )
+        t0 = sim.now
+        yield from channel.exchange(
+            server.login_commands + server.retrieve_commands
+        )
+        control_start_total += sim.now - t0
+        channels.append(channel)
+
+    # All stripes move in parallel.
+    data_start = sim.now
+    stripe_processes = [
+        sim.process(
+            run_data_transfer(
+                grid, name, client.host_name, slice_bytes,
+                mode=mode, streams=streams_per_stripe,
+                label=f"stripe:{remote_name}@{name}",
+            )
+        )
+        for name in source_server_names
+    ]
+    results = yield AllOf(sim, stripe_processes)
+    data_seconds = sim.now - data_start
+
+    for channel in channels:
+        yield from channel.close()
+
+    client._store_local(local_name, payload)
+    wire_bytes = sum(r.wire_bytes for r in results.values())
+    startup_seconds = max(r.startup_seconds for r in results.values())
+    record = TransferRecord(
+        protocol="gridftp-striped",
+        source="+".join(source_server_names),
+        destination=client.host_name,
+        filename=remote_name,
+        payload_bytes=payload,
+        wire_bytes=wire_bytes,
+        streams=streams_per_stripe * len(servers),
+        mode_name=mode.name,
+        started_at=started_at,
+        auth_seconds=auth_seconds,
+        control_seconds=control_start_total,
+        startup_seconds=startup_seconds,
+        data_seconds=data_seconds,
+        finished_at=sim.now,
+    )
+    for server in servers:
+        server.served.append(record)
+    return record

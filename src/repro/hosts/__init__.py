@@ -1,0 +1,34 @@
+"""Simulated grid hosts: CPU, disk, filesystem and background load.
+
+A :class:`Host` bundles the machine-local resources a Data Grid node
+contributes: a multi-core :class:`CPU`, a :class:`Disk`, and a
+:class:`FileSystem` holding replica files.  CPU and disk expose
+*resource channels* — Link-like capacity constraints that transfers
+thread through the flow network, so a loaded CPU or busy disk slows
+transfers exactly the way the paper observes.
+
+Background load (other users' jobs on the 2005 clusters) is produced by
+:class:`CPULoadGenerator` and :class:`DiskLoadGenerator`, Markov-
+modulated processes that keep the CPU-idle% and I/O-idle% observables
+genuinely time-varying.
+"""
+
+from repro.hosts.cpu import CPU
+from repro.hosts.disk import Disk
+from repro.hosts.filesystem import FileExistsInStoreError, FileNotInStoreError, FileSystem, InsufficientSpaceError
+from repro.hosts.host import Host
+from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
+from repro.hosts.reslink import ResourceChannel
+
+__all__ = [
+    "CPU",
+    "CPULoadGenerator",
+    "Disk",
+    "DiskLoadGenerator",
+    "FileExistsInStoreError",
+    "FileNotInStoreError",
+    "FileSystem",
+    "Host",
+    "InsufficientSpaceError",
+    "ResourceChannel",
+]

@@ -1,0 +1,83 @@
+"""A minimal filesystem holding replica files.
+
+Only what the Data Grid needs: named files with sizes, a space budget
+tied to the disk's capacity, and the errors a storage service reports.
+Contents are not modelled — transfers move byte *counts*.
+"""
+
+__all__ = [
+    "FileExistsInStoreError",
+    "FileNotInStoreError",
+    "FileSystem",
+    "InsufficientSpaceError",
+]
+
+
+class FileNotInStoreError(KeyError):
+    """The requested file does not exist on this host."""
+
+
+class FileExistsInStoreError(ValueError):
+    """A file with that name already exists on this host."""
+
+
+class InsufficientSpaceError(RuntimeError):
+    """Not enough free space for the requested file."""
+
+
+class FileSystem:
+    """Files on one host's disk."""
+
+    def __init__(self, capacity_bytes):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self._files = {}
+
+    def __repr__(self):
+        return (
+            f"<FileSystem {len(self._files)} files, "
+            f"{self.used_bytes / 1e9:.2f}/{self.capacity_bytes / 1e9:.2f}GB>"
+        )
+
+    def __contains__(self, name):
+        return name in self._files
+
+    def __len__(self):
+        return len(self._files)
+
+    @property
+    def used_bytes(self):
+        return sum(self._files.values())
+
+    @property
+    def free_bytes(self):
+        return self.capacity_bytes - self.used_bytes
+
+    def create(self, name, size_bytes):
+        """Create a file; raises if it exists or does not fit."""
+        if size_bytes < 0:
+            raise ValueError(f"negative file size {size_bytes}")
+        if name in self._files:
+            raise FileExistsInStoreError(name)
+        if size_bytes > self.free_bytes:
+            raise InsufficientSpaceError(
+                f"{name}: need {size_bytes:.0f}B, have {self.free_bytes:.0f}B"
+            )
+        self._files[name] = float(size_bytes)
+
+    def delete(self, name):
+        """Delete a file; raises if absent."""
+        if name not in self._files:
+            raise FileNotInStoreError(name)
+        del self._files[name]
+
+    def size_of(self, name):
+        """Size of a file in bytes; raises if absent."""
+        if name not in self._files:
+            raise FileNotInStoreError(name)
+        return self._files[name]
+
+    def names(self):
+        """All file names, sorted."""
+        return sorted(self._files)

@@ -1,0 +1,71 @@
+"""The Host: a grid node bundling CPU, disk and filesystem.
+
+A host is where replicas live and where transfers terminate.  Its
+:meth:`transfer_source_links` / :meth:`transfer_sink_links` return the
+resource channels a data flow must thread through, coupling machine load
+into transfer rates.
+"""
+
+from repro.hosts.cpu import CPU
+from repro.hosts.disk import Disk
+from repro.hosts.filesystem import FileSystem
+from repro.network.tcp import TCPParameters
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One grid machine.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    name:
+        Network node name; must match a topology node.
+    site:
+        Cluster/site label (e.g. ``"THU"``).
+    cores, frequency_ghz:
+        CPU shape.
+    disk_bandwidth, disk_capacity:
+        Disk shape, bytes/s and bytes.
+    memory_bytes:
+        Installed RAM; reported by MDS, not a transfer constraint.
+    tcp:
+        :class:`TCPParameters` of the host's stack.
+    """
+
+    def __init__(self, sim, name, site, cores=1, frequency_ghz=2.0,
+                 disk_bandwidth=50e6, disk_capacity=60e9,
+                 memory_bytes=512 * 1024 * 1024, tcp=None):
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.memory_bytes = float(memory_bytes)
+        self.cpu = CPU(sim, name, cores=cores, frequency_ghz=frequency_ghz)
+        self.disk = Disk(sim, name, disk_bandwidth, disk_capacity)
+        self.filesystem = FileSystem(disk_capacity)
+        self.tcp = tcp or TCPParameters()
+
+    def __repr__(self):
+        return f"<Host {self.name} @ {self.site}>"
+
+    # -- observables the monitors read ---------------------------------------
+
+    @property
+    def cpu_idle_fraction(self):
+        return self.cpu.idle_fraction
+
+    @property
+    def io_idle_fraction(self):
+        return self.disk.io_idle_fraction
+
+    # -- flow coupling ---------------------------------------------------------
+
+    def transfer_source_links(self):
+        """Resource channels a flow reading from this host occupies."""
+        return [self.disk.channel, self.cpu.channel]
+
+    def transfer_sink_links(self):
+        """Resource channels a flow writing to this host occupies."""
+        return [self.disk.channel, self.cpu.channel]

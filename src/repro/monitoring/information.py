@@ -1,0 +1,139 @@
+"""The information server: one query point for the three cost factors.
+
+The paper's replica selection server "sends the possible destination
+locations to [an] information server, which provides the performance of
+measurements and predictions" of the three system factors.  This facade
+is that server: it answers
+
+* ``BW_P(i, j)`` from the NWS memory's forecasts (fraction of the path's
+  theoretical bandwidth currently attainable),
+* ``CPU_P(j)`` from MDS (GIIS query, TTL-cached),
+* ``IO_P(j)`` from a remote iostat invocation (one round trip).
+
+Query methods are generators so they charge simulated time where the
+real system would block on the network.
+"""
+
+from repro.monitoring.nws.series import series_key
+from repro.monitoring.sysstat.iostat import IoStat
+
+__all__ = ["InformationService", "SiteFactors"]
+
+
+class SiteFactors:
+    """The three cost-model inputs for one candidate replica site."""
+
+    __slots__ = ("source", "candidate", "bandwidth_fraction", "cpu_idle",
+                 "io_idle", "forecaster")
+
+    def __init__(self, source, candidate, bandwidth_fraction, cpu_idle,
+                 io_idle, forecaster=None):
+        self.source = source
+        self.candidate = candidate
+        self.bandwidth_fraction = float(bandwidth_fraction)
+        self.cpu_idle = float(cpu_idle)
+        self.io_idle = float(io_idle)
+        self.forecaster = forecaster
+
+    def __repr__(self):
+        return (
+            f"<SiteFactors {self.source}->{self.candidate} "
+            f"BW_P={self.bandwidth_fraction:.3f} "
+            f"CPU_P={self.cpu_idle:.3f} IO_P={self.io_idle:.3f}>"
+        )
+
+    def as_dict(self):
+        return {
+            "source": self.source,
+            "candidate": self.candidate,
+            "bandwidth_fraction": self.bandwidth_fraction,
+            "cpu_idle": self.cpu_idle,
+            "io_idle": self.io_idle,
+            "forecaster": self.forecaster,
+        }
+
+
+class InformationService:
+    """Aggregates NWS, MDS and sysstat for the selection server."""
+
+    service_name = "information"
+
+    def __init__(self, grid, host_name, nws_memory, giis):
+        self.grid = grid
+        self.host_name = host_name
+        self.nws_memory = nws_memory
+        self.giis = giis
+        self._iostats = {}
+        grid.register_service(host_name, self.service_name, self)
+
+    def __repr__(self):
+        return f"<InformationService on {self.host_name}>"
+
+    # -- individual factors ---------------------------------------------------
+
+    def bandwidth_forecast(self, src, dst):
+        """NWS forecast of attainable bandwidth src→dst, bytes/s.
+
+        Returns (value, forecaster_name).  Falls back to a live probe if
+        the NWS has no data for the pair yet (cold start).
+        """
+        key = series_key("bandwidth", src, dst)
+        forecast, name = self.nws_memory.forecast(key)
+        if forecast is None:
+            path = self.grid.path(src, dst)
+            cap = self.grid.tcp_model.stream_cap(path)
+            return (
+                self.grid.network.probe_rate(src, dst, cap=cap),
+                "live-probe",
+            )
+        return forecast, name
+
+    def bandwidth_fraction(self, src, dst):
+        """``BW_P``: forecast bandwidth over the path's theoretical best.
+
+        The paper defines BW_P as "the current bandwidth divided [by]
+        the highest theoretical bandwidth", so the denominator is the
+        narrowest *raw* link capacity on the route — not the TCP-capped
+        attainable rate.  Loopback paths score a full 1.0.
+        """
+        path = self.grid.path(src, dst)
+        if path.is_loopback:
+            return 1.0, "loopback"
+        forecast, name = self.bandwidth_forecast(src, dst)
+        best = path.raw_capacity
+        if best <= 0:
+            return 0.0, name
+        return min(1.0, max(0.0, forecast / best)), name
+
+    def cpu_idle(self, host_name):
+        """``CPU_P`` via MDS; a generator returning the idle fraction."""
+        entry = yield from self.giis.query(host_name)
+        return entry["cpu.idle_fraction"]
+
+    def io_idle(self, host_name):
+        """``IO_P`` via remote iostat; a generator (one round trip)."""
+        if host_name != self.host_name:
+            rtt = self.grid.path(self.host_name, host_name).rtt
+            yield self.grid.sim.timeout(rtt)
+        if host_name not in self._iostats:
+            self._iostats[host_name] = IoStat(self.grid.host(host_name))
+        return self._iostats[host_name].instantaneous_idle()
+
+    # -- aggregate query --------------------------------------------------------
+
+    def site_factors(self, client_name, candidate_name):
+        """All three factors for one candidate; a generator returning
+        :class:`SiteFactors`."""
+        bw_fraction, forecaster = self.bandwidth_fraction(
+            candidate_name, client_name
+        )
+        cpu = yield from self.cpu_idle(candidate_name)
+        io = yield from self.io_idle(candidate_name)
+        return SiteFactors(
+            source=client_name,
+            candidate=candidate_name,
+            bandwidth_fraction=bw_fraction,
+            cpu_idle=cpu,
+            io_idle=io,
+            forecaster=forecaster,
+        )

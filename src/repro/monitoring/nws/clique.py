@@ -1,0 +1,81 @@
+"""NWS cliques: token-scheduled bandwidth probing.
+
+If every bandwidth sensor probed on its own timer, probes between the
+same set of machines would collide and measure each other instead of
+the background conditions.  NWS solves this with *cliques*: the hosts
+of a clique pass a token, and only the token holder probes.  Here a
+:class:`Clique` owns a set of externally-driven
+:class:`BandwidthSensor` objects and fires them strictly one at a time,
+round-robin, with a configurable inter-probe gap.
+"""
+
+from repro.sim import Interrupt
+
+__all__ = ["Clique"]
+
+
+class Clique:
+    """Round-robin token scheduler over bandwidth sensors.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    name:
+        Clique name (for the nameserver / diagnostics).
+    sensors:
+        Sensors created with ``autostart=False``; the clique drives
+        their :meth:`measure_once`.
+    period:
+        Time for one full token rotation; each sensor therefore
+        measures every ``period`` seconds, and consecutive probes are
+        spaced ``period / len(sensors)`` apart — never concurrent.
+    """
+
+    def __init__(self, sim, name, sensors, period=60.0):
+        if not sensors:
+            raise ValueError("a clique needs at least one sensor")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        for sensor in sensors:
+            if sensor.process is not None:
+                raise ValueError(
+                    f"{sensor!r} runs its own timer; create clique "
+                    "members with autostart=False"
+                )
+        self.sim = sim
+        self.name = name
+        self.sensors = list(sensors)
+        self.period = float(period)
+        #: (time, sensor_name) probe log.
+        self.probe_log = []
+        self.rotations = 0
+        self.process = sim.process(self._run())
+
+    def __repr__(self):
+        return (
+            f"<Clique {self.name}: {len(self.sensors)} sensors, "
+            f"rotation every {self.period:g}s>"
+        )
+
+    @property
+    def gap(self):
+        """Spacing between consecutive probes."""
+        return self.period / len(self.sensors)
+
+    def _run(self):
+        try:
+            while True:
+                for sensor in self.sensors:
+                    sensor.measure_once()
+                    self.probe_log.append(
+                        (self.sim.now, sensor.sensor_name)
+                    )
+                    yield self.sim.timeout(self.gap)
+                self.rotations += 1
+        except Interrupt:
+            return
+
+    def stop(self):
+        if self.process.is_alive:
+            self.process.interrupt(cause="stopped")

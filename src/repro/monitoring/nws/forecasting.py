@@ -1,0 +1,199 @@
+"""NWS-style forecasting: a battery of predictors, adaptively selected.
+
+NWS's insight is that no single predictor wins on all resource series,
+so it runs many cheap ones in parallel and, for each series, reports the
+prediction of whichever has the lowest accumulated error so far.  The
+battery here mirrors the NWS set: last value, running mean, sliding
+means and medians of several window lengths, and exponential smoothing
+with several gains.
+"""
+
+import math
+import statistics
+
+__all__ = [
+    "ExponentialSmoothing",
+    "Forecaster",
+    "ForecasterBattery",
+    "LastValue",
+    "MedianWindow",
+    "RunningMean",
+    "SlidingWindowMean",
+    "default_battery",
+]
+
+
+class Forecaster:
+    """One-step-ahead predictor over a scalar series."""
+
+    name = "forecaster"
+
+    def update(self, value):
+        """Feed the next observation."""
+        raise NotImplementedError
+
+    def predict(self):
+        """Predict the next observation; None until warmed up."""
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    """Predicts the most recent observation."""
+
+    name = "last-value"
+
+    def __init__(self):
+        self._last = None
+
+    def update(self, value):
+        self._last = value
+
+    def predict(self):
+        return self._last
+
+
+class RunningMean(Forecaster):
+    """Predicts the mean of everything seen so far."""
+
+    name = "running-mean"
+
+    def __init__(self):
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value):
+        self._sum += value
+        self._count += 1
+
+    def predict(self):
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+
+class SlidingWindowMean(Forecaster):
+    """Predicts the mean of the last ``window`` observations."""
+
+    def __init__(self, window):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self.name = f"mean-{self.window}"
+        self._values = []
+
+    def update(self, value):
+        self._values.append(value)
+        if len(self._values) > self.window:
+            del self._values[0]
+
+    def predict(self):
+        if not self._values:
+            return None
+        return math.fsum(self._values) / len(self._values)
+
+
+class MedianWindow(Forecaster):
+    """Predicts the median of the last ``window`` observations."""
+
+    def __init__(self, window):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self.name = f"median-{self.window}"
+        self._values = []
+
+    def update(self, value):
+        self._values.append(value)
+        if len(self._values) > self.window:
+            del self._values[0]
+
+    def predict(self):
+        if not self._values:
+            return None
+        return statistics.median(self._values)
+
+
+class ExponentialSmoothing(Forecaster):
+    """Predicts an exponentially smoothed value with gain ``alpha``."""
+
+    def __init__(self, alpha):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.name = f"exp-{self.alpha:g}"
+        self._state = None
+
+    def update(self, value):
+        if self._state is None:
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1 - self.alpha) * self._state
+
+    def predict(self):
+        return self._state
+
+
+def default_battery():
+    """The predictor set NWS ships by default (modulo exact constants)."""
+    return [
+        LastValue(),
+        RunningMean(),
+        SlidingWindowMean(5),
+        SlidingWindowMean(21),
+        MedianWindow(5),
+        MedianWindow(21),
+        ExponentialSmoothing(0.1),
+        ExponentialSmoothing(0.3),
+        ExponentialSmoothing(0.7),
+    ]
+
+
+class ForecasterBattery:
+    """Runs every forecaster and reports the historically best one.
+
+    Before each update, every forecaster's pending prediction is scored
+    against the arriving truth (absolute error, accumulated as MAE);
+    :meth:`forecast` returns the prediction of the forecaster with the
+    lowest MAE so far.
+    """
+
+    def __init__(self, forecasters=None):
+        if forecasters is None:
+            forecasters = default_battery()
+        if not forecasters:
+            raise ValueError("need at least one forecaster")
+        self.forecasters = list(forecasters)
+        self._abs_error = {f.name: 0.0 for f in self.forecasters}
+        self._scored = {f.name: 0 for f in self.forecasters}
+        self.observations = 0
+
+    def __repr__(self):
+        return (
+            f"<ForecasterBattery {len(self.forecasters)} predictors, "
+            f"{self.observations} observations>"
+        )
+
+    def update(self, value):
+        """Score pending predictions against ``value``, then ingest it."""
+        for forecaster in self.forecasters:
+            pending = forecaster.predict()
+            if pending is not None:
+                self._abs_error[forecaster.name] += abs(pending - value)
+                self._scored[forecaster.name] += 1
+            forecaster.update(value)
+        self.observations += 1
+
+    def mae(self, name):
+        """Mean absolute error of one forecaster (inf until scored)."""
+        if self._scored[name] == 0:
+            return math.inf
+        return self._abs_error[name] / self._scored[name]
+
+    def best_name(self):
+        """Name of the forecaster with the lowest MAE (ties: battery order)."""
+        return min(self.forecasters, key=lambda f: self.mae(f.name)).name
+
+    def forecast(self):
+        """(prediction, forecaster_name); (None, name) until warmed up."""
+        best = min(self.forecasters, key=lambda f: self.mae(f.name))
+        return best.predict(), best.name

@@ -1,0 +1,62 @@
+"""nws_memory: persistent storage of measurements plus forecasting.
+
+Each stored series keeps a bounded :class:`SampleSeries` of raw readings
+and a :class:`ForecasterBattery` updated on every arrival, so forecasts
+are available instantly at query time (as in the real NWS, where the
+forecaster library runs inside the memory/API layer).
+"""
+
+from repro.monitoring.nws.forecasting import ForecasterBattery, default_battery
+from repro.timeseries import SampleSeries
+
+__all__ = ["NwsMemory"]
+
+
+class NwsMemory:
+    """Stores measurement series and answers forecast queries."""
+
+    def __init__(self, sim, name="memory", max_samples_per_series=1000,
+                 battery_factory=default_battery):
+        self.sim = sim
+        self.name = name
+        self.max_samples_per_series = max_samples_per_series
+        self._battery_factory = battery_factory
+        self._series = {}
+        self._batteries = {}
+
+    def __repr__(self):
+        return f"<NwsMemory {self.name} {len(self._series)} series>"
+
+    def store(self, measurement):
+        """Ingest one :class:`Measurement`."""
+        key = measurement.key
+        if key not in self._series:
+            self._series[key] = SampleSeries(
+                max_samples=self.max_samples_per_series
+            )
+            self._batteries[key] = ForecasterBattery(self._battery_factory())
+        self._series[key].append(measurement.time, measurement.value)
+        self._batteries[key].update(measurement.value)
+
+    def keys(self):
+        """All stored series keys."""
+        return sorted(self._series, key=str)
+
+    def has_series(self, key):
+        return key in self._series
+
+    def series(self, key):
+        """Raw :class:`SampleSeries` for a key (KeyError if absent)."""
+        return self._series[key]
+
+    def latest(self, key):
+        """Most recent (time, value) for a key, or None."""
+        if key not in self._series:
+            return None
+        return self._series[key].latest
+
+    def forecast(self, key):
+        """(prediction, forecaster_name) for a key, or (None, None)."""
+        if key not in self._batteries:
+            return None, None
+        return self._batteries[key].forecast()

@@ -1,0 +1,50 @@
+"""nws_nameserver: naming and discovery for sensors and memories."""
+
+__all__ = ["NameServer"]
+
+
+class NameServer:
+    """Registry mapping (kind, name) to NWS component objects.
+
+    Kinds follow the NWS process names: ``"sensor"`` and ``"memory"``.
+    """
+
+    KINDS = ("sensor", "memory")
+
+    def __init__(self):
+        self._registry = {kind: {} for kind in self.KINDS}
+
+    def __repr__(self):
+        counts = ", ".join(
+            f"{kind}s={len(self._registry[kind])}" for kind in self.KINDS
+        )
+        return f"<NameServer {counts}>"
+
+    def register(self, kind, name, component):
+        """Register a component; duplicate names are an error."""
+        self._check_kind(kind)
+        if name in self._registry[kind]:
+            raise ValueError(f"duplicate {kind} name {name!r}")
+        self._registry[kind][name] = component
+
+    def unregister(self, kind, name):
+        self._check_kind(kind)
+        if name not in self._registry[kind]:
+            raise KeyError(f"no {kind} named {name!r}")
+        del self._registry[kind][name]
+
+    def lookup(self, kind, name):
+        self._check_kind(kind)
+        if name not in self._registry[kind]:
+            raise KeyError(f"no {kind} named {name!r}")
+        return self._registry[kind][name]
+
+    def names(self, kind):
+        self._check_kind(kind)
+        return sorted(self._registry[kind])
+
+    def _check_kind(self, kind):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown kind {kind!r}; expected one of {self.KINDS}"
+            )

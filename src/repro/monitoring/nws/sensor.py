@@ -1,0 +1,188 @@
+"""nws_sensor: periodic measurement processes.
+
+Each sensor wakes at its period (with a phase jitter so fleets of
+sensors do not synchronise), takes a reading of its resource, perturbs
+it with measurement noise, and stores it in its configured memory.
+
+Bandwidth is measured the way NWS really does it: with a small TCP
+probe, so the reading reflects what a *new* connection would get through
+current cross-traffic and contending flows, capped by the probe's own
+TCP limits.
+"""
+
+from repro.monitoring.nws.series import Measurement, series_key
+from repro.sim import Interrupt
+
+__all__ = [
+    "BandwidthSensor",
+    "CpuSensor",
+    "FreeMemorySensor",
+    "LatencySensor",
+    "Sensor",
+]
+
+
+class Sensor:
+    """Base periodic sensor."""
+
+    resource = "abstract"
+
+    def __init__(self, sim, memory, source, target=None, period=10.0,
+                 noise=0.02, stream=None, nameserver=None,
+                 autostart=True):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.sim = sim
+        self.memory = memory
+        self.source = source
+        self.target = target
+        self.period = float(period)
+        self.noise = float(noise)
+        self.stream = stream or sim.streams.get(
+            f"nws/{self.resource}/{source}/{target}"
+        )
+        #: Number of measurements taken.
+        self.measurements_taken = 0
+        if nameserver is not None:
+            nameserver.register("sensor", self.sensor_name, self)
+        #: None when driven externally (e.g. by a Clique).
+        self.process = sim.process(self._run()) if autostart else None
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.sensor_name}>"
+
+    @property
+    def sensor_name(self):
+        if self.target is None:
+            return f"{self.resource}@{self.source}"
+        return f"{self.resource}@{self.source}->{self.target}"
+
+    @property
+    def key(self):
+        return series_key(self.resource, self.source, self.target)
+
+    def read(self):
+        """Take one noiseless reading (overridden per resource)."""
+        raise NotImplementedError
+
+    def _perturb(self, value):
+        if self.noise == 0.0:
+            return value
+        factor = self.stream.truncated_normal(
+            1.0, self.noise, 1.0 - 4 * self.noise, 1.0 + 4 * self.noise
+        )
+        return value * factor
+
+    def measure_once(self):
+        """Take and store one measurement immediately."""
+        value = self._perturb(self.read())
+        self.memory.store(
+            Measurement(
+                self.resource, self.source, self.target,
+                self.sim.now, value,
+            )
+        )
+        self.measurements_taken += 1
+        return value
+
+    def _run(self):
+        # Random phase so co-located sensors interleave.
+        yield self.sim.timeout(self.stream.uniform(0.0, self.period))
+        try:
+            while True:
+                self.measure_once()
+                yield self.sim.timeout(self.period)
+        except Interrupt:
+            return
+
+    def stop(self):
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(cause="stopped")
+
+
+class BandwidthSensor(Sensor):
+    """End-to-end attainable TCP bandwidth from ``source`` to ``target``.
+
+    Reads what a single fresh TCP probe stream would achieve: the
+    path's max-min fair share under current traffic, capped by the TCP
+    window/loss limits.
+    """
+
+    resource = "bandwidth"
+
+    def __init__(self, sim, memory, grid, source, target, period=10.0,
+                 noise=0.05, stream=None, nameserver=None,
+                 autostart=True):
+        self.grid = grid
+        super().__init__(
+            sim, memory, source, target, period=period, noise=noise,
+            stream=stream, nameserver=nameserver, autostart=autostart,
+        )
+
+    def read(self):
+        path = self.grid.path(self.source, self.target)
+        cap = self.grid.tcp_model.stream_cap(path)
+        return self.grid.network.probe_rate(self.source, self.target, cap=cap)
+
+
+class LatencySensor(Sensor):
+    """Round-trip latency from ``source`` to ``target``."""
+
+    resource = "latency"
+
+    def __init__(self, sim, memory, grid, source, target, period=10.0,
+                 noise=0.02, stream=None, nameserver=None):
+        self.grid = grid
+        super().__init__(
+            sim, memory, source, target, period=period, noise=noise,
+            stream=stream, nameserver=nameserver,
+        )
+
+    def read(self):
+        return self.grid.path(self.source, self.target).rtt
+
+
+class CpuSensor(Sensor):
+    """Available CPU fraction on one host."""
+
+    resource = "cpu"
+
+    def __init__(self, sim, memory, host, period=10.0, noise=0.02,
+                 stream=None, nameserver=None):
+        self.host = host
+        super().__init__(
+            sim, memory, host.name, None, period=period, noise=noise,
+            stream=stream, nameserver=nameserver,
+        )
+
+    def read(self):
+        return self.host.cpu.idle_fraction
+
+    def _perturb(self, value):
+        return min(1.0, max(0.0, super()._perturb(value)))
+
+
+class FreeMemorySensor(Sensor):
+    """Free (non-paged) memory on one host, bytes.
+
+    The reproduction does not model memory pressure, so this reports a
+    noisy constant — present for NWS interface completeness.
+    """
+
+    resource = "memory"
+
+    def __init__(self, sim, memory, host, free_fraction=0.6, period=30.0,
+                 noise=0.05, stream=None, nameserver=None):
+        if not 0.0 <= free_fraction <= 1.0:
+            raise ValueError("free_fraction must be in [0, 1]")
+        self.host = host
+        self.free_fraction = float(free_fraction)
+        super().__init__(
+            sim, memory, host.name, None, period=period, noise=noise,
+            stream=stream, nameserver=nameserver,
+        )
+
+    def read(self):
+        return self.host.memory_bytes * self.free_fraction

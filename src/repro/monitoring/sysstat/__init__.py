@@ -1,0 +1,18 @@
+"""sysstat utilities: sar, iostat and mpstat over simulated hosts.
+
+The paper measures I/O state with the Linux sysstat package; these are
+the simulated equivalents, reading the host models' "kernel counters"
+(background-load step series plus live transfer allocations).
+"""
+
+from repro.monitoring.sysstat.iostat import IoStat, IoStatReport
+from repro.monitoring.sysstat.mpstat import MpStat, MpStatReport
+from repro.monitoring.sysstat.sar import Sar
+
+__all__ = [
+    "IoStat",
+    "IoStatReport",
+    "MpStat",
+    "MpStatReport",
+    "Sar",
+]

@@ -1,0 +1,72 @@
+"""mpstat: per-CPU statistics.
+
+Reports idle / user / system percentages.  In the simulated hosts,
+background jobs account as user time and transfer work (copies,
+interrupts) as system time — a reasonable mapping of what mpstat shows
+during a GridFTP transfer.
+"""
+
+__all__ = ["MpStat", "MpStatReport"]
+
+
+class MpStatReport:
+    """One mpstat sample over all CPUs of a host."""
+
+    def __init__(self, host_name, time, user_fraction, system_fraction,
+                 idle_fraction, cores):
+        self.host_name = host_name
+        self.time = float(time)
+        self.user_fraction = float(user_fraction)
+        self.system_fraction = float(system_fraction)
+        self.idle_fraction = float(idle_fraction)
+        self.cores = int(cores)
+
+    def __repr__(self):
+        return (
+            f"<MpStatReport {self.host_name} %usr="
+            f"{self.user_fraction * 100:.1f} %sys="
+            f"{self.system_fraction * 100:.1f} %idle="
+            f"{self.idle_fraction * 100:.1f}>"
+        )
+
+
+class MpStat:
+    """mpstat bound to one host."""
+
+    def __init__(self, host):
+        self.host = host
+        self._last_report_time = host.sim.now
+
+    def __repr__(self):
+        return f"<MpStat on {self.host.name}>"
+
+    def report(self, lookback=None):
+        """Take a sample (window semantics as in :class:`IoStat`)."""
+        sim = self.host.sim
+        cpu = self.host.cpu
+        now = sim.now
+        window_start = (
+            now - lookback if lookback is not None else self._last_report_time
+        )
+        window_start = min(window_start, now)
+        if now > window_start:
+            background_cores = cpu.background_series.mean(window_start, now)
+        else:
+            background_cores = cpu.background_busy_cores
+
+        user = min(1.0, background_cores / cpu.cores)
+        system = min(1.0 - user, cpu.transfer_busy_cores / cpu.cores)
+        idle = max(0.0, 1.0 - user - system)
+        self._last_report_time = now
+        return MpStatReport(
+            host_name=self.host.name,
+            time=now,
+            user_fraction=user,
+            system_fraction=system,
+            idle_fraction=idle,
+            cores=cpu.cores,
+        )
+
+    def instantaneous_idle(self):
+        """Point-in-time CPU idle fraction."""
+        return self.host.cpu.idle_fraction

@@ -1,0 +1,95 @@
+"""sar: the system activity reporter.
+
+The real ``sar`` runs a collector (``sadc``) at a fixed interval and
+stores samples in an activity file for later inspection.  This clone
+does the same: a periodic process samples CPU, disk and per-NIC-link
+activity into :class:`SampleSeries`, and report methods summarise any
+window of the collected history.
+"""
+
+from repro.sim import Interrupt
+from repro.timeseries import SampleSeries
+
+__all__ = ["Sar"]
+
+
+class Sar:
+    """System activity collector + reporter for one host."""
+
+    def __init__(self, grid, host_name, interval=10.0, max_samples=10000):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.grid = grid
+        self.host = grid.host(host_name)
+        self.interval = float(interval)
+        self.cpu_idle = SampleSeries(max_samples=max_samples)
+        self.disk_idle = SampleSeries(max_samples=max_samples)
+        #: One series per outgoing link: cumulative bytes carried.
+        self.link_bytes = {
+            link.key: SampleSeries(max_samples=max_samples)
+            for link in grid.topology.outgoing(host_name)
+        }
+        self.samples_taken = 0
+        self.process = grid.sim.process(self._collect())
+
+    def __repr__(self):
+        return f"<Sar on {self.host.name} every {self.interval:g}s>"
+
+    def _collect(self):
+        try:
+            while True:
+                self.sample_now()
+                yield self.grid.sim.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def sample_now(self):
+        """Take one sample of every tracked activity."""
+        now = self.grid.sim.now
+        self.cpu_idle.append(now, self.host.cpu.idle_fraction)
+        self.disk_idle.append(now, self.host.disk.io_idle_fraction)
+        for link in self.grid.topology.outgoing(self.host.name):
+            self.link_bytes[link.key].append(now, link.bytes_carried)
+        self.samples_taken += 1
+
+    def stop(self):
+        if self.process.is_alive:
+            self.process.interrupt(cause="stopped")
+
+    # -- reports -------------------------------------------------------------
+
+    def cpu_report(self, t0=None, t1=None):
+        """Mean / min / max CPU idle over a window (sar -u)."""
+        return {
+            "mean_idle": self.cpu_idle.mean(t0, t1),
+            "min_idle": self.cpu_idle.minimum(t0, t1),
+            "max_idle": self.cpu_idle.maximum(t0, t1),
+            "samples": len(self.cpu_idle.window(
+                t0 if t0 is not None else float("-inf"),
+                t1 if t1 is not None else float("inf"),
+            )),
+        }
+
+    def disk_report(self, t0=None, t1=None):
+        """Mean / min / max I/O idle over a window (sar -d)."""
+        return {
+            "mean_idle": self.disk_idle.mean(t0, t1),
+            "min_idle": self.disk_idle.minimum(t0, t1),
+            "max_idle": self.disk_idle.maximum(t0, t1),
+        }
+
+    def network_report(self, t0, t1):
+        """Per-link mean throughput over [t0, t1] (sar -n DEV)."""
+        if t1 <= t0:
+            raise ValueError("window must have positive length")
+        report = {}
+        for key, series in self.link_bytes.items():
+            window = series.window(t0, t1)
+            if len(window) >= 2:
+                (first_t, first_b), (last_t, last_b) = window[0], window[-1]
+                elapsed = last_t - first_t
+                rate = (last_b - first_b) / elapsed if elapsed > 0 else 0.0
+            else:
+                rate = 0.0
+            report[key] = {"bytes_per_second": rate}
+        return report

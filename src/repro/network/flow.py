@@ -1,0 +1,265 @@
+"""Dynamic flow management on top of the max-min allocator.
+
+:class:`FlowNetwork` tracks the set of in-flight flows.  Whenever the set
+changes — a flow starts, finishes, is aborted, or the environment shifts
+(cross-traffic, disk load) — it settles the bytes moved so far, recomputes
+every rate with :func:`max_min_allocation`, and reschedules completion
+events.
+
+Two modelling points worth noting:
+
+* A flow's path may include *resource links* that are not part of the
+  network topology: the source disk's read channel, the destination
+  disk's write channel, a CPU budget.  The allocator treats them exactly
+  like network links, which is how a busy disk at the replica site slows
+  a GridFTP fetch (the paper's reason for including I/O state in the
+  cost model).
+* Each flow may carry a static rate ``cap`` — for transfers this is the
+  per-stream TCP limit from :class:`repro.network.tcp.TCPModel`.
+"""
+
+import itertools
+import math
+
+from repro.network.fairness import FlowDemand, max_min_allocation
+from repro.network.routing import Router
+
+__all__ = ["Flow", "FlowNetwork"]
+
+#: A flow is complete once this few bytes remain (absorbs float error).
+_COMPLETION_SLACK = 1e-3
+
+
+class Flow:
+    """One in-flight unidirectional data flow."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network, path, nbytes, cap, extra_links, label):
+        self.id = next(Flow._ids)
+        self.network = network
+        self.path = path
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.cap = float(cap)
+        self.label = label
+        #: All capacity constraints this flow occupies: routed network
+        #: links plus caller-supplied resource links.
+        self.links = tuple(path.links) + tuple(extra_links)
+        self.rate = 0.0
+        self.started_at = network.sim.now
+        self.completed_at = None
+        self.aborted = False
+        #: Triggers with the flow itself on completion; fails on abort.
+        self.done = network.sim.event()
+
+    def __repr__(self):
+        state = "done" if self.completed_at is not None else (
+            "aborted" if self.aborted else "active"
+        )
+        return (
+            f"<Flow #{self.id} {self.path.src}->{self.path.dst} "
+            f"{self.remaining:.0f}/{self.nbytes:.0f}B {state}>"
+        )
+
+    @property
+    def is_active(self):
+        return self.completed_at is None and not self.aborted
+
+    @property
+    def elapsed(self):
+        """Wall-clock (simulated) time since the flow started."""
+        end = self.completed_at
+        if end is None:
+            end = self.network.sim.now
+        return end - self.started_at
+
+    @property
+    def transferred(self):
+        return self.nbytes - self.remaining
+
+    def eta(self):
+        """Predicted completion time at the current rate (inf if stalled)."""
+        if self.rate <= 0.0:
+            return math.inf
+        return self.network.sim.now + self.remaining / self.rate
+
+
+class FlowNetwork:
+    """Manages flows over a topology with max-min fair sharing."""
+
+    def __init__(self, sim, topology, router=None):
+        self.sim = sim
+        self.topology = topology
+        self.router = router or Router(topology)
+        self._flows = {}
+        self._last_settle = sim.now
+        self._wakeup_version = 0
+        #: Completed-flow log (diagnostics and tests).
+        self.completed = []
+
+    def __repr__(self):
+        return f"<FlowNetwork {len(self._flows)} active flows>"
+
+    @property
+    def active_flows(self):
+        return list(self._flows.values())
+
+    # -- flow lifecycle ---------------------------------------------------
+
+    def start_flow(self, src, dst, nbytes, cap=math.inf, extra_links=(),
+                   label=None):
+        """Begin moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
+        ``extra_links`` are additional Link-like capacity constraints
+        (disk channels etc.); ``cap`` is the flow's own rate ceiling.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative flow size {nbytes}")
+        path = self.router.path(src, dst)
+        flow = Flow(self, path, nbytes, cap, extra_links, label)
+        if nbytes == 0:
+            flow.completed_at = self.sim.now
+            self.completed.append(flow)
+            flow.done.succeed(flow)
+            return flow
+        self._settle()
+        self._flows[flow.id] = flow
+        self._reallocate()
+        return flow
+
+    def abort_flow(self, flow, cause=None):
+        """Abort an active flow; its ``done`` event fails."""
+        if not flow.is_active:
+            return
+        self._settle()
+        flow.aborted = True
+        del self._flows[flow.id]
+        for link in flow.links:
+            link.allocated = 0.0
+        flow.done.fail(FlowAborted(flow, cause))
+        self._reallocate()
+
+    def rebalance(self):
+        """Recompute rates after an external change (load, capacity)."""
+        self._settle()
+        self._reallocate()
+
+    # -- what-if probing (used by NWS bandwidth sensors) -------------------
+
+    def probe_rate(self, src, dst, cap=math.inf):
+        """Rate a hypothetical new flow would receive right now.
+
+        This mirrors what an NWS bandwidth probe experiences: it contends
+        with real traffic but does not disturb it (probes are small).
+        """
+        path = self.router.path(src, dst)
+        if path.is_loopback:
+            return cap
+        demands = self._demands()
+        probe_id = "__probe__"
+        demands.append(FlowDemand(probe_id, [l.key for l in path.links], cap))
+        capacities = self._capacities(
+            list(self._all_links()) + list(path.links)
+        )
+        rates = max_min_allocation(demands, capacities)
+        return rates[probe_id]
+
+    # -- internals ----------------------------------------------------------
+
+    def _all_links(self):
+        seen = set()
+        for flow in self._flows.values():
+            for link in flow.links:
+                if id(link) not in seen:
+                    seen.add(id(link))
+                    yield link
+
+    def _demands(self):
+        return [
+            FlowDemand(fid, [l.key for l in flow.links], flow.cap)
+            for fid, flow in self._flows.items()
+        ]
+
+    @staticmethod
+    def _capacities(links):
+        capacities = {}
+        for link in links:
+            # Two directed links never share a key; resource links use
+            # their own unique keys.
+            capacities[link.key] = link.available_capacity
+        return capacities
+
+    def _settle(self):
+        """Credit bytes moved since the last settle point."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        self._last_settle = now
+        if dt <= 0.0:
+            return
+        for flow in self._flows.values():
+            moved = min(flow.remaining, flow.rate * dt)
+            flow.remaining -= moved
+            for link in flow.links:
+                link.bytes_carried += moved
+
+    def _reallocate(self):
+        """Recompute all rates and reschedule the next completion."""
+        # Complete any flows that have drained.
+        finished = [
+            flow for flow in self._flows.values()
+            if flow.remaining <= _COMPLETION_SLACK
+        ]
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.completed_at = self.sim.now
+            del self._flows[flow.id]
+            self.completed.append(flow)
+            flow.done.succeed(flow)
+        # Links used only by just-finished flows drop out of the live
+        # set below; zero their allocation so monitors see them idle.
+        for flow in finished:
+            for link in flow.links:
+                link.allocated = 0.0
+
+        links = list(self._all_links())
+        rates = max_min_allocation(self._demands(), self._capacities(links))
+        for link in links:
+            link.allocated = 0.0
+        for fid, flow in self._flows.items():
+            flow.rate = rates[fid]
+            for link in flow.links:
+                link.allocated += flow.rate
+
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self):
+        self._wakeup_version += 1
+        version = self._wakeup_version
+        eta = min(
+            (flow.eta() for flow in self._flows.values()), default=math.inf
+        )
+        if math.isinf(eta):
+            return
+        delay = max(0.0, eta - self.sim.now)
+        event = self.sim.event()
+        event.callbacks.append(lambda _ev: self._on_wakeup(version))
+        event._ok = True
+        event._value = None
+        self.sim.schedule(event, delay=delay)
+
+    def _on_wakeup(self, version):
+        if version != self._wakeup_version:
+            return  # stale: a rebalance superseded this wakeup
+        self._settle()
+        self._reallocate()
+
+
+class FlowAborted(Exception):
+    """Raised through ``flow.done`` when a flow is aborted."""
+
+    def __init__(self, flow, cause):
+        super().__init__(f"flow #{flow.id} aborted: {cause}")
+        self.flow = flow
+        self.cause = cause

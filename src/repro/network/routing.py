@@ -1,0 +1,138 @@
+"""Shortest-path routing over a :class:`Topology`.
+
+Paths are computed by Dijkstra with link latency as the edge weight
+(ties broken by hop count), matching the static IP routing of the
+paper's testbed.  Computed paths are cached and invalidated when the
+topology changes.
+"""
+
+import heapq
+
+__all__ = ["NoRouteError", "Path", "Router"]
+
+
+class NoRouteError(Exception):
+    """No path exists between the requested endpoints."""
+
+
+class Path:
+    """An ordered sequence of links from ``src`` to ``dst``.
+
+    A path between a node and itself is the empty *loopback* path.
+    """
+
+    def __init__(self, src, dst, links):
+        self.src = src
+        self.dst = dst
+        self.links = tuple(links)
+
+    def __repr__(self):
+        hops = " -> ".join([self.src] + [l.dst for l in self.links])
+        return f"<Path {hops}>"
+
+    def __iter__(self):
+        return iter(self.links)
+
+    def __len__(self):
+        return len(self.links)
+
+    @property
+    def is_loopback(self):
+        return not self.links
+
+    @property
+    def latency(self):
+        """One-way propagation delay in seconds."""
+        return sum(link.latency for link in self.links)
+
+    @property
+    def rtt(self):
+        """Round-trip time in seconds (symmetric-path assumption)."""
+        return 2.0 * self.latency
+
+    @property
+    def loss_rate(self):
+        """End-to-end loss probability (independent per-link losses)."""
+        survive = 1.0
+        for link in self.links:
+            survive *= 1.0 - link.loss_rate
+        return 1.0 - survive
+
+    @property
+    def raw_capacity(self):
+        """Capacity of the narrowest link, ignoring background traffic."""
+        if not self.links:
+            return float("inf")
+        return min(link.capacity for link in self.links)
+
+    @property
+    def available_capacity(self):
+        """Capacity of the narrowest link after background traffic."""
+        if not self.links:
+            return float("inf")
+        return min(link.available_capacity for link in self.links)
+
+
+class Router:
+    """Latency-weighted shortest-path router with a path cache."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._cache = {}
+        self._cache_version = topology.version
+
+    def path(self, src, dst):
+        """Return the :class:`Path` from ``src`` to ``dst``.
+
+        Raises :class:`NoRouteError` if the nodes are disconnected.
+        """
+        if self._cache_version != self.topology.version:
+            self._cache.clear()
+            self._cache_version = self.topology.version
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = self._dijkstra(src, dst)
+        return self._cache[key]
+
+    def _dijkstra(self, src, dst):
+        topo = self.topology
+        if not topo.has_node(src):
+            raise KeyError(f"unknown node {src!r}")
+        if not topo.has_node(dst):
+            raise KeyError(f"unknown node {dst!r}")
+        if src == dst:
+            return Path(src, dst, [])
+
+        # (cost, hops, seq, node, incoming_link)
+        best = {src: (0.0, 0)}
+        parent = {}
+        seq = 0
+        frontier = [(0.0, 0, seq, src)]
+        visited = set()
+        while frontier:
+            cost, hops, _, node = heapq.heappop(frontier)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for link in topo.outgoing(node):
+                if link.dst in visited:
+                    continue
+                cand = (cost + link.latency, hops + 1)
+                if link.dst not in best or cand < best[link.dst]:
+                    best[link.dst] = cand
+                    parent[link.dst] = link
+                    seq += 1
+                    frontier.append((cand[0], cand[1], seq, link.dst))
+
+        if dst not in parent:
+            raise NoRouteError(f"no route {src} -> {dst}")
+        links = []
+        node = dst
+        while node != src:
+            link = parent[node]
+            links.append(link)
+            node = link.src
+        links.reverse()
+        return Path(src, dst, links)

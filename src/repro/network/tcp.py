@@ -1,0 +1,123 @@
+"""Analytic TCP throughput model.
+
+A single TCP stream cannot always fill a path: its rate is bounded by
+
+* the *window limit* ``W_max / RTT`` (the sender can keep at most one
+  window in flight per round trip), and
+* the *loss limit* from the Mathis et al. (1997) model,
+  ``(MSS / RTT) * sqrt(3/2) / sqrt(p)`` for loss probability ``p``.
+
+On the paper's THU → Li-Zen WAN path (tens of ms RTT, non-zero loss,
+2005-era 64 KiB default windows) these caps sit well below the 30 Mbps
+link rate — which is precisely why GridFTP's parallel TCP streams help
+(Fig. 4): ``n`` streams get ``n`` times the per-stream cap, until the
+path itself saturates.
+
+The model also charges a *startup time* per stream covering the TCP
+three-way handshake and the slow-start ramp to the operating window.
+"""
+
+import math
+
+__all__ = ["TCPModel", "TCPParameters", "mathis_throughput"]
+
+#: Constant sqrt(3/2) from the Mathis model for periodic loss.
+_MATHIS_C = math.sqrt(1.5)
+
+
+def mathis_throughput(mss, rtt, loss_rate):
+    """Loss-limited TCP throughput in bytes/s (Mathis et al. 1997).
+
+    Returns ``inf`` for a loss-free path (the window limit then rules).
+    """
+    if loss_rate <= 0.0:
+        return float("inf")
+    if rtt <= 0.0:
+        return float("inf")
+    return (mss / rtt) * _MATHIS_C / math.sqrt(loss_rate)
+
+
+class TCPParameters:
+    """Static TCP stack parameters of the simulated hosts.
+
+    Defaults reflect a 2005 Linux 2.4/2.6 stack with untuned windows:
+    1460-byte MSS and a 64 KiB maximum window.
+    """
+
+    def __init__(self, mss=1460.0, max_window=64 * 1024.0,
+                 initial_window=2 * 1460.0):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        if max_window < mss:
+            raise ValueError("max_window must be at least one MSS")
+        if initial_window <= 0:
+            raise ValueError("initial_window must be positive")
+        self.mss = float(mss)
+        self.max_window = float(max_window)
+        self.initial_window = float(initial_window)
+
+    def __repr__(self):
+        return (
+            f"<TCPParameters mss={self.mss:.0f} "
+            f"window={self.max_window / 1024:.0f}KiB>"
+        )
+
+
+class TCPModel:
+    """Computes per-stream caps and startup costs for a given path."""
+
+    def __init__(self, parameters=None):
+        self.parameters = parameters or TCPParameters()
+
+    def __repr__(self):
+        return f"<TCPModel {self.parameters!r}>"
+
+    def stream_cap(self, path):
+        """Maximum sustained rate of one TCP stream over ``path``, bytes/s.
+
+        The cap is the tightest of the window limit and the Mathis loss
+        limit; the caller further bounds it by the path's fair share.
+        Loopback paths are uncapped.
+        """
+        rtt = path.rtt
+        if rtt <= 0.0:
+            return float("inf")
+        window_limit = self.parameters.max_window / rtt
+        loss_limit = mathis_throughput(
+            self.parameters.mss, rtt, path.loss_rate
+        )
+        return min(window_limit, loss_limit)
+
+    def operating_window(self, path, target_rate=None):
+        """Window (bytes) a stream settles at to sustain ``target_rate``."""
+        rate = target_rate if target_rate is not None else self.stream_cap(path)
+        if math.isinf(rate):
+            return self.parameters.max_window
+        return min(self.parameters.max_window, max(
+            self.parameters.mss, rate * path.rtt
+        ))
+
+    def connection_setup_time(self, path):
+        """Three-way handshake cost: 1.5 RTT."""
+        return 1.5 * path.rtt
+
+    def slow_start_time(self, path, target_rate=None):
+        """Approximate time lost ramping to the operating window.
+
+        Slow start doubles the congestion window every RTT from the
+        initial window; we charge the full ramp duration as dead time,
+        a standard first-order approximation (little data moves early in
+        the ramp compared to steady state).
+        """
+        rtt = path.rtt
+        if rtt <= 0.0:
+            return 0.0
+        window = self.operating_window(path, target_rate)
+        doublings = math.log2(max(1.0, window / self.parameters.initial_window))
+        return rtt * math.ceil(doublings)
+
+    def startup_time(self, path, target_rate=None):
+        """Handshake plus slow-start ramp for one stream."""
+        return self.connection_setup_time(path) + self.slow_start_time(
+            path, target_rate
+        )

@@ -1,0 +1,117 @@
+"""Network topology: nodes and directed links.
+
+The topology is a plain directed graph.  Node objects carry a name and a
+site label (sites group cluster nodes, mirroring the paper's THU /
+Li-Zen / HIT clusters); links carry capacity/latency/loss.
+"""
+
+from repro.network.link import Link
+
+__all__ = ["Node", "Topology"]
+
+
+class Node:
+    """A network-attached machine or router.
+
+    ``site`` groups nodes into clusters; ``is_router`` marks pure
+    forwarding elements (switches/backbone routers) that never host
+    replicas.
+    """
+
+    def __init__(self, name, site=None, is_router=False):
+        self.name = name
+        self.site = site if site is not None else name
+        self.is_router = is_router
+
+    def __repr__(self):
+        kind = "router" if self.is_router else "host"
+        return f"<Node {self.name} ({kind}, site={self.site})>"
+
+
+class Topology:
+    """Directed graph of :class:`Node` and :class:`Link` objects."""
+
+    def __init__(self):
+        self._nodes = {}
+        self._links = {}
+        self._adjacency = {}
+        #: Monotone counter bumped on every structural change, used by
+        #: routers to invalidate cached paths.
+        self.version = 0
+
+    def __repr__(self):
+        return f"<Topology {len(self._nodes)} nodes, {len(self._links)} links>"
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, name, site=None, is_router=False):
+        """Add a node; returns the :class:`Node`."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = Node(name, site=site, is_router=is_router)
+        self._nodes[name] = node
+        self._adjacency[name] = []
+        self.version += 1
+        return node
+
+    def add_link(self, src, dst, capacity, latency=0.0, loss_rate=0.0):
+        """Add a directed link; returns the :class:`Link`."""
+        self._require_node(src)
+        self._require_node(dst)
+        if (src, dst) in self._links:
+            raise ValueError(f"duplicate link {src}->{dst}")
+        link = Link(src, dst, capacity, latency=latency, loss_rate=loss_rate)
+        self._links[(src, dst)] = link
+        self._adjacency[src].append(link)
+        self.version += 1
+        return link
+
+    def add_duplex_link(self, a, b, capacity, latency=0.0, loss_rate=0.0):
+        """Add a full-duplex link as two directed links; returns both."""
+        forward = self.add_link(a, b, capacity, latency, loss_rate)
+        backward = self.add_link(b, a, capacity, latency, loss_rate)
+        return forward, backward
+
+    # -- queries ----------------------------------------------------------
+
+    def node(self, name):
+        """Look up a node by name (KeyError if absent)."""
+        return self._nodes[name]
+
+    def has_node(self, name):
+        return name in self._nodes
+
+    def link(self, src, dst):
+        """Look up the directed link src→dst (KeyError if absent)."""
+        return self._links[(src, dst)]
+
+    def has_link(self, src, dst):
+        return (src, dst) in self._links
+
+    def nodes(self):
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def hosts(self):
+        """All non-router nodes."""
+        return [n for n in self._nodes.values() if not n.is_router]
+
+    def links(self):
+        """All directed links, in insertion order."""
+        return list(self._links.values())
+
+    def outgoing(self, name):
+        """Links leaving node ``name``."""
+        self._require_node(name)
+        return list(self._adjacency[name])
+
+    def site_hosts(self, site):
+        """Non-router nodes belonging to ``site``."""
+        return [
+            n for n in self._nodes.values()
+            if n.site == site and not n.is_router
+        ]
+
+    def _require_node(self, name):
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r}")

@@ -1,0 +1,34 @@
+"""Logical files: names for replicated content."""
+
+__all__ = ["LogicalFile"]
+
+
+class LogicalFile:
+    """A logical file name (LFN) with its size and free-form attributes.
+
+    Attributes model the "characteristics of the desired data" that
+    applications pass to the catalog in the paper's scenario (e.g. a
+    biological database's species or release tag).
+    """
+
+    def __init__(self, name, size_bytes, attributes=None):
+        if not name:
+            raise ValueError("logical file needs a name")
+        if size_bytes < 0:
+            raise ValueError(f"negative size {size_bytes}")
+        self.name = name
+        self.size_bytes = float(size_bytes)
+        self.attributes = dict(attributes or {})
+
+    def __repr__(self):
+        return (
+            f"<LogicalFile {self.name!r} "
+            f"{self.size_bytes / 2**20:.0f}MB>"
+        )
+
+    def matches(self, **criteria):
+        """True if every criterion equals the stored attribute."""
+        return all(
+            self.attributes.get(key) == value
+            for key, value in criteria.items()
+        )

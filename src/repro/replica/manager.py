@@ -1,0 +1,81 @@
+"""The replica manager: creates and destroys physical copies.
+
+Combines GridFTP data movement with catalog bookkeeping — the "replica
+management service [that takes] advantage of replica catalog with
+GridFTP transfer" in the paper's background section.
+"""
+
+from repro.gridftp.gridftp import GridFtpClient
+
+__all__ = ["ReplicaManager"]
+
+
+class ReplicaManager:
+    """Creates, publishes and deletes replicas of logical files."""
+
+    def __init__(self, grid, catalog, client_host_name, gsi=None):
+        self.grid = grid
+        self.catalog = catalog
+        self.client = GridFtpClient(grid, client_host_name, gsi=gsi)
+
+    def __repr__(self):
+        return f"<ReplicaManager via {self.client.host_name}>"
+
+    def publish(self, logical_name, host_name, size_bytes=None,
+                attributes=None):
+        """Register an existing physical file as a replica.
+
+        Creates the logical file on first publish; the physical file
+        must already exist on ``host_name``'s filesystem.
+        """
+        host = self.grid.host(host_name)
+        if logical_name not in host.filesystem:
+            raise FileNotFoundError(
+                f"{host_name} does not hold {logical_name!r}"
+            )
+        actual_size = host.filesystem.size_of(logical_name)
+        if size_bytes is not None and size_bytes != actual_size:
+            raise ValueError(
+                f"declared size {size_bytes} != actual {actual_size}"
+            )
+        if logical_name not in self.catalog.logical_names():
+            self.catalog.create_logical_file(
+                logical_name, actual_size, attributes
+            )
+        return self.catalog.register_replica(logical_name, host_name)
+
+    def create_replica(self, logical_name, source_host, target_host,
+                       parallelism=None):
+        """Copy a replica to a new host and register it.
+
+        A generator returning the new :class:`ReplicaEntry`.  Data moves
+        server-to-server (third-party transfer) steered by the manager's
+        client host.
+        """
+        locations = self.catalog.locations(logical_name)
+        if not any(e.host_name == source_host for e in locations):
+            raise ValueError(
+                f"{source_host} holds no replica of {logical_name!r}"
+            )
+        yield from self.client.third_party(
+            source_host, target_host, logical_name,
+            parallelism=parallelism,
+        )
+        return self.catalog.register_replica(logical_name, target_host)
+
+    def delete_replica(self, logical_name, host_name):
+        """Remove the physical file and its catalog entry.
+
+        Refuses to delete the last remaining replica — that would lose
+        the data.
+        """
+        locations = self.catalog.locations(logical_name)
+        if len(locations) <= 1:
+            raise ValueError(
+                f"refusing to delete the last replica of {logical_name!r}"
+            )
+        entry = self.catalog.unregister_replica(logical_name, host_name)
+        fs = self.grid.host(host_name).filesystem
+        if entry.physical_name in fs:
+            fs.delete(entry.physical_name)
+        return entry

@@ -1,0 +1,98 @@
+"""Dynamic replication policies.
+
+Replica *selection* (the paper's contribution) chooses among existing
+copies; replica *placement* decides when to make new ones.  The classic
+companion policy — used by the paper's own later work and by OptorSim-
+style studies — is access-count-driven replication: when a site keeps
+fetching the same logical file from remote replicas, give that site's
+cluster its own copy.
+"""
+
+__all__ = ["AccessCountReplicationPolicy"]
+
+
+class AccessCountReplicationPolicy:
+    """Replicate a file to a site after ``threshold`` remote fetches.
+
+    Watch the access stream with :meth:`record_access`; when a site
+    crosses the threshold for a file, :meth:`pending_replications`
+    offers (logical_name, target_host) suggestions, and
+    :meth:`replicate_pending` executes them through a
+    :class:`ReplicaManager`.
+    """
+
+    def __init__(self, grid, catalog, manager, threshold=3,
+                 target_picker=None):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.grid = grid
+        self.catalog = catalog
+        self.manager = manager
+        self.threshold = int(threshold)
+        self.target_picker = target_picker or self._default_target
+        self._counts = {}
+        #: (logical_name, site) pairs already replicated or queued.
+        self._handled = set()
+        self._pending = []
+        #: Completed replications: (logical_name, target_host).
+        self.completed = []
+
+    def __repr__(self):
+        return (
+            f"<AccessCountReplicationPolicy threshold={self.threshold} "
+            f"{len(self.completed)} replications>"
+        )
+
+    def record_access(self, client_name, logical_name, remote):
+        """Note one access.  ``remote`` is False for local-copy hits."""
+        if not remote:
+            return
+        site = self.grid.host(client_name).site
+        key = (logical_name, site)
+        if key in self._handled:
+            return
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self._counts[key] >= self.threshold:
+            self._handled.add(key)
+            target = self.target_picker(logical_name, site)
+            if target is not None:
+                self._pending.append((logical_name, target))
+
+    def access_count(self, logical_name, site):
+        return self._counts.get((logical_name, site), 0)
+
+    def pending_replications(self):
+        """Suggestions not yet executed, as (logical_name, host) pairs."""
+        return list(self._pending)
+
+    def replicate_pending(self, parallelism=None):
+        """Execute queued replications; a generator returning the new
+        :class:`ReplicaEntry` list."""
+        created = []
+        while self._pending:
+            logical_name, target = self._pending.pop(0)
+            locations = self.catalog.locations(logical_name)
+            if any(e.host_name == target for e in locations):
+                continue  # someone already put it there
+            source = locations[0].host_name
+            entry = yield from self.manager.create_replica(
+                logical_name, source, target, parallelism=parallelism
+            )
+            created.append(entry)
+            self.completed.append((logical_name, target))
+        return created
+
+    # -- default placement: first site host with space, no replica ----------
+
+    def _default_target(self, logical_name, site):
+        size = self.catalog.logical_file(logical_name).size_bytes
+        holders = {
+            e.host_name for e in self.catalog.locations(logical_name)
+        }
+        for host in self.grid.site_hosts(site):
+            if host.name in holders:
+                return None  # the site already has a copy
+        for host in self.grid.site_hosts(site):
+            if host.filesystem.free_bytes >= size:
+                return host.name
+        return None

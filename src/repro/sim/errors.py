@@ -1,0 +1,37 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it with a value.
+
+    Equivalent to ``return value`` inside the generator; provided for
+    call sites that want to stop a process from a helper function.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why
+    the interrupt happened (for example, a transfer abort reason).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

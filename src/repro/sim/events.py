@@ -1,0 +1,187 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.
+Events move through three states:
+
+* *pending* — created, not yet triggered;
+* *triggered* — a value (or exception) has been set and the event is
+  scheduled on the simulator queue;
+* *processed* — the simulator has popped the event and run its callbacks.
+
+:class:`Timeout` is an event that triggers itself after a fixed delay.
+:class:`AllOf` / :class:`AnyOf` are condition events that aggregate other
+events, used e.g. to wait for all parallel TCP streams of a transfer.
+"""
+
+from repro.sim.errors import SimulationError
+
+_PENDING = object()
+
+#: Priority for events that must run before normal events at the same time
+#: (used by the kernel for process bootstrapping).
+PRIORITY_URGENT = 0
+#: Default event priority.
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot event that may succeed with a value or fail with an error.
+
+    Events are created through :meth:`Simulator.event` (or subclasses) and
+    are waited on by yielding them from a process generator.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+
+    def __repr__(self):
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+    @property
+    def triggered(self):
+        """True once a value or exception has been set."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once the simulator has invoked the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None, delay=0.0):
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` postpones the trigger on the simulation clock; the
+        default triggers it at the current instant (processed at the next
+        queue pop).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception, delay=0.0):
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have ``exception`` thrown into
+        them.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        #: Set by the kernel if the failure reaches the top level unhandled.
+        self.defused = False
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def trigger(self, event):
+        """Trigger this event with the state of another triggered event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    @property
+    def delay(self):
+        return self._delay
+
+    def __repr__(self):
+        return f"<Timeout delay={self._delay:.6g}>"
+
+
+class Condition(Event):
+    """Base class for events composed of other events.
+
+    The condition triggers when ``evaluate`` returns True over the set of
+    processed sub-events, or fails as soon as any sub-event fails.
+    """
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._events = list(events)
+        self._done = []
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_event(event)
+            else:
+                event.callbacks.append(self._on_event)
+
+    def _evaluate(self, count, total):
+        raise NotImplementedError
+
+    def _on_event(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            if not self.callbacks:
+                # Nobody is waiting on this condition any more (e.g. the
+                # process was interrupted away from it); swallow the
+                # failure instead of crashing the simulation.
+                self.defused = True
+            return
+        self._done.append(event)
+        if self._evaluate(len(self._done), len(self._events)):
+            self.succeed({event: event._value for event in self._done})
+
+
+class AllOf(Condition):
+    """Triggers once every sub-event has succeeded.
+
+    Its value is a dict mapping each sub-event to its value.
+    """
+
+    def _evaluate(self, count, total):
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any sub-event succeeds."""
+
+    def _evaluate(self, count, total):
+        return count >= 1

@@ -1,0 +1,151 @@
+"""The simulator: virtual clock plus event queue.
+
+The :class:`Simulator` owns the clock and the priority queue of triggered
+events.  Processes (see :mod:`repro.sim.process`) advance by yielding
+events; the simulator pops events in time order and resumes the processes
+waiting on them.
+"""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import EmptySchedule, SimulationError
+from repro.sim.events import PRIORITY_NORMAL, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.random_streams import StreamRegistry
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the clock (seconds by convention throughout the
+        reproduction).
+    seed:
+        Root seed for the simulator's :class:`StreamRegistry`; every
+        stochastic model in the grid draws from named streams derived from
+        this seed, making whole experiments reproducible.
+    """
+
+    def __init__(self, initial_time=0.0, seed=0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._eid = count()
+        self.streams = StreamRegistry(seed)
+        #: Number of events processed so far (diagnostic).
+        self.events_processed = 0
+
+    def __repr__(self):
+        return (
+            f"<Simulator t={self._now:.6g} queued={len(self._queue)} "
+            f"processed={self.events_processed}>"
+        )
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+
+    def event(self):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` triggering ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
+        """Put a triggered event on the queue ``delay`` into the future."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self):
+        """Process the single next event.
+
+        Raises :class:`EmptySchedule` when the queue is empty, and
+        re-raises any event failure that no process consumed (an
+        "undefused" failure), so programming errors surface instead of
+        vanishing.
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+        if not event._ok and not getattr(event, "defused", True):
+            raise event._value
+
+    def run(self, until=None):
+        """Run until the queue drains or the clock passes ``until``.
+
+        ``until`` may be:
+
+        * ``None`` — run to exhaustion;
+        * a number — run until that simulated time (the clock is advanced
+          to exactly ``until`` even if no event lands there);
+        * an :class:`Event` — run until it has been processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"until={horizon} lies in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def _run_until_event(self, event):
+        if event.processed:
+            return self._event_outcome(event)
+        done = []
+        event.callbacks.append(done.append)
+        while not done:
+            try:
+                self.step()
+            except EmptySchedule:
+                raise SimulationError(
+                    f"queue drained before {event!r} was triggered"
+                ) from None
+        return self._event_outcome(event)
+
+    @staticmethod
+    def _event_outcome(event):
+        if event._ok:
+            return event._value
+        event.defused = True
+        raise event._value

@@ -1,0 +1,131 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each ``yield`` hands the simulator an
+:class:`Event` to wait on; when the event triggers, the generator resumes
+with the event's value (or the event's exception is thrown into it).  The
+process object is itself an event that triggers when the generator
+returns, so processes can wait on each other.
+"""
+
+from types import GeneratorType
+
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import PRIORITY_URGENT, Event
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Besides acting as a "process finished" event, a process supports
+    :meth:`interrupt`, which throws :class:`Interrupt` into the generator
+    at its current wait point — the mechanism used to abort in-flight
+    transfers, restart sensors, etc.
+    """
+
+    def __init__(self, sim, generator):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"process target must be a generator, got {generator!r}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on = None
+        # Bootstrap: resume the generator at the current instant, before
+        # normal events scheduled at the same time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim.schedule(init, priority=PRIORITY_URGENT)
+
+    def __repr__(self):
+        name = getattr(self._generator, "__name__", "process")
+        return f"<Process {name} {'done' if self.triggered else 'active'}>"
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self):
+        """The event the process currently waits for (None if running)."""
+        return self._waiting_on
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already finished")
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.sim.schedule(event, priority=PRIORITY_URGENT)
+
+    # -- internals --------------------------------------------------------
+
+    def _resume(self, trigger):
+        if self.triggered:
+            # Stale wake-up: an interrupt was scheduled at the same
+            # instant the process finished.  Drop it (and defuse a
+            # failed trigger so it does not crash the run).
+            if not trigger._ok:
+                trigger.defused = True
+            return
+        # Unsubscribe from whatever we were waiting on if we are resumed
+        # by an interrupt instead.
+        if (
+            self._waiting_on is not None
+            and self._waiting_on is not trigger
+            and self._waiting_on.callbacks is not None
+        ):
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+        while True:
+            try:
+                if trigger._ok:
+                    target = self._generator.send(trigger._value)
+                else:
+                    trigger.defused = True
+                    target = self._generator.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except StopProcess as stop:
+                self._generator.close()
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                self.fail(error)
+                return
+
+            if not isinstance(target, Event):
+                error = SimulationError(
+                    f"process yielded non-event {target!r}"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+            if target.sim is not self.sim:
+                error = SimulationError(
+                    "process yielded an event from another simulator"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+
+            if target.processed:
+                # Already-processed event: loop and feed its outcome
+                # straight back in rather than going through the queue.
+                trigger = target
+                continue
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return

@@ -1,0 +1,122 @@
+"""Deterministic named random streams.
+
+Every stochastic model in the reproduction (background CPU load, packet
+loss, sensor noise, workload generation, ...) draws from a named stream
+obtained from the simulator's :class:`StreamRegistry`.  Streams are
+independent PRNGs seeded from ``(root_seed, name)``, so
+
+* the whole experiment is reproducible from one root seed, and
+* adding a new consumer of randomness never perturbs existing ones.
+"""
+
+import hashlib
+import math
+import random
+
+__all__ = ["RandomStream", "StreamRegistry"]
+
+
+def _derive_seed(root_seed, name):
+    digest = hashlib.sha256(f"{root_seed}/{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A named, independently seeded source of randomness.
+
+    Thin wrapper around :class:`random.Random` plus a few distributions
+    the grid models need (lognormal clamped, truncated normal, pareto).
+    """
+
+    def __init__(self, root_seed, name):
+        self.name = name
+        self._rng = random.Random(_derive_seed(root_seed, name))
+
+    def __repr__(self):
+        return f"<RandomStream {self.name!r}>"
+
+    def uniform(self, low, high):
+        return self._rng.uniform(low, high)
+
+    def random(self):
+        return self._rng.random()
+
+    def expovariate(self, rate):
+        """Exponential inter-arrival sample with the given rate (1/mean)."""
+        return self._rng.expovariate(rate)
+
+    def normal(self, mean, std):
+        return self._rng.gauss(mean, std)
+
+    def truncated_normal(self, mean, std, low, high):
+        """Normal sample clamped into [low, high].
+
+        Clamping (rather than rejection) keeps the draw count per call
+        constant, which keeps downstream streams aligned across runs even
+        when parameters change.
+        """
+        value = self._rng.gauss(mean, std)
+        return min(high, max(low, value))
+
+    def lognormal(self, mean, sigma):
+        return self._rng.lognormvariate(mean, sigma)
+
+    def pareto(self, alpha, scale=1.0):
+        """Pareto sample with shape ``alpha`` and minimum ``scale``."""
+        return scale * self._rng.paretovariate(alpha)
+
+    def choice(self, sequence):
+        return self._rng.choice(sequence)
+
+    def shuffle(self, sequence):
+        self._rng.shuffle(sequence)
+
+    def randint(self, low, high):
+        return self._rng.randint(low, high)
+
+    def sample(self, population, k):
+        return self._rng.sample(population, k)
+
+    def weighted_choice(self, items, weights):
+        """Pick one of ``items`` with probability proportional to weights."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        total = math.fsum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        pick = self._rng.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if pick < acc:
+                return item
+        return items[-1]
+
+
+class StreamRegistry:
+    """Registry handing out :class:`RandomStream` objects by name.
+
+    Asking twice for the same name returns the same stream object, so
+    components can share a stream by convention or isolate themselves by
+    picking unique names.
+    """
+
+    def __init__(self, root_seed=0):
+        self.root_seed = root_seed
+        self._streams = {}
+
+    def __repr__(self):
+        return (
+            f"<StreamRegistry seed={self.root_seed} "
+            f"streams={sorted(self._streams)}>"
+        )
+
+    def get(self, name):
+        """Return the stream registered under ``name``, creating it if new."""
+        if name not in self._streams:
+            self._streams[name] = RandomStream(self.root_seed, name)
+        return self._streams[name]
+
+    def names(self):
+        """Names of all streams created so far."""
+        return sorted(self._streams)

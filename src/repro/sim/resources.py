@@ -1,0 +1,191 @@
+"""Shared resources for simulation processes.
+
+Three classic primitives, modelled on SimPy's:
+
+* :class:`Resource` — a fixed number of slots with a FIFO wait queue
+  (e.g. a disk's concurrent-request limit, an FTP server's connection
+  limit);
+* :class:`Container` — a homogeneous quantity that processes put into and
+  get out of (e.g. buffer space);
+* :class:`Store` — a FIFO of distinct items (e.g. a message queue between
+  grid services).
+"""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+__all__ = ["Container", "Resource", "Store"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager so callers cannot forget the release::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+    """
+
+    def __init__(self, resource):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """``capacity`` slots with FIFO queueing."""
+
+    def __init__(self, sim, capacity=1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users = []
+        self.queue = deque()
+
+    def __repr__(self):
+        return (
+            f"<Resource {len(self.users)}/{self.capacity} used, "
+            f"{len(self.queue)} queued>"
+        )
+
+    @property
+    def count(self):
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self):
+        """Ask for a slot; the returned event triggers once granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request):
+        """Give back a slot (no-op if the request never got one)."""
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking put/get."""
+
+    def __init__(self, sim, capacity=float("inf"), init=0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._puts = deque()
+        self._gets = deque()
+
+    def __repr__(self):
+        return f"<Container {self._level:.6g}/{self.capacity:.6g}>"
+
+    @property
+    def level(self):
+        return self._level
+
+    def put(self, amount):
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.sim)
+        self._puts.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount):
+        """Remove ``amount``; blocks until that much is available."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.sim)
+        self._gets.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                event, amount = self._puts[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._puts.popleft()
+                    event.succeed()
+                    progressed = True
+            if self._gets:
+                event, amount = self._gets[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._gets.popleft()
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """FIFO of arbitrary items with blocking put/get."""
+
+    def __init__(self, sim, capacity=float("inf")):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.items = deque()
+        self._puts = deque()
+        self._gets = deque()
+
+    def __repr__(self):
+        return f"<Store {len(self.items)} items>"
+
+    def put(self, item):
+        """Append ``item``; blocks while the store is full."""
+        event = Event(self.sim)
+        self._puts.append((event, item))
+        self._settle()
+        return event
+
+    def get(self):
+        """Pop the oldest item; blocks while the store is empty."""
+        event = Event(self.sim)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _settle(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self.capacity:
+                event, item = self._puts.popleft()
+                self.items.append(item)
+                event.succeed()
+                progressed = True
+            if self._gets and self.items:
+                event = self._gets.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,95 @@
+"""Small statistics toolkit for experiment replication.
+
+Single simulation runs are deterministic under a seed; scientific
+claims want distributions over seeds.  This module provides the
+summaries (mean, sample standard deviation, Student-t 95% confidence
+intervals) used by :mod:`repro.experiments.replication`.
+"""
+
+import math
+
+__all__ = ["Summary", "confidence_interval_95", "mean", "sample_std",
+           "summarize"]
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_T_95_LARGE = 1.960
+
+
+def mean(values):
+    """Arithmetic mean (ValueError on empty input)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def sample_std(values):
+    """Sample (n-1) standard deviation; 0.0 for a single value."""
+    values = list(values)
+    if not values:
+        raise ValueError("std of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(
+        math.fsum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    )
+
+
+def t_critical_95(df):
+    """Two-sided 95% t value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    return _T_95.get(df, _T_95_LARGE)
+
+
+def confidence_interval_95(values):
+    """(low, high) of the 95% CI on the mean; degenerate for n=1."""
+    values = list(values)
+    mu = mean(values)
+    if len(values) == 1:
+        return mu, mu
+    half = (
+        t_critical_95(len(values) - 1)
+        * sample_std(values) / math.sqrt(len(values))
+    )
+    return mu - half, mu + half
+
+
+class Summary:
+    """Mean, spread and 95% CI of one sample."""
+
+    __slots__ = ("n", "mean", "std", "ci_low", "ci_high",
+                 "minimum", "maximum")
+
+    def __init__(self, values):
+        values = list(values)
+        self.n = len(values)
+        self.mean = mean(values)
+        self.std = sample_std(values)
+        self.ci_low, self.ci_high = confidence_interval_95(values)
+        self.minimum = min(values)
+        self.maximum = max(values)
+
+    def __repr__(self):
+        return (
+            f"<Summary n={self.n} mean={self.mean:.4g} "
+            f"ci=[{self.ci_low:.4g}, {self.ci_high:.4g}]>"
+        )
+
+    @property
+    def ci_half_width(self):
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(values):
+    """Build a :class:`Summary` of the values."""
+    return Summary(values)

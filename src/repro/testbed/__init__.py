@@ -1,0 +1,21 @@
+"""The paper's Data Grid testbed: THU, Li-Zen and HIT clusters.
+
+:func:`build_testbed` constructs the full simulated environment of
+Fig. 2 — three Linux PC clusters on Taiwanese academic WAN links — with
+all services attached: GridFTP/FTP servers on every host, the NWS
+deployment, MDS, the replica catalog, the information server and the
+replica selection server.
+"""
+
+from repro.testbed.builder import Testbed, build_testbed
+from repro.testbed.sites import HIT, LIZEN, PAPER_SITES, THU, SiteSpec
+
+__all__ = [
+    "HIT",
+    "LIZEN",
+    "PAPER_SITES",
+    "SiteSpec",
+    "THU",
+    "Testbed",
+    "build_testbed",
+]

@@ -1,0 +1,222 @@
+"""Builds the full simulated testbed with all services attached."""
+
+from repro.core.server import ReplicaSelectionServer
+from repro.grid import DataGrid
+from repro.gridftp.ftp import FtpServer
+from repro.gridftp.gridftp import GridFtpServer
+from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
+from repro.monitoring.information import InformationService
+from repro.monitoring.mds import GIIS, GRIS
+from repro.monitoring.nws import (
+    BandwidthSensor,
+    Clique,
+    CpuSensor,
+    NameServer,
+    NwsMemory,
+)
+from repro.network.traffic import CrossTrafficProcess
+from repro.replica.catalog import ReplicaCatalog
+
+__all__ = ["Testbed", "build_testbed"]
+
+#: The backbone router joining the three sites (TANet).
+BACKBONE = "tanet"
+
+
+class Testbed:
+    """The assembled testbed: grid plus every attached service."""
+
+    def __init__(self, grid, sites, nameserver, nws_memory, giis,
+                 information, catalog, selection_server):
+        self.grid = grid
+        self.sites = {site.name: site for site in sites}
+        self.nameserver = nameserver
+        self.nws_memory = nws_memory
+        self.giis = giis
+        self.information = information
+        self.catalog = catalog
+        self.selection_server = selection_server
+        self.sensors = []
+        self.cliques = []
+        self.load_generators = []
+        self.cross_traffic = []
+
+    def __repr__(self):
+        return (
+            f"<Testbed {sorted(self.sites)} "
+            f"({len(self.grid.hosts)} hosts)>"
+        )
+
+    @property
+    def sim(self):
+        return self.grid.sim
+
+    def host_names(self):
+        return self.grid.host_names()
+
+    def warm_up(self, duration=120.0):
+        """Run the simulation so monitors accumulate history."""
+        self.grid.run(until=self.sim.now + duration)
+
+
+def build_testbed(sites=None, seed=0, monitoring=True,
+                  sensor_period=10.0, dynamic=False,
+                  catalog_host=None, selection_host=None,
+                  weights=None, use_cliques=False):
+    """Construct the paper's three-cluster testbed.
+
+    Parameters
+    ----------
+    sites:
+        Iterable of :class:`SiteSpec`; defaults to the paper's three.
+    seed:
+        Root seed for all randomness.
+    monitoring:
+        Attach the NWS deployment (bandwidth sensors between every
+        cross-site host pair, CPU sensors everywhere) and MDS.
+    sensor_period:
+        NWS sensor measurement period, seconds.
+    dynamic:
+        Start Markov-modulated background load on every host (CPU and
+        disk) and cross-traffic on every WAN link — the "real and
+        dynamic network situations" of the paper's abstract.
+    catalog_host / selection_host:
+        Where the catalog and selection/information servers run;
+        default: the first host of the first site (the paper runs them
+        at THU).
+    weights:
+        Cost-model weights; default the paper's 80/10/10.
+    use_cliques:
+        Schedule bandwidth probes through NWS cliques (one per source
+        host, token round-robin) instead of independent timers, so
+        probes from the same source never collide.  Each pair is still
+        measured once per ``sensor_period``.
+    """
+    from repro.testbed.sites import PAPER_SITES
+
+    sites = list(sites) if sites is not None else list(PAPER_SITES)
+    if not sites:
+        raise ValueError("need at least one site")
+    grid = DataGrid(seed=seed)
+
+    # -- topology ---------------------------------------------------------
+    grid.add_router(BACKBONE)
+    for site in sites:
+        grid.add_router(site.switch_name, site=site.name)
+        grid.connect(
+            site.switch_name, BACKBONE, site.wan_capacity,
+            latency=site.wan_latency, loss_rate=site.wan_loss_rate,
+        )
+        for host_name in site.host_names:
+            grid.add_host(
+                host_name, site.name,
+                cores=site.cores,
+                frequency_ghz=site.frequency_ghz,
+                disk_bandwidth=site.disk_bandwidth,
+                disk_capacity=site.disk_capacity,
+                memory_bytes=site.memory_bytes,
+            )
+            grid.connect(
+                host_name, site.switch_name, site.lan_capacity,
+                latency=site.lan_latency,
+            )
+
+    # -- data services on every host ----------------------------------------
+    for site in sites:
+        for host_name in site.host_names:
+            FtpServer(grid, host_name)
+            GridFtpServer(grid, host_name)
+
+    catalog_host = catalog_host or sites[0].host_names[0]
+    selection_host = selection_host or sites[0].host_names[0]
+
+    # -- monitoring -------------------------------------------------------------
+    nameserver = NameServer()
+    nws_memory = NwsMemory(grid.sim, name=f"memory@{selection_host}")
+    nameserver.register("memory", nws_memory.name, nws_memory)
+    giis = GIIS(grid, selection_host, ttl=min(30.0, sensor_period))
+    testbed_sensors = []
+    testbed_cliques = []
+    if monitoring:
+        for host in grid.hosts.values():
+            giis.register(GRIS(grid, host.name))
+            testbed_sensors.append(
+                CpuSensor(
+                    grid.sim, nws_memory, host, period=sensor_period,
+                    nameserver=nameserver,
+                )
+            )
+        host_names = grid.host_names()
+        for src in host_names:
+            members = []
+            for dst in host_names:
+                if src == dst:
+                    continue
+                sensor = BandwidthSensor(
+                    grid.sim, nws_memory, grid, src, dst,
+                    period=sensor_period, nameserver=nameserver,
+                    autostart=not use_cliques,
+                )
+                testbed_sensors.append(sensor)
+                members.append(sensor)
+            if use_cliques and members:
+                testbed_cliques.append(
+                    Clique(
+                        grid.sim, f"clique@{src}", members,
+                        period=sensor_period,
+                    )
+                )
+    else:
+        for host in grid.hosts.values():
+            giis.register(GRIS(grid, host.name))
+
+    information = InformationService(
+        grid, selection_host, nws_memory, giis
+    )
+    catalog = ReplicaCatalog(grid, catalog_host)
+    selection_server = ReplicaSelectionServer(
+        grid, selection_host, catalog, information, weights=weights
+    )
+
+    testbed = Testbed(
+        grid, sites, nameserver, nws_memory, giis, information,
+        catalog, selection_server,
+    )
+    testbed.sensors = testbed_sensors
+    testbed.cliques = testbed_cliques
+
+    # -- dynamics ---------------------------------------------------------------
+    if dynamic:
+        rebalance = grid.network.rebalance
+        for site in sites:
+            for host_name in site.host_names:
+                host = grid.host(host_name)
+                testbed.load_generators.append(
+                    CPULoadGenerator(
+                        grid.sim, host.cpu,
+                        levels=[0.0, 0.25 * site.cores,
+                                0.6 * site.cores, 0.9 * site.cores],
+                        mean_holding_time=60.0,
+                        notify=rebalance, jitter=0.05,
+                    )
+                )
+                testbed.load_generators.append(
+                    DiskLoadGenerator(
+                        grid.sim, host.disk,
+                        levels=[0.0, 0.2, 0.5, 0.8],
+                        mean_holding_time=90.0,
+                        notify=rebalance, jitter=0.05,
+                    )
+                )
+            for direction in [
+                (site.switch_name, BACKBONE), (BACKBONE, site.switch_name)
+            ]:
+                link = grid.topology.link(*direction)
+                testbed.cross_traffic.append(
+                    CrossTrafficProcess(
+                        grid.sim, grid.network, link,
+                        levels=[0.05, 0.2, 0.4, 0.6],
+                        mean_holding_time=45.0, jitter=0.05,
+                    )
+                )
+    return testbed

@@ -1,0 +1,104 @@
+"""Site specifications of the paper's testbed (Fig. 2 / Section 4).
+
+Quoting the paper:
+
+* THU: four PCs with dual AMD AthlonMP 2.0 GHz, 1 GB DDR, 60 GB HD,
+  1 Gbps network bandwidth (Tunghai University, Taichung City);
+* Li-Zen: four PCs with Intel Celeron 900 MHz, 256 MB DDR, 10 GB HD,
+  30 Mbps network bandwidth (Li-Zen High School, Taichung County);
+* HIT: four PCs with Intel P4 2.8 GHz, 512 MB DDR, 80 GB HD, 1 Gbps
+  network bandwidth (Hsiuping Institute of Technology).
+
+Parameters the paper does not state (WAN latencies, loss rates, uplink
+capacities, disk speeds) are set to plausible 2005 TANet values; they
+are the calibration knobs of the reproduction and are documented per
+field below.
+"""
+
+from repro.units import GiB, mbit_per_s, gbit_per_s
+
+__all__ = ["HIT", "LIZEN", "PAPER_SITES", "SiteSpec"]
+
+
+class SiteSpec:
+    """Everything needed to instantiate one cluster site."""
+
+    def __init__(self, name, host_names, cores, frequency_ghz,
+                 memory_bytes, disk_capacity, disk_bandwidth,
+                 lan_capacity, lan_latency, wan_capacity, wan_latency,
+                 wan_loss_rate):
+        self.name = name
+        self.host_names = tuple(host_names)
+        self.cores = cores
+        self.frequency_ghz = frequency_ghz
+        self.memory_bytes = memory_bytes
+        self.disk_capacity = disk_capacity
+        self.disk_bandwidth = disk_bandwidth
+        self.lan_capacity = lan_capacity
+        self.lan_latency = lan_latency
+        self.wan_capacity = wan_capacity
+        self.wan_latency = wan_latency
+        self.wan_loss_rate = wan_loss_rate
+
+    def __repr__(self):
+        return f"<SiteSpec {self.name} ({len(self.host_names)} hosts)>"
+
+    @property
+    def switch_name(self):
+        return f"{self.name.lower()}-switch"
+
+
+#: Tunghai University cluster.  1 Gbps campus LAN; OC-3-class uplink to
+#: the TANet backbone (the paper's "1 Gbps" is the NIC speed; 2005
+#: inter-campus capacity was far lower).
+THU = SiteSpec(
+    name="THU",
+    host_names=("alpha1", "alpha2", "alpha3", "alpha4"),
+    cores=2,                      # dual AthlonMP
+    frequency_ghz=2.0,
+    memory_bytes=1 * GiB,
+    disk_capacity=60e9,           # 60 GB HD
+    disk_bandwidth=55e6,          # ~55 MB/s sequential (2005 7200rpm)
+    lan_capacity=gbit_per_s(1),
+    lan_latency=0.0001,
+    wan_capacity=mbit_per_s(155),  # OC-3 uplink
+    wan_latency=0.0015,            # both campuses are in Taichung
+    wan_loss_rate=2e-5,
+)
+
+#: Hsiuping Institute of Technology cluster.
+HIT = SiteSpec(
+    name="HIT",
+    host_names=("hit0", "hit1", "hit2", "hit3"),
+    cores=1,                      # P4 2.8 GHz
+    frequency_ghz=2.8,
+    memory_bytes=512 * 1024 * 1024,
+    disk_capacity=80e9,           # 80 GB HD
+    disk_bandwidth=60e6,
+    lan_capacity=gbit_per_s(1),
+    lan_latency=0.0001,
+    wan_capacity=mbit_per_s(155),
+    wan_latency=0.0025,
+    wan_loss_rate=2e-5,
+)
+
+#: Li-Zen High School cluster: the weak site.  30 Mbps uplink with the
+#: long latency and visible loss of a 2005 county school connection —
+#: the path where parallel TCP streams pay off (Fig. 4).
+LIZEN = SiteSpec(
+    name="LZ",
+    host_names=("lz01", "lz02", "lz03", "lz04"),
+    cores=1,                      # Celeron 900 MHz
+    frequency_ghz=0.9,
+    memory_bytes=256 * 1024 * 1024,
+    disk_capacity=10e9,           # 10 GB HD
+    disk_bandwidth=25e6,
+    lan_capacity=mbit_per_s(100),
+    lan_latency=0.0002,
+    wan_capacity=mbit_per_s(30),
+    wan_latency=0.018,
+    wan_loss_rate=4e-3,
+)
+
+#: The three sites of the paper, in presentation order.
+PAPER_SITES = (THU, LIZEN, HIT)

@@ -1,0 +1,50 @@
+"""Unit conventions and conversion helpers.
+
+Internal conventions used throughout the reproduction:
+
+* time      — seconds (float)
+* data size — bytes (float; fractional bytes are fine at flow granularity)
+* data rate — bytes per second
+
+The paper quotes link speeds in Mbps (megabits/s, SI) and file sizes in
+MB (2**20 bytes, as `globus-url-copy` reports them); these helpers keep
+those conversions in one place.
+"""
+
+#: Bytes in a kibibyte / mebibyte / gibibyte (file sizes).
+KiB = 1024.0
+MiB = 1024.0 * KiB
+GiB = 1024.0 * MiB
+
+#: Bits per second in SI kilo/mega/giga (link speeds).
+_BITS_PER_BYTE = 8.0
+
+
+def mbit_per_s(mbps):
+    """Convert a link speed in Mbps (SI megabits/s) to bytes/s."""
+    return mbps * 1e6 / _BITS_PER_BYTE
+
+
+def gbit_per_s(gbps):
+    """Convert a link speed in Gbps to bytes/s."""
+    return gbps * 1e9 / _BITS_PER_BYTE
+
+
+def to_mbit_per_s(bytes_per_s):
+    """Convert bytes/s back to Mbps for reporting."""
+    return bytes_per_s * _BITS_PER_BYTE / 1e6
+
+
+def megabytes(n):
+    """File size of ``n`` MB (2**20 bytes) in bytes."""
+    return n * MiB
+
+
+def to_megabytes(nbytes):
+    """Bytes to MB (2**20) for reporting."""
+    return nbytes / MiB
+
+
+def milliseconds(ms):
+    """Convert milliseconds to seconds."""
+    return ms / 1e3

@@ -1,0 +1,34 @@
+"""Workload generation: file sizes, request traces, load scenarios.
+
+The paper's intro motivates Data Grids with data-intensive science —
+high-energy physics, bioinformatics, virtual observatories — all of
+which hammer replicated file sets with skewed popularity.  This package
+generates those access patterns for the examples and experiments.
+"""
+
+from repro.workloads.background import LOAD_SCENARIOS, apply_load_scenario
+from repro.workloads.filesizes import (
+    FixedSize,
+    LogNormalSizes,
+    PAPER_SIZES_MB,
+    ParetoSizes,
+    UniformSizes,
+)
+from repro.workloads.traces import (
+    Request,
+    RequestTraceGenerator,
+    ZipfPopularity,
+)
+
+__all__ = [
+    "FixedSize",
+    "LOAD_SCENARIOS",
+    "LogNormalSizes",
+    "PAPER_SIZES_MB",
+    "ParetoSizes",
+    "Request",
+    "RequestTraceGenerator",
+    "UniformSizes",
+    "ZipfPopularity",
+    "apply_load_scenario",
+]

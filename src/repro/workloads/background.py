@@ -1,0 +1,57 @@
+"""Named background-load scenarios for a built testbed.
+
+``build_testbed(dynamic=True)`` starts a generic mix; these presets
+replace that with interpretable regimes used by examples and ablations.
+"""
+
+from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
+from repro.network.traffic import CrossTrafficProcess
+from repro.testbed.builder import BACKBONE
+
+__all__ = ["LOAD_SCENARIOS", "apply_load_scenario"]
+
+#: Scenario name -> (cpu levels as core fractions, disk levels,
+#: WAN cross-traffic levels, mean holding time seconds).
+LOAD_SCENARIOS = {
+    "quiet": ([0.0, 0.1], [0.0, 0.05], [0.0, 0.05], 120.0),
+    "busy": ([0.3, 0.6, 0.9], [0.2, 0.5, 0.7], [0.2, 0.4, 0.6], 60.0),
+    "bursty": ([0.0, 0.0, 0.9], [0.0, 0.0, 0.8], [0.0, 0.0, 0.7], 20.0),
+}
+
+
+def apply_load_scenario(testbed, name):
+    """Start load/cross-traffic generators for a named scenario.
+
+    Returns the list of started generator objects (callers may ``stop``
+    them).  Use on a testbed built with ``dynamic=False``.
+    """
+    if name not in LOAD_SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from "
+            f"{sorted(LOAD_SCENARIOS)}"
+        )
+    cpu_levels, disk_levels, wan_levels, holding = LOAD_SCENARIOS[name]
+    grid = testbed.grid
+    rebalance = grid.network.rebalance
+    started = []
+    for host in grid.hosts.values():
+        started.append(CPULoadGenerator(
+            grid.sim, host.cpu,
+            levels=[lvl * host.cpu.cores for lvl in cpu_levels],
+            mean_holding_time=holding, notify=rebalance,
+        ))
+        started.append(DiskLoadGenerator(
+            grid.sim, host.disk, levels=disk_levels,
+            mean_holding_time=holding, notify=rebalance,
+        ))
+    for site in testbed.sites.values():
+        for direction in [
+            (site.switch_name, BACKBONE), (BACKBONE, site.switch_name)
+        ]:
+            link = grid.topology.link(*direction)
+            started.append(CrossTrafficProcess(
+                grid.sim, grid.network, link, levels=wan_levels,
+                mean_holding_time=holding,
+            ))
+    testbed.load_generators.extend(started)
+    return started

@@ -1,0 +1,86 @@
+"""File-size distributions.
+
+Sizes are returned in bytes; constructors take MB for convenience since
+that is how the paper (and grid operators) talk about files.
+"""
+
+from repro.units import megabytes
+
+__all__ = [
+    "FixedSize",
+    "LogNormalSizes",
+    "PAPER_SIZES_MB",
+    "ParetoSizes",
+    "UniformSizes",
+]
+
+#: The file sizes the paper's figures sweep.
+PAPER_SIZES_MB = (256, 512, 1024, 2048)
+
+
+class FixedSize:
+    """Every file has the same size."""
+
+    def __init__(self, size_mb):
+        if size_mb <= 0:
+            raise ValueError("size_mb must be positive")
+        self.size_bytes = megabytes(size_mb)
+
+    def sample(self, stream):
+        return self.size_bytes
+
+
+class UniformSizes:
+    """Sizes uniform in [low_mb, high_mb]."""
+
+    def __init__(self, low_mb, high_mb):
+        if not 0 < low_mb <= high_mb:
+            raise ValueError("need 0 < low_mb <= high_mb")
+        self.low = megabytes(low_mb)
+        self.high = megabytes(high_mb)
+
+    def sample(self, stream):
+        return stream.uniform(self.low, self.high)
+
+
+class ParetoSizes:
+    """Heavy-tailed sizes: many small files, occasional huge ones.
+
+    ``mean_mb`` fixes the distribution mean; ``alpha`` > 1 its tail.
+    """
+
+    def __init__(self, mean_mb, alpha=1.5, cap_mb=None):
+        if mean_mb <= 0:
+            raise ValueError("mean_mb must be positive")
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for a finite mean")
+        self.alpha = float(alpha)
+        self.scale = megabytes(mean_mb) * (alpha - 1.0) / alpha
+        self.cap = megabytes(cap_mb) if cap_mb is not None else None
+
+    def sample(self, stream):
+        size = stream.pareto(self.alpha, self.scale)
+        if self.cap is not None:
+            size = min(size, self.cap)
+        return size
+
+
+class LogNormalSizes:
+    """Log-normal sizes around a median, a common fit for archives."""
+
+    def __init__(self, median_mb, sigma=1.0, cap_mb=None):
+        if median_mb <= 0:
+            raise ValueError("median_mb must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        import math
+
+        self.mu = math.log(megabytes(median_mb))
+        self.sigma = float(sigma)
+        self.cap = megabytes(cap_mb) if cap_mb is not None else None
+
+    def sample(self, stream):
+        size = stream.lognormal(self.mu, self.sigma)
+        if self.cap is not None:
+            size = min(size, self.cap)
+        return size

@@ -1,0 +1,33 @@
+"""Shared fixtures: small grids used across protocol and service tests."""
+
+import pytest
+
+from repro.grid import DataGrid
+from repro.units import mbit_per_s
+
+
+def build_two_host_grid(seed=0, capacity=mbit_per_s(100), latency=0.005,
+                        loss_rate=0.0, disk_bandwidth=500e6):
+    """Two hosts joined by one duplex link.
+
+    The default disk bandwidth (500 MB/s) is deliberately far above the
+    link rate so network behaviour dominates unless a test lowers it.
+    """
+    grid = DataGrid(seed=seed)
+    grid.add_host("src", "SITE-A", cores=2, disk_bandwidth=disk_bandwidth,
+                  disk_capacity=500e9)
+    grid.add_host("dst", "SITE-B", cores=2, disk_bandwidth=disk_bandwidth,
+                  disk_capacity=500e9)
+    grid.connect("src", "dst", capacity, latency=latency,
+                 loss_rate=loss_rate)
+    return grid
+
+
+@pytest.fixture
+def two_host_grid():
+    return build_two_host_grid()
+
+
+def run_process(grid, generator):
+    """Run a generator as a process to completion, returning its value."""
+    return grid.sim.run(until=grid.sim.process(generator))

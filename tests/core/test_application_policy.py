@@ -1,0 +1,62 @@
+"""Tests for the application ↔ replication-policy wiring."""
+
+from repro.core import DataGridApplication
+from repro.replica import AccessCountReplicationPolicy, ReplicaManager
+from repro.testbed import build_testbed
+from repro.units import megabytes
+
+from tests.conftest import run_process
+
+
+def test_application_feeds_policy_and_site_gets_replica():
+    testbed = build_testbed(seed=41)
+    grid = testbed.grid
+    size = megabytes(16)
+    testbed.catalog.create_logical_file("f", size)
+    grid.host("alpha4").filesystem.create("f", size)
+    testbed.catalog.register_replica("f", "alpha4")
+    testbed.warm_up(60.0)
+
+    manager = ReplicaManager(grid, testbed.catalog, "alpha1")
+    policy = AccessCountReplicationPolicy(
+        grid, testbed.catalog, manager, threshold=2
+    )
+    # Two different HIT machines fetch the file remotely.
+    for client_name in ["hit0", "hit1"]:
+        app = DataGridApplication(
+            grid, client_name, testbed.selection_server,
+            replication_policy=policy,
+        )
+        result = run_process(grid, app.access_file("f"))
+        assert not result.local_hit
+    assert policy.access_count("f", "HIT") == 2
+    created = run_process(grid, policy.replicate_pending())
+    assert len(created) == 1
+    assert grid.host(created[0].host_name).site == "HIT"
+    # Subsequent selection from HIT now prefers the site-local copy.
+    decision = run_process(
+        grid, testbed.selection_server.select("hit3", "f")
+    )
+    assert grid.host(decision.chosen).site == "HIT"
+
+
+def test_local_hits_reported_to_policy_as_local():
+    testbed = build_testbed(seed=42, monitoring=False)
+    grid = testbed.grid
+    size = megabytes(4)
+    testbed.catalog.create_logical_file("f", size)
+    grid.host("alpha1").filesystem.create("f", size)
+    testbed.catalog.register_replica("f", "alpha1")
+
+    manager = ReplicaManager(grid, testbed.catalog, "alpha2")
+    policy = AccessCountReplicationPolicy(
+        grid, testbed.catalog, manager, threshold=1
+    )
+    app = DataGridApplication(
+        grid, "alpha1", testbed.selection_server,
+        replication_policy=policy,
+    )
+    result = run_process(grid, app.access_file("f"))
+    assert result.local_hit
+    assert policy.access_count("f", "THU") == 0
+    assert policy.pending_replications() == []

@@ -1,0 +1,123 @@
+"""Tests for the cost model (Equation 1) and selection weights."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, SelectionWeights
+from repro.monitoring.information import SiteFactors
+
+
+def factors(candidate="x", bw=1.0, cpu=1.0, io=1.0):
+    return SiteFactors("client", candidate, bw, cpu, io)
+
+
+class TestWeights:
+    def test_paper_default_is_80_10_10(self):
+        w = SelectionWeights.paper_default()
+        assert (w.bandwidth, w.cpu, w.io) == (0.8, 0.1, 0.1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionWeights(bandwidth=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionWeights(0.0, 0.0, 0.0)
+
+    def test_normalized(self):
+        w = SelectionWeights(8.0, 1.0, 1.0).normalized()
+        assert w == SelectionWeights(0.8, 0.1, 0.1)
+
+    def test_presets(self):
+        assert SelectionWeights.bandwidth_only().cpu == 0.0
+        u = SelectionWeights.uniform()
+        assert u.bandwidth == pytest.approx(1 / 3)
+
+
+class TestCostModel:
+    def test_paper_equation_value(self):
+        """Score = 0.8*BW_P + 0.1*CPU_P + 0.1*IO_P with the defaults."""
+        model = CostModel()
+        score = model.score_factors(factors(bw=0.5, cpu=0.6, io=0.9))
+        assert score.score == pytest.approx(0.8 * 0.5 + 0.1 * 0.6 + 0.1 * 0.9)
+        assert score.bandwidth_term == pytest.approx(0.4)
+        assert score.cpu_term == pytest.approx(0.06)
+        assert score.io_term == pytest.approx(0.09)
+
+    def test_perfect_site_scores_weight_total(self):
+        score = CostModel().score_factors(factors())
+        assert score.score == pytest.approx(1.0)
+
+    def test_rank_orders_best_first(self):
+        model = CostModel()
+        ranked = model.rank([
+            factors("slow", bw=0.1),
+            factors("fast", bw=0.9),
+            factors("mid", bw=0.5),
+        ])
+        assert [s.candidate for s in ranked] == ["fast", "mid", "slow"]
+
+    def test_bandwidth_dominates_with_paper_weights(self):
+        """A site with much better bandwidth wins even when its host is
+        fully loaded — the 80/10/10 design intent."""
+        model = CostModel()
+        best = model.best([
+            factors("loaded-fast", bw=0.9, cpu=0.0, io=0.0),
+            factors("idle-slow", bw=0.2, cpu=1.0, io=1.0),
+        ])
+        assert best.candidate == "loaded-fast"
+
+    def test_load_breaks_bandwidth_ties(self):
+        model = CostModel()
+        best = model.best([
+            factors("busy", bw=0.5, cpu=0.2, io=0.2),
+            factors("idle", bw=0.5, cpu=0.9, io=0.9),
+        ])
+        assert best.candidate == "idle"
+
+    def test_out_of_range_factors_rejected(self):
+        model = CostModel()
+        for bad in [
+            factors(bw=1.5),
+            factors(cpu=-0.1),
+            factors(io=2.0),
+        ]:
+            with pytest.raises(ValueError):
+                model.score_factors(bad)
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().best([])
+
+    def test_as_dict_contains_terms(self):
+        row = CostModel().score_factors(factors(bw=0.5)).as_dict()
+        assert row["score"] == pytest.approx(0.6)
+        assert row["candidate"] == "x"
+        assert "bandwidth_term" in row
+
+    @given(
+        bw=st.floats(0, 1), cpu=st.floats(0, 1), io=st.floats(0, 1),
+        wb=st.floats(0.01, 10), wc=st.floats(0, 10), wi=st.floats(0, 10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_score_bounded_by_weight_total(self, bw, cpu, io, wb, wc, wi):
+        weights = SelectionWeights(wb, wc, wi)
+        score = CostModel(weights).score_factors(
+            factors(bw=bw, cpu=cpu, io=io)
+        )
+        assert -1e-9 <= score.score <= weights.total + 1e-9
+
+    @given(
+        bw1=st.floats(0, 1), bw2=st.floats(0, 1),
+        cpu=st.floats(0, 1), io=st.floats(0, 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_score_monotone_in_bandwidth(self, bw1, bw2, cpu, io):
+        model = CostModel()
+        s1 = model.score_factors(factors(bw=bw1, cpu=cpu, io=io)).score
+        s2 = model.score_factors(factors(bw=bw2, cpu=cpu, io=io)).score
+        if bw1 < bw2:
+            assert s1 <= s2
+        elif bw1 > bw2:
+            assert s1 >= s2

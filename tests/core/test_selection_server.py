@@ -1,0 +1,132 @@
+"""Tests for the replica selection server on the paper's testbed."""
+
+import pytest
+
+from repro.testbed import build_testbed
+from repro.units import megabytes
+
+from tests.conftest import run_process
+
+
+def stocked_testbed(**kwargs):
+    """Testbed with file-a replicated at alpha4, hit0 and lz02 —
+    the Table 1 scenario."""
+    testbed = build_testbed(seed=7, **kwargs)
+    size = megabytes(64)
+    testbed.catalog.create_logical_file("file-a", size)
+    for host_name in ["alpha4", "hit0", "lz02"]:
+        testbed.grid.host(host_name).filesystem.create("file-a", size)
+        testbed.catalog.register_replica("file-a", host_name)
+    return testbed
+
+
+def test_testbed_shape():
+    testbed = stocked_testbed(monitoring=False)
+    assert len(testbed.grid.hosts) == 12
+    assert testbed.grid.host("alpha1").cpu.cores == 2
+    assert testbed.grid.host("lz02").cpu.frequency_ghz == 0.9
+    assert testbed.grid.host("hit0").disk.capacity_bytes == 80e9
+
+
+def test_paths_cross_backbone():
+    testbed = stocked_testbed(monitoring=False)
+    path = testbed.grid.path("alpha1", "lz02")
+    hops = [link.key for link in path]
+    assert ("thu-switch", "tanet") in hops
+    assert ("tanet", "lz-switch") in hops
+
+
+def test_selection_prefers_same_site_replica():
+    testbed = stocked_testbed()
+    testbed.warm_up(60.0)
+    decision = run_process(
+        testbed.grid,
+        testbed.selection_server.select("alpha1", "file-a"),
+    )
+    assert decision.chosen == "alpha4"
+    assert decision.ranking()[-1] == "lz02"
+    assert len(decision.scores) == 3
+
+
+def test_selection_table_has_paper_columns():
+    testbed = stocked_testbed()
+    testbed.warm_up(60.0)
+    decision = run_process(
+        testbed.grid,
+        testbed.selection_server.select("alpha1", "file-a"),
+    )
+    rows = decision.table()
+    assert len(rows) == 3
+    for row in rows:
+        assert 0.0 <= row["bandwidth_fraction"] <= 1.0
+        assert 0.0 <= row["cpu_idle"] <= 1.0
+        assert 0.0 <= row["io_idle"] <= 1.0
+        assert 0.0 <= row["score"] <= 1.0
+
+
+def test_selection_reacts_to_remote_congestion():
+    """Saturate the THU LAN link to alpha4: hit0 should win instead."""
+    testbed = stocked_testbed()
+    grid = testbed.grid
+    # Hammer alpha4's access link with local flows.
+    link = grid.topology.link("alpha4", "thu-switch")
+    link.background_utilisation = 0.93
+    grid.network.rebalance()
+    testbed.warm_up(120.0)
+    decision = run_process(
+        grid, testbed.selection_server.select("alpha1", "file-a")
+    )
+    assert decision.chosen == "hit0"
+
+
+def test_fetch_retrieves_chosen_replica():
+    testbed = stocked_testbed()
+    testbed.warm_up(60.0)
+    decision, record = run_process(
+        testbed.grid,
+        testbed.selection_server.fetch("alpha1", "file-a"),
+    )
+    assert record.source == decision.chosen
+    assert record.destination == "alpha1"
+    assert "file-a" in testbed.grid.host("alpha1").filesystem
+
+
+def test_score_ranking_matches_transfer_time_ranking():
+    """The headline claim: higher score => faster fetch (Table 1)."""
+    testbed = stocked_testbed()
+    testbed.warm_up(60.0)
+    grid = testbed.grid
+    decision = run_process(
+        grid, testbed.selection_server.select("alpha1", "file-a")
+    )
+    from repro.gridftp import GridFtpClient
+
+    times = {}
+    for candidate in ["alpha4", "hit0", "lz02"]:
+        client = GridFtpClient(grid, "alpha1")
+        record = run_process(
+            grid, client.get(candidate, "file-a", f"from-{candidate}")
+        )
+        times[candidate] = record.elapsed
+    score_order = decision.ranking()
+    time_order = sorted(times, key=times.get)
+    assert score_order == time_order
+
+
+def test_empty_candidate_list_rejected():
+    testbed = stocked_testbed(monitoring=False)
+    with pytest.raises(ValueError):
+        run_process(
+            testbed.grid,
+            testbed.selection_server.score_candidates("alpha1", []),
+        )
+
+
+def test_decisions_are_logged():
+    testbed = stocked_testbed()
+    testbed.warm_up(30.0)
+    run_process(
+        testbed.grid,
+        testbed.selection_server.select("alpha1", "file-a"),
+    )
+    assert len(testbed.selection_server.decisions) == 1

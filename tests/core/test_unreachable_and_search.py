@@ -1,0 +1,108 @@
+"""Tests for unreachable-candidate exclusion and MDS search filters."""
+
+import pytest
+
+from repro.testbed import build_testbed
+from repro.units import megabytes
+
+from tests.conftest import run_process
+
+
+def stocked(seed=61):
+    testbed = build_testbed(seed=seed)
+    size = megabytes(16)
+    testbed.catalog.create_logical_file("f", size)
+    for name in ["hit0", "lz02"]:
+        testbed.grid.host(name).filesystem.create("f", size)
+        testbed.catalog.register_replica("f", name)
+    return testbed
+
+
+class TestUnreachableExclusion:
+    def test_dead_path_candidate_is_skipped(self):
+        testbed = stocked()
+        grid = testbed.grid
+        testbed.warm_up(60.0)
+        # HIT's uplink dies; sensors then observe ~zero bandwidth.
+        grid.topology.link("hit-switch", "tanet").set_down()
+        grid.topology.link("tanet", "hit-switch").set_down()
+        grid.network.rebalance()
+        testbed.warm_up(120.0)
+        decision = run_process(
+            grid, testbed.selection_server.select("alpha1", "f")
+        )
+        assert decision.chosen == "lz02"
+        assert len(decision.scores) == 1  # hit0 excluded outright
+
+    def test_exclusion_can_be_disabled(self):
+        testbed = stocked(seed=62)
+        testbed.selection_server.exclude_unreachable = False
+        grid = testbed.grid
+        testbed.warm_up(60.0)
+        grid.topology.link("hit-switch", "tanet").set_down()
+        grid.topology.link("tanet", "hit-switch").set_down()
+        grid.network.rebalance()
+        testbed.warm_up(120.0)
+        decision = run_process(
+            grid, testbed.selection_server.select("alpha1", "f")
+        )
+        assert len(decision.scores) == 2  # ranked, not excluded
+
+    def test_all_dead_candidates_still_ranked(self):
+        """If every candidate is unreachable, fall back to ranking them
+        rather than failing (the fetch will stall, but the decision
+        machinery should not crash)."""
+        testbed = stocked(seed=63)
+        grid = testbed.grid
+        testbed.warm_up(60.0)
+        for switch in ["hit-switch", "lz-switch"]:
+            grid.topology.link(switch, "tanet").set_down()
+            grid.topology.link("tanet", switch).set_down()
+        grid.network.rebalance()
+        testbed.warm_up(120.0)
+        decision = run_process(
+            grid, testbed.selection_server.select("alpha1", "f")
+        )
+        assert len(decision.scores) == 2
+
+
+class TestMdsSearch:
+    def test_search_filters_entries(self):
+        testbed = build_testbed(seed=64, monitoring=True)
+        grid = testbed.grid
+        grid.host("hit0").cpu.set_background_busy(1.0)  # fully busy
+        names = run_process(
+            grid,
+            testbed.giis.search(
+                lambda e: e["cpu.idle_fraction"] > 0.5
+            ),
+        )
+        hostnames = {e["hostname"] for e in names}
+        assert "hit0" not in hostnames
+        assert "alpha1" in hostnames
+
+    def test_find_hosts_with_capacity_sorted_by_idle(self):
+        testbed = build_testbed(seed=65)
+        grid = testbed.grid
+        grid.host("alpha1").cpu.set_background_busy(1.0)  # half busy
+        hosts = run_process(
+            grid,
+            testbed.giis.find_hosts_with_capacity(
+                min_free_bytes=50e9, min_cpu_idle=0.4
+            ),
+        )
+        # Li-Zen disks are 10 GB: filtered out entirely.
+        assert not any(h.startswith("lz") for h in hosts)
+        # alpha1 (0.5 idle) ranks after the fully idle hosts.
+        assert hosts.index("alpha1") > hosts.index("alpha2")
+
+    def test_capacity_search_free_space_threshold(self):
+        testbed = build_testbed(seed=66)
+        hosts = run_process(
+            testbed.grid,
+            testbed.giis.find_hosts_with_capacity(
+                min_free_bytes=70e9
+            ),
+        )
+        # Only HIT's 80 GB disks qualify.
+        assert hosts and all(h.startswith("hit") for h in hosts)

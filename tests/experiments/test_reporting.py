@@ -1,0 +1,122 @@
+"""Tests for text reporting utilities and the result container."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.reporting import (
+    bar_chart,
+    format_number,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatNumber:
+    def test_plain_values(self):
+        assert format_number(None) == "-"
+        assert format_number("text") == "text"
+        assert format_number(5) == "5"
+        assert format_number(0) == "0"
+        assert format_number(True) == "True"
+
+    def test_float_trimming(self):
+        assert format_number(1.5) == "1.5"
+        assert format_number(2.0) == "2"
+        assert format_number(0.123456) == "0.123"
+
+    def test_extremes_use_scientific(self):
+        assert "e" in format_number(1.23e8)
+        assert "e" in format_number(1.23e-7)
+
+    def test_nan_inf(self):
+        assert format_number(math.nan) == "nan"
+        assert format_number(math.inf) == "inf"
+        assert format_number(-math.inf) == "-inf"
+
+
+class TestFormatTable:
+    def test_renders_dict_rows(self):
+        text = format_table(
+            ["a", "b"], [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.5" in lines[2]
+
+    def test_renders_sequence_rows(self):
+        text = format_table(["x"], [[1], [2]])
+        assert "1" in text and "2" in text
+
+    def test_sequence_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["x", "y"], [[1]])
+
+    def test_missing_dict_keys_render_dash(self):
+        text = format_table(["x", "y"], [{"x": 1}])
+        assert "-" in text.splitlines()[2]
+
+
+class TestSparkline:
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([math.nan]) == ""
+        assert len(sparkline([1.0, math.nan, 2.0])) == 2
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned_and_values_printed(self):
+        chart = bar_chart(["short", "a much longer label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+        assert "1" in lines[0] and "2" in lines[1]
+
+    def test_unit_suffix(self):
+        assert "3s" in bar_chart(["x"], [3.0], unit="s")
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart(["none", "some"], [0.0, 4.0])
+        assert "█" not in chart.splitlines()[0]
+
+    def test_empty_and_mismatch(self):
+        assert bar_chart([], []) == ""
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "exp", "A Title", ["k", "v"],
+            [{"k": "a", "v": 1.0}, {"k": "b", "v": 2.0}],
+            notes=["a note"],
+        )
+
+    def test_column_extraction(self):
+        result = self.make()
+        assert result.column("v") == [1.0, 2.0]
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "exp" in text
+        assert "A Title" in text
+        assert "a note" in text
+        assert "2" in text

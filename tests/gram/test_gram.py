@@ -1,0 +1,202 @@
+"""Tests for GRAM: jobs, the manager, the client, CPU coupling."""
+
+import pytest
+
+from repro.gram import GramClient, Job, JobManager, JobState
+from repro.gridftp import GSIConfig
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+def manager_on(grid, host="src", notify=None):
+    return JobManager(grid, host, notify=notify)
+
+
+class TestJob:
+    def test_wall_time(self):
+        job = Job(cpu_seconds=120.0, cores=2)
+        assert job.wall_seconds == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(cpu_seconds=0.0)
+        with pytest.raises(ValueError):
+            Job(cpu_seconds=10.0, cores=0)
+
+    def test_illegal_transition_rejected(self):
+        job = Job(10.0)
+        with pytest.raises(ValueError):
+            job.transition(JobState.ACTIVE)  # must go through PENDING
+
+    def test_callbacks_fire_per_transition(self):
+        job = Job(10.0)
+        seen = []
+        job.callbacks.append(lambda j, s: seen.append(s))
+        job.transition(JobState.PENDING)
+        job.transition(JobState.ACTIVE)
+        job.transition(JobState.DONE)
+        assert seen == [
+            JobState.PENDING, JobState.ACTIVE, JobState.DONE
+        ]
+
+
+class TestJobManager:
+    def test_job_runs_for_wall_time(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)  # src: 2 cores
+        job = manager.submit(Job(cpu_seconds=30.0, cores=1))
+        assert job.state == JobState.ACTIVE  # started immediately
+        grid.run(until=job.terminal_event)
+        assert job.state == JobState.DONE
+        assert grid.sim.now == pytest.approx(30.0)
+        assert job.queue_seconds == 0.0
+
+    def test_fifo_queueing_when_cores_exhausted(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        first = manager.submit(Job(20.0, cores=2))   # wall: 10 s
+        second = manager.submit(Job(10.0, cores=1))  # wall: 10 s
+        assert first.state == JobState.ACTIVE
+        assert second.state == JobState.PENDING
+        grid.run(until=second.terminal_event)
+        assert second.queue_seconds == pytest.approx(10.0)
+        assert grid.sim.now == pytest.approx(20.0)
+
+    def test_parallel_jobs_share_cores(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        a = manager.submit(Job(10.0, cores=1))
+        b = manager.submit(Job(10.0, cores=1))
+        assert a.state == b.state == JobState.ACTIVE
+        assert manager.free_cores == 0
+        grid.run()
+        assert grid.sim.now == pytest.approx(10.0)
+
+    def test_oversized_job_rejected(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        with pytest.raises(ValueError):
+            manager.submit(Job(10.0, cores=3))  # host has 2
+
+    def test_running_jobs_lower_cpu_idle(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        manager.submit(Job(50.0, cores=1))
+        assert grid.host("src").cpu.idle_fraction == pytest.approx(0.5)
+        grid.run(until=60.0)
+        assert grid.host("src").cpu.idle_fraction == pytest.approx(1.0)
+
+    def test_cancel_pending_job(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        manager.submit(Job(100.0, cores=2))
+        queued = manager.submit(Job(10.0, cores=1))
+        manager.cancel(queued)
+        assert queued.state == JobState.CANCELED
+        assert manager.queue_length == 0
+
+    def test_cancel_running_job_frees_cores(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        running = manager.submit(Job(1000.0, cores=2))
+        waiting = manager.submit(Job(10.0, cores=1))
+
+        def canceller():
+            yield grid.sim.timeout(5.0)
+            manager.cancel(running)
+
+        grid.sim.process(canceller())
+        grid.run(until=waiting.terminal_event)
+        assert running.state == JobState.CANCELED
+        assert waiting.state == JobState.DONE
+        assert grid.sim.now == pytest.approx(15.0)
+
+    def test_cancel_terminal_job_is_noop(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid)
+        job = manager.submit(Job(1.0))
+        grid.run()
+        manager.cancel(job)
+        assert job.state == JobState.DONE
+
+    def test_notify_called_on_occupancy_changes(self):
+        grid = build_two_host_grid()
+        calls = []
+        manager = manager_on(grid, notify=lambda: calls.append(grid.sim.now))
+        manager.submit(Job(10.0))
+        grid.run()
+        assert len(calls) >= 2  # start + finish
+
+
+class TestGramClient:
+    def test_remote_submission_charges_gsi_and_rtt(self):
+        grid = build_two_host_grid(latency=0.010)
+        manager_on(grid, "src")
+        client = GramClient(
+            grid, "dst", gsi=GSIConfig(round_trips=4, crypto_seconds=0.1)
+        )
+        t0 = grid.sim.now
+        job = run_process(grid, client.submit("src", Job(5.0)))
+        submit_cost = grid.sim.now - t0
+        assert submit_cost == pytest.approx(4 * 0.020 + 0.2 + 0.020)
+        assert job.state == JobState.ACTIVE
+        assert client.submissions == [(job, "src")]
+
+    def test_wait_returns_terminal_job(self):
+        grid = build_two_host_grid()
+        manager_on(grid, "src")
+        client = GramClient(grid, "dst", gsi=GSIConfig(enabled=False))
+
+        def flow():
+            job = yield from client.submit("src", Job(7.0))
+            finished = yield from client.wait(job)
+            return finished, grid.sim.now
+
+        job, when = run_process(grid, flow())
+        assert job.state == JobState.DONE
+        assert when == pytest.approx(grid.path("dst", "src").rtt + 7.0)
+
+    def test_wait_on_already_finished_job(self):
+        grid = build_two_host_grid()
+        manager = manager_on(grid, "src")
+        client = GramClient(grid, "dst")
+        job = manager.submit(Job(1.0))
+        grid.run()
+        result = run_process(grid, client.wait(job))
+        assert result is job
+
+    def test_remote_cancel(self):
+        grid = build_two_host_grid()
+        manager_on(grid, "src")
+        client = GramClient(grid, "dst", gsi=GSIConfig(enabled=False))
+        job = run_process(grid, client.submit("src", Job(1000.0)))
+        run_process(grid, client.cancel("src", job))
+        grid.run(until=grid.sim.now + 1.0)
+        assert job.state == JobState.CANCELED
+
+
+class TestCostModelCoupling:
+    def test_gram_load_steers_replica_selection(self):
+        """Jobs submitted through GRAM make the selection server avoid
+        the busy site — the three Globus pillars working together."""
+        from repro.testbed import build_testbed
+        from repro.units import megabytes
+
+        testbed = build_testbed(seed=51)
+        grid = testbed.grid
+        size = megabytes(32)
+        testbed.catalog.create_logical_file("f", size)
+        # Two replicas on paths of equal quality: alpha3 and alpha4.
+        for name in ["alpha3", "alpha4"]:
+            grid.host(name).filesystem.create("f", size)
+            testbed.catalog.register_replica("f", name)
+        # Saturate alpha4 with GRAM jobs and busy its disk.
+        manager = JobManager(grid, "alpha4",
+                             notify=grid.network.rebalance)
+        manager.submit(Job(cpu_seconds=1e6, cores=2))
+        grid.host("alpha4").disk.set_background_utilisation(0.8)
+        testbed.warm_up(60.0)
+        decision = run_process(
+            grid, testbed.selection_server.select("alpha1", "f")
+        )
+        assert decision.chosen == "alpha3"

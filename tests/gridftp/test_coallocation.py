@@ -1,0 +1,139 @@
+"""Tests for co-allocated downloads."""
+
+import pytest
+
+from repro.grid import DataGrid
+from repro.gridftp import (
+    GridFtpClient,
+    GridFtpServer,
+    brute_force_coallocation_get,
+    conservative_coallocation_get,
+)
+from repro.units import MiB, megabytes, mbit_per_s
+
+from tests.conftest import run_process
+
+
+def asymmetric_grid(fast_mbps=100, slow_mbps=10, file_mb=64):
+    """Client c pulling from a fast server s1 and a slow server s2."""
+    grid = DataGrid(seed=1)
+    for name in ["c", "s1", "s2"]:
+        grid.add_host(name, name.upper(), disk_bandwidth=500e6,
+                      disk_capacity=500e9)
+    grid.add_router("core")
+    grid.connect("c", "core", mbit_per_s(1000), latency=0.0005)
+    grid.connect("s1", "core", mbit_per_s(fast_mbps), latency=0.0005)
+    grid.connect("s2", "core", mbit_per_s(slow_mbps), latency=0.0005)
+    for name in ["s1", "s2"]:
+        GridFtpServer(grid, name)
+        grid.host(name).filesystem.create("data", megabytes(file_mb))
+    return grid, GridFtpClient(grid, "c")
+
+
+def test_conservative_gives_more_blocks_to_fast_server():
+    grid, client = asymmetric_grid()
+    result = run_process(
+        grid,
+        conservative_coallocation_get(
+            client, ["s1", "s2"], "data", block_bytes=4 * MiB
+        ),
+    )
+    assert result.blocks_by_server["s1"] > result.blocks_by_server["s2"]
+    assert sum(result.blocks_by_server.values()) == 16  # 64MB/4MB
+    assert "data" in grid.host("c").filesystem
+
+
+def test_conservative_beats_brute_force_on_asymmetric_servers():
+    grid, client = asymmetric_grid()
+    brute = run_process(
+        grid,
+        brute_force_coallocation_get(
+            client, ["s1", "s2"], "data", local_name="bf"
+        ),
+    )
+    conservative = run_process(
+        grid,
+        conservative_coallocation_get(
+            client, ["s1", "s2"], "data", local_name="cons",
+            block_bytes=4 * MiB,
+        ),
+    )
+    # Brute force waits for the 10 Mbps server to push 32 MB; the
+    # conservative scheduler gives it only a few blocks.
+    assert conservative.record.elapsed < brute.record.elapsed * 0.6
+
+
+def test_equal_servers_split_roughly_evenly():
+    grid, client = asymmetric_grid(fast_mbps=50, slow_mbps=50)
+    result = run_process(
+        grid,
+        conservative_coallocation_get(
+            client, ["s1", "s2"], "data", block_bytes=4 * MiB
+        ),
+    )
+    share = result.blocks_by_server
+    assert abs(share["s1"] - share["s2"]) <= 2
+
+
+def test_single_server_coallocation_degenerates_gracefully():
+    grid, client = asymmetric_grid()
+    result = run_process(
+        grid,
+        conservative_coallocation_get(
+            client, ["s1"], "data", block_bytes=16 * MiB
+        ),
+    )
+    assert result.blocks_by_server == {"s1": 4}
+
+
+def test_size_disagreement_rejected():
+    grid, client = asymmetric_grid()
+    grid.host("s2").filesystem.delete("data")
+    grid.host("s2").filesystem.create("data", megabytes(1))
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            conservative_coallocation_get(client, ["s1", "s2"], "data"),
+        )
+
+
+def test_validation():
+    grid, client = asymmetric_grid()
+    with pytest.raises(ValueError):
+        run_process(
+            grid, conservative_coallocation_get(client, [], "data")
+        )
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            conservative_coallocation_get(
+                client, ["s1"], "data", block_bytes=0
+            ),
+        )
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            conservative_coallocation_get(
+                client, ["s1"], "data", streams_per_server=0
+            ),
+        )
+    with pytest.raises(ValueError):
+        run_process(
+            grid, brute_force_coallocation_get(client, [], "data")
+        )
+
+
+def test_records_describe_the_transfer():
+    grid, client = asymmetric_grid()
+    result = run_process(
+        grid,
+        conservative_coallocation_get(
+            client, ["s1", "s2"], "data", block_bytes=8 * MiB,
+            streams_per_server=2,
+        ),
+    )
+    record = result.record
+    assert record.protocol == "gridftp-coalloc"
+    assert record.source == "s1+s2"
+    assert record.payload_bytes == megabytes(64)
+    assert record.streams == 4

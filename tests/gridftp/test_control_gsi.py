@@ -1,0 +1,143 @@
+"""Tests for the control channel, GSI handshake and transfer records."""
+
+import pytest
+
+from repro.gridftp import GSIConfig
+from repro.gridftp.control import ControlChannel
+from repro.gridftp.gsi import gsi_handshake
+from repro.gridftp.record import TransferRecord
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+class TestControlChannel:
+    def test_open_charges_handshake(self):
+        grid = build_two_host_grid(latency=0.010)
+        t0 = grid.sim.now
+
+        def proc():
+            channel = yield from ControlChannel.open(grid, "dst", "src")
+            return channel
+
+        channel = run_process(grid, proc())
+        # TCP handshake: 1.5 RTT = 1.5 * 20ms.
+        assert grid.sim.now - t0 == pytest.approx(0.030)
+        assert channel.rtt == pytest.approx(0.020)
+
+    def test_exchange_charges_rtt_per_command(self):
+        grid = build_two_host_grid(latency=0.010)
+
+        def proc():
+            channel = yield from ControlChannel.open(grid, "dst", "src")
+            t0 = grid.sim.now
+            yield from channel.exchange(4)
+            return grid.sim.now - t0, channel.commands_sent
+
+        elapsed, commands = run_process(grid, proc())
+        assert commands == 4
+        # 4 x (RTT + ~2ms processing).
+        assert elapsed == pytest.approx(4 * (0.020 + 0.002), rel=0.01)
+
+    def test_loaded_server_answers_slower(self):
+        grid = build_two_host_grid(latency=0.001)
+
+        def measure():
+            channel = yield from ControlChannel.open(grid, "dst", "src")
+            t0 = grid.sim.now
+            yield from channel.exchange(10)
+            return grid.sim.now - t0
+
+        idle_time = run_process(grid, measure())
+        grid.host("src").cpu.set_background_busy(2.0)  # both cores
+        busy_time = run_process(grid, measure())
+        assert busy_time > idle_time
+
+    def test_negative_command_count_rejected(self):
+        grid = build_two_host_grid()
+
+        def proc():
+            channel = yield from ControlChannel.open(grid, "dst", "src")
+            yield from channel.exchange(-1)
+
+        with pytest.raises(ValueError):
+            run_process(grid, proc())
+
+    def test_close_charges_half_rtt(self):
+        grid = build_two_host_grid(latency=0.010)
+
+        def proc():
+            channel = yield from ControlChannel.open(grid, "dst", "src")
+            t0 = grid.sim.now
+            yield from channel.close()
+            return grid.sim.now - t0
+
+        assert run_process(grid, proc()) == pytest.approx(0.010)
+
+
+class TestGSI:
+    def test_handshake_charges_rtts_and_crypto(self):
+        grid = build_two_host_grid(latency=0.010)
+        config = GSIConfig(round_trips=4, crypto_seconds=0.1)
+        elapsed = run_process(
+            grid, gsi_handshake(grid, "dst", "src", config)
+        )
+        # 4 RTTs = 80ms; crypto 0.1s/endpoint on 2 GHz idle hosts.
+        assert elapsed == pytest.approx(4 * 0.020 + 2 * 0.1)
+
+    def test_disabled_handshake_is_free(self):
+        grid = build_two_host_grid()
+        config = GSIConfig(enabled=False)
+        t0 = grid.sim.now
+        elapsed = run_process(
+            grid, gsi_handshake(grid, "dst", "src", config)
+        )
+        assert elapsed == 0.0
+        assert grid.sim.now == t0
+
+    def test_loaded_endpoint_slows_crypto(self):
+        grid = build_two_host_grid(latency=0.001)
+        config = GSIConfig(crypto_seconds=0.2)
+        idle = run_process(grid, gsi_handshake(grid, "dst", "src", config))
+        grid.host("src").cpu.set_background_busy(2.0)
+        busy = run_process(grid, gsi_handshake(grid, "dst", "src", config))
+        assert busy > idle
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GSIConfig(round_trips=-1)
+        with pytest.raises(ValueError):
+            GSIConfig(crypto_seconds=-0.1)
+
+
+class TestTransferRecord:
+    def make(self, **overrides):
+        values = dict(
+            protocol="gridftp", source="a", destination="b",
+            filename="f", payload_bytes=1000.0, wire_bytes=1010.0,
+            streams=2, mode_name="extended-block", started_at=10.0,
+            auth_seconds=1.0, control_seconds=0.5, startup_seconds=0.5,
+            data_seconds=8.0, finished_at=20.0,
+        )
+        values.update(overrides)
+        return TransferRecord(**values)
+
+    def test_elapsed_and_overhead(self):
+        record = self.make()
+        assert record.elapsed == 10.0
+        assert record.overhead_seconds == 2.0
+
+    def test_throughputs(self):
+        record = self.make()
+        assert record.throughput == pytest.approx(100.0)
+        assert record.data_throughput == pytest.approx(125.0)
+
+    def test_zero_time_throughput_is_infinite(self):
+        record = self.make(finished_at=10.0, data_seconds=0.0)
+        assert record.throughput == float("inf")
+        assert record.data_throughput == float("inf")
+
+    def test_as_dict_round_trips_fields(self):
+        d = self.make().as_dict()
+        assert d["protocol"] == "gridftp"
+        assert d["elapsed"] == 10.0
+        assert d["streams"] == 2

@@ -1,0 +1,92 @@
+"""Tests for the data-channel engine's contract."""
+
+import pytest
+
+from repro.gridftp.datachannel import negotiated_tcp_model, run_data_transfer
+from repro.gridftp.modes import ExtendedBlockMode, StreamMode
+from repro.network.tcp import TCPParameters
+from repro.units import megabytes
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+def test_stream_mode_rejects_multiple_streams():
+    grid = build_two_host_grid()
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            run_data_transfer(
+                grid, "src", "dst", 1000.0, mode=StreamMode(), streams=2
+            ),
+        )
+
+
+def test_zero_streams_rejected():
+    grid = build_two_host_grid()
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            run_data_transfer(
+                grid, "src", "dst", 1000.0, mode=StreamMode(), streams=0
+            ),
+        )
+
+
+def test_negative_payload_rejected():
+    grid = build_two_host_grid()
+    with pytest.raises(ValueError):
+        run_process(
+            grid,
+            run_data_transfer(
+                grid, "src", "dst", -1.0, mode=StreamMode()
+            ),
+        )
+
+
+def test_zero_payload_costs_only_startup():
+    grid = build_two_host_grid(latency=0.010)
+    result = run_process(
+        grid,
+        run_data_transfer(grid, "src", "dst", 0.0, mode=StreamMode()),
+    )
+    assert result.data_seconds == 0.0
+    assert result.wire_bytes == 0.0
+    assert result.startup_seconds > 0.0
+
+
+def test_result_accounts_all_wire_bytes():
+    grid = build_two_host_grid(latency=0.0005)
+    payload = megabytes(16)
+    mode = ExtendedBlockMode()
+    result = run_process(
+        grid,
+        run_data_transfer(grid, "src", "dst", payload, mode=mode,
+                          streams=4),
+    )
+    assert result.wire_bytes == pytest.approx(mode.wire_bytes(payload))
+    # All wire bytes actually crossed the link.
+    link = grid.topology.link("src", "dst")
+    assert link.bytes_carried == pytest.approx(result.wire_bytes, rel=1e-6)
+
+
+def test_negotiated_model_takes_minimum_window():
+    grid = build_two_host_grid()
+    grid.host("src").tcp = TCPParameters(max_window=256 * 1024)
+    grid.host("dst").tcp = TCPParameters(max_window=32 * 1024)
+    model = negotiated_tcp_model(grid.host("src"), grid.host("dst"))
+    assert model.parameters.max_window == 32 * 1024
+
+
+def test_transfer_occupies_host_channels():
+    grid = build_two_host_grid()
+    proc = grid.sim.process(
+        run_data_transfer(
+            grid, "src", "dst", megabytes(64), mode=StreamMode()
+        )
+    )
+    grid.run(until=2.0)  # mid-transfer
+    assert grid.host("src").disk.channel.allocated > 0
+    assert grid.host("dst").disk.channel.allocated > 0
+    assert grid.host("src").cpu.channel.allocated > 0
+    grid.sim.run(until=proc)
+    assert grid.host("src").disk.channel.allocated == 0

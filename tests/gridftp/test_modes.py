@@ -1,0 +1,71 @@
+"""Tests for stream mode and MODE E framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.modes import (
+    MODE_E_HEADER_BYTES,
+    ExtendedBlockMode,
+    StreamMode,
+)
+
+
+def test_stream_mode_adds_nothing():
+    mode = StreamMode()
+    assert mode.wire_bytes(1000.0) == 1000.0
+    assert mode.framing_cpu_seconds(1e9) == 0.0
+    assert mode.max_streams == 1
+
+
+def test_mode_e_block_count_exact_multiple():
+    mode = ExtendedBlockMode(block_size=1000)
+    assert mode.blocks_for(3000) == 3
+
+
+def test_mode_e_block_count_with_remainder():
+    mode = ExtendedBlockMode(block_size=1000)
+    assert mode.blocks_for(3001) == 4
+    assert mode.blocks_for(1) == 1
+    assert mode.blocks_for(0) == 0
+
+
+def test_mode_e_wire_bytes_include_headers():
+    mode = ExtendedBlockMode(block_size=1000)
+    assert mode.wire_bytes(2000) == 2000 + 2 * MODE_E_HEADER_BYTES
+
+
+def test_mode_e_framing_cpu_scales_with_blocks():
+    mode = ExtendedBlockMode(block_size=1000)
+    assert mode.framing_cpu_seconds(10000) == pytest.approx(
+        10 * mode.framing_cpu_seconds(1000)
+    )
+
+
+def test_mode_e_overhead_is_small_at_default_block_size():
+    mode = ExtendedBlockMode()
+    payload = 2 * 2**30  # 2 GiB
+    overhead = mode.wire_bytes(payload) / payload - 1.0
+    assert overhead < 0.001  # 17/65536 ~ 0.026%
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        ExtendedBlockMode(block_size=17)
+    with pytest.raises(ValueError):
+        ExtendedBlockMode(block_size=0)
+
+
+@given(st.floats(0, 1e10), st.integers(100, 1 << 20))
+@settings(max_examples=100, deadline=None)
+def test_wire_bytes_at_least_payload(payload, block_size):
+    mode = ExtendedBlockMode(block_size=block_size)
+    assert mode.wire_bytes(payload) >= payload
+
+
+@given(st.floats(1, 1e9))
+@settings(max_examples=100, deadline=None)
+def test_larger_blocks_mean_less_overhead(payload):
+    small = ExtendedBlockMode(block_size=4096)
+    large = ExtendedBlockMode(block_size=65536)
+    assert large.wire_bytes(payload) <= small.wire_bytes(payload)

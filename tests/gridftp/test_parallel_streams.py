@@ -1,0 +1,82 @@
+"""Tests for the parallel-stream mechanism behind Fig. 4."""
+
+import pytest
+
+from repro.gridftp import GridFtpClient, GridFtpServer
+from repro.units import megabytes, mbit_per_s
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+def wan_grid(capacity=mbit_per_s(30), latency=0.020, loss_rate=1e-3,
+             file_size=megabytes(256)):
+    """A path where one TCP stream cannot fill the pipe."""
+    grid = build_two_host_grid(
+        capacity=capacity, latency=latency, loss_rate=loss_rate
+    )
+    GridFtpServer(grid, "src")
+    grid.host("src").filesystem.create("file-a", file_size)
+    return grid
+
+
+def fetch_time(parallelism, **grid_kwargs):
+    grid = wan_grid(**grid_kwargs)
+    client = GridFtpClient(grid, "dst")
+    record = run_process(
+        grid, client.get("src", "file-a", parallelism=parallelism)
+    )
+    return record.elapsed
+
+
+def test_single_stream_is_window_limited():
+    grid = wan_grid(loss_rate=0.0)
+    path = grid.path("src", "dst")
+    cap = grid.tcp_model.stream_cap(path)
+    assert cap < mbit_per_s(30)
+
+
+def test_more_streams_is_faster_until_saturation():
+    times = {p: fetch_time(p) for p in [1, 2, 4, 8]}
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[8] <= times[4]
+
+
+def test_sixteen_streams_no_better_than_eight():
+    """Past link saturation extra streams only add overhead."""
+    t8 = fetch_time(8)
+    t16 = fetch_time(16)
+    assert t16 >= t8 * 0.95  # no meaningful gain
+
+
+def test_aggregate_never_exceeds_link_rate():
+    grid = wan_grid(file_size=megabytes(64))
+    client = GridFtpClient(grid, "dst")
+    record = run_process(
+        grid, client.get("src", "file-a", parallelism=16)
+    )
+    assert record.data_throughput <= mbit_per_s(30) * 1.01
+
+
+def test_parallel_gain_larger_for_larger_files():
+    """The paper: 'parallel transfer showed better performance for
+    larger file sizes' — fixed per-stream overhead amortises."""
+    small_gain = fetch_time(1, file_size=megabytes(16)) / fetch_time(
+        8, file_size=megabytes(16)
+    )
+    large_gain = fetch_time(1, file_size=megabytes(512)) / fetch_time(
+        8, file_size=megabytes(512)
+    )
+    assert large_gain > small_gain
+
+
+def test_streams_share_with_background_flow():
+    grid = wan_grid(file_size=megabytes(32))
+    # A long-lived background flow over the same link.
+    grid.network.start_flow("src", "dst", 1e12, label="bg")
+    client = GridFtpClient(grid, "dst")
+    record = run_process(
+        grid, client.get("src", "file-a", parallelism=4)
+    )
+    # With fair sharing the transfer gets at most 4/5 of the link.
+    assert record.data_throughput <= mbit_per_s(30) * 0.8 * 1.05

@@ -1,0 +1,90 @@
+"""Tests for the filesystem and the Host facade."""
+
+import pytest
+
+from repro.hosts import (
+    FileExistsInStoreError,
+    FileNotInStoreError,
+    FileSystem,
+    Host,
+    InsufficientSpaceError,
+)
+from repro.sim import Simulator
+
+
+class TestFileSystem:
+    def test_create_and_query(self):
+        fs = FileSystem(1000.0)
+        fs.create("a", 100.0)
+        assert "a" in fs
+        assert fs.size_of("a") == 100.0
+        assert fs.used_bytes == 100.0
+        assert fs.free_bytes == 900.0
+        assert fs.names() == ["a"]
+
+    def test_duplicate_create_rejected(self):
+        fs = FileSystem(1000.0)
+        fs.create("a", 1.0)
+        with pytest.raises(FileExistsInStoreError):
+            fs.create("a", 1.0)
+
+    def test_overflow_rejected(self):
+        fs = FileSystem(100.0)
+        with pytest.raises(InsufficientSpaceError):
+            fs.create("big", 200.0)
+
+    def test_delete_frees_space(self):
+        fs = FileSystem(100.0)
+        fs.create("a", 80.0)
+        fs.delete("a")
+        assert fs.free_bytes == 100.0
+        assert "a" not in fs
+
+    def test_missing_file_errors(self):
+        fs = FileSystem(100.0)
+        with pytest.raises(FileNotInStoreError):
+            fs.delete("ghost")
+        with pytest.raises(FileNotInStoreError):
+            fs.size_of("ghost")
+
+    def test_zero_size_file_allowed(self):
+        fs = FileSystem(100.0)
+        fs.create("empty", 0.0)
+        assert fs.size_of("empty") == 0.0
+
+    def test_negative_size_rejected(self):
+        fs = FileSystem(100.0)
+        with pytest.raises(ValueError):
+            fs.create("neg", -1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FileSystem(0.0)
+
+
+class TestHost:
+    def test_host_wires_components(self):
+        sim = Simulator()
+        host = Host(
+            sim, "alpha1", "THU", cores=2, frequency_ghz=2.0,
+            disk_bandwidth=55e6, disk_capacity=60e9,
+        )
+        assert host.cpu.cores == 2
+        assert host.disk.bandwidth == 55e6
+        assert host.filesystem.capacity_bytes == 60e9
+        assert host.cpu_idle_fraction == 1.0
+        assert host.io_idle_fraction == 1.0
+
+    def test_transfer_links_include_disk_and_cpu(self):
+        host = Host(Simulator(), "h", "S")
+        src = host.transfer_source_links()
+        dst = host.transfer_sink_links()
+        assert host.disk.channel in src and host.cpu.channel in src
+        assert host.disk.channel in dst and host.cpu.channel in dst
+
+    def test_observables_follow_load(self):
+        host = Host(Simulator(), "h", "S", cores=4)
+        host.cpu.set_background_busy(3.0)
+        host.disk.set_background_utilisation(0.25)
+        assert host.cpu_idle_fraction == pytest.approx(0.25)
+        assert host.io_idle_fraction == pytest.approx(0.75)

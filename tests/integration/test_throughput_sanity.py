@@ -1,0 +1,84 @@
+"""Throughput sanity over every class of testbed path.
+
+These pin the calibrated behaviour of the reproduction: if someone
+changes a site parameter or the TCP model, the affected class of path
+fails loudly with the observed rate.
+"""
+
+import pytest
+
+from repro.gridftp import GridFtpClient
+from repro.testbed import build_testbed
+from repro.units import mbit_per_s, megabytes, to_mbit_per_s
+
+from tests.conftest import run_process
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(seed=91, monitoring=False)
+
+
+def fetch_rate(testbed, source, destination, parallelism=None,
+               size=megabytes(64)):
+    grid = testbed.grid
+    name = f"probe-{source}-{destination}-{parallelism}"
+    grid.host(source).filesystem.create(name, size)
+    client = GridFtpClient(grid, destination)
+    record = run_process(grid, client.get(source, name, f"{name}.in"))
+    if parallelism is not None:
+        grid.host(destination).filesystem.delete(f"{name}.in")
+        record = run_process(
+            grid,
+            client.get(source, name, f"{name}.in",
+                       parallelism=parallelism),
+        )
+    rate = record.data_throughput
+    grid.host(source).filesystem.delete(name)
+    grid.host(destination).filesystem.delete(f"{name}.in")
+    return rate
+
+
+def test_thu_lan_is_disk_bound(testbed):
+    """Same-cluster: the 1 Gbps LAN outruns the 55 MB/s disks."""
+    rate = fetch_rate(testbed, "alpha2", "alpha3")
+    assert 40e6 < rate < 56e6
+
+
+def test_thu_to_hit_is_window_bound(testbed):
+    """Cross-campus: 64 KiB window over ~8.4 ms RTT ≈ 7.8 MB/s."""
+    rate = fetch_rate(testbed, "alpha1", "hit1")
+    assert rate == pytest.approx(64 * 1024 / 0.0084, rel=0.1)
+
+
+def test_thu_to_lizen_single_stream_is_loss_bound(testbed):
+    """The Fig. 4 path: Mathis-limited well below 30 Mbps."""
+    rate = fetch_rate(testbed, "alpha1", "lz03")
+    assert to_mbit_per_s(rate) < 8.0
+
+
+def test_thu_to_lizen_parallel_reaches_link_rate(testbed):
+    rate = fetch_rate(testbed, "alpha1", "lz03", parallelism=8)
+    assert to_mbit_per_s(rate) == pytest.approx(30.0, rel=0.1)
+
+
+def test_hit_lan_disk_bound(testbed):
+    rate = fetch_rate(testbed, "hit0", "hit1")
+    assert 45e6 < rate < 61e6
+
+
+def test_lizen_lan_is_its_100mbps_switch(testbed):
+    rate = fetch_rate(testbed, "lz01", "lz02", size=megabytes(16))
+    assert to_mbit_per_s(rate) == pytest.approx(100.0, rel=0.15)
+
+
+def test_no_path_exceeds_its_bottleneck(testbed):
+    grid = testbed.grid
+    cases = [
+        ("alpha1", "hit0"), ("hit2", "lz01"), ("lz04", "alpha3"),
+    ]
+    for source, destination in cases:
+        rate = fetch_rate(testbed, source, destination, parallelism=16,
+                          size=megabytes(16))
+        path = grid.path(source, destination)
+        assert rate <= path.raw_capacity * 1.01

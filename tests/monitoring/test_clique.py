@@ -1,0 +1,83 @@
+"""Tests for NWS clique scheduling."""
+
+import pytest
+
+from repro.monitoring.nws import BandwidthSensor, Clique, NwsMemory
+from repro.monitoring.nws.series import series_key
+from repro.units import mbit_per_s
+
+from tests.conftest import build_two_host_grid
+
+
+def make_clique(period=60.0, n=None):
+    grid = build_two_host_grid(capacity=mbit_per_s(100), latency=0.0005)
+    memory = NwsMemory(grid.sim)
+    pairs = [("src", "dst"), ("dst", "src")]
+    sensors = [
+        BandwidthSensor(
+            grid.sim, memory, grid, a, b, noise=0.0, autostart=False
+        )
+        for a, b in pairs
+    ]
+    clique = Clique(grid.sim, "test-clique", sensors, period=period)
+    return grid, memory, sensors, clique
+
+
+def test_probes_never_overlap():
+    grid, _, _, clique = make_clique(period=60.0)
+    grid.run(until=600.0)
+    times = [t for t, _ in clique.probe_log]
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier == pytest.approx(clique.gap)
+
+
+def test_every_sensor_measures_each_rotation():
+    grid, memory, sensors, clique = make_clique(period=60.0)
+    grid.run(until=600.0)
+    assert clique.rotations >= 9
+    counts = {s.sensor_name: s.measurements_taken for s in sensors}
+    values = list(counts.values())
+    assert max(values) - min(values) <= 1  # fair round-robin
+    assert memory.has_series(series_key("bandwidth", "src", "dst"))
+    assert memory.has_series(series_key("bandwidth", "dst", "src"))
+
+
+def test_stop_halts_probing():
+    grid, _, sensors, clique = make_clique(period=10.0)
+    grid.run(until=50.0)
+    clique.stop()
+    grid.run(until=51.0)
+    count = len(clique.probe_log)
+    grid.run(until=500.0)
+    assert len(clique.probe_log) == count
+
+
+def test_autostarted_sensor_rejected():
+    grid = build_two_host_grid()
+    memory = NwsMemory(grid.sim)
+    auto = BandwidthSensor(grid.sim, memory, grid, "src", "dst")
+    with pytest.raises(ValueError):
+        Clique(grid.sim, "bad", [auto])
+
+
+def test_validation():
+    grid = build_two_host_grid()
+    memory = NwsMemory(grid.sim)
+    sensor = BandwidthSensor(
+        grid.sim, memory, grid, "src", "dst", autostart=False
+    )
+    with pytest.raises(ValueError):
+        Clique(grid.sim, "empty", [])
+    with pytest.raises(ValueError):
+        Clique(grid.sim, "zero", [sensor], period=0.0)
+
+
+def test_manual_sensor_never_self_fires():
+    grid = build_two_host_grid()
+    memory = NwsMemory(grid.sim)
+    sensor = BandwidthSensor(
+        grid.sim, memory, grid, "src", "dst", autostart=False
+    )
+    grid.run(until=100.0)
+    assert sensor.measurements_taken == 0
+    sensor.stop()  # no-op, must not crash

@@ -1,0 +1,159 @@
+"""Tests for MDS (GRIS/GIIS) and the InformationService facade."""
+
+import pytest
+
+from repro.monitoring import InformationService
+from repro.monitoring.mds import GIIS, GRIS
+from repro.monitoring.nws import BandwidthSensor, NwsMemory
+from repro.units import mbit_per_s
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+class TestGRIS:
+    def test_snapshot_contents(self):
+        grid = build_two_host_grid()
+        gris = GRIS(grid, "src")
+        entry = gris.snapshot()
+        assert entry["hostname"] == "src"
+        assert entry["cpu.count"] == 2
+        assert entry["cpu.idle_fraction"] == 1.0
+        assert entry["disk.io_idle_fraction"] == 1.0
+        assert gris.snapshots_served == 1
+
+    def test_snapshot_reflects_live_state(self):
+        grid = build_two_host_grid()
+        gris = GRIS(grid, "src")
+        grid.host("src").cpu.set_background_busy(1.0)
+        assert gris.snapshot()["cpu.idle_fraction"] == pytest.approx(0.5)
+
+
+class TestGIIS:
+    def build(self, ttl=30.0):
+        grid = build_two_host_grid(latency=0.010)
+        giis = GIIS(grid, "dst", ttl=ttl)
+        giis.register(GRIS(grid, "src"))
+        giis.register(GRIS(grid, "dst"))
+        return grid, giis
+
+    def test_query_charges_rtt_on_miss(self):
+        grid, giis = self.build()
+        t0 = grid.sim.now
+        entry = run_process(grid, giis.query("src"))
+        assert entry["hostname"] == "src"
+        assert grid.sim.now - t0 == pytest.approx(0.020)
+        assert giis.cache_misses == 1
+
+    def test_cache_hit_is_free_and_stale(self):
+        grid, giis = self.build(ttl=30.0)
+        grid.host("src").cpu.set_background_busy(0.0)
+        run_process(grid, giis.query("src"))
+        grid.host("src").cpu.set_background_busy(2.0)
+        t0 = grid.sim.now
+        entry = run_process(grid, giis.query("src"))
+        assert grid.sim.now == t0  # no time charged
+        assert entry["cpu.idle_fraction"] == 1.0  # stale value
+        assert giis.cache_hits == 1
+
+    def test_ttl_expiry_refetches(self):
+        grid, giis = self.build(ttl=5.0)
+        run_process(grid, giis.query("src"))
+        grid.host("src").cpu.set_background_busy(2.0)
+        grid.run(until=grid.sim.now + 10.0)
+        entry = run_process(grid, giis.query("src"))
+        assert entry["cpu.idle_fraction"] == 0.0
+        assert giis.cache_misses == 2
+
+    def test_local_query_costs_nothing(self):
+        grid, giis = self.build()
+        t0 = grid.sim.now
+        run_process(grid, giis.query("dst"))
+        assert grid.sim.now == t0
+
+    def test_invalidate(self):
+        grid, giis = self.build()
+        run_process(grid, giis.query("src"))
+        giis.invalidate("src")
+        run_process(grid, giis.query("src"))
+        assert giis.cache_misses == 2
+
+    def test_query_all(self):
+        grid, giis = self.build()
+        entries = run_process(grid, giis.query_all())
+        assert sorted(entries) == ["dst", "src"]
+
+    def test_unknown_host_rejected(self):
+        grid, giis = self.build()
+        with pytest.raises(KeyError):
+            run_process(grid, giis.query("ghost"))
+
+    def test_duplicate_registration_rejected(self):
+        grid, giis = self.build()
+        with pytest.raises(ValueError):
+            giis.register(GRIS(grid, "src"))
+
+
+class TestInformationService:
+    def build(self):
+        grid = build_two_host_grid(
+            capacity=mbit_per_s(100), latency=0.0005
+        )
+        memory = NwsMemory(grid.sim)
+        BandwidthSensor(
+            grid.sim, memory, grid, "src", "dst", period=5.0, noise=0.0
+        )
+        giis = GIIS(grid, "dst", ttl=10.0)
+        giis.register(GRIS(grid, "src"))
+        giis.register(GRIS(grid, "dst"))
+        info = InformationService(grid, "dst", memory, giis)
+        return grid, info
+
+    def test_bandwidth_fraction_full_on_idle_path(self):
+        grid, info = self.build()
+        grid.run(until=60.0)
+        fraction, name = info.bandwidth_fraction("src", "dst")
+        assert fraction == pytest.approx(1.0, abs=0.05)
+        assert name is not None
+
+    def test_bandwidth_fraction_drops_under_contention(self):
+        grid, info = self.build()
+        grid.network.start_flow("src", "dst", 1e12)
+        grid.run(until=120.0)
+        fraction, _ = info.bandwidth_fraction("src", "dst")
+        assert fraction == pytest.approx(0.5, abs=0.1)
+
+    def test_cold_start_falls_back_to_probe(self):
+        grid, info = self.build()
+        # No sensor has fired yet at t=0.
+        value, name = info.bandwidth_forecast("dst", "src")
+        assert name == "live-probe"
+        assert value > 0
+
+    def test_cpu_idle_via_mds(self):
+        grid, info = self.build()
+        grid.host("src").cpu.set_background_busy(1.0)
+        idle = run_process(grid, info.cpu_idle("src"))
+        assert idle == pytest.approx(0.5)
+
+    def test_io_idle_charges_round_trip(self):
+        grid, info = self.build()
+        grid.host("src").disk.set_background_utilisation(0.25)
+        t0 = grid.sim.now
+        idle = run_process(grid, info.io_idle("src"))
+        assert idle == pytest.approx(0.75)
+        assert grid.sim.now - t0 == pytest.approx(
+            grid.path("dst", "src").rtt
+        )
+
+    def test_site_factors_aggregates_all_three(self):
+        grid, info = self.build()
+        grid.host("src").cpu.set_background_busy(1.0)
+        grid.host("src").disk.set_background_utilisation(0.2)
+        grid.run(until=30.0)
+        factors = run_process(grid, info.site_factors("dst", "src"))
+        assert factors.candidate == "src"
+        assert factors.cpu_idle == pytest.approx(0.5)
+        assert factors.io_idle == pytest.approx(0.8)
+        assert 0.0 <= factors.bandwidth_fraction <= 1.0
+        as_dict = factors.as_dict()
+        assert as_dict["candidate"] == "src"

@@ -1,0 +1,150 @@
+"""Property-based stress tests for the dynamic flow network.
+
+Hypothesis drives random operation sequences (start flows of random
+sizes between random hosts, change background load, abort flows, let
+time pass) and checks global invariants at the end.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import FlowNetwork, Topology
+from repro.network.flow import FlowAborted
+from repro.sim import Simulator
+
+HOSTS = ["a", "b", "c", "d"]
+
+
+def build(capacity):
+    sim = Simulator(seed=5)
+    topo = Topology()
+    for name in HOSTS:
+        topo.add_node(name)
+    topo.add_node("hub")
+    for name in HOSTS:
+        topo.add_duplex_link(name, "hub", capacity)
+    return sim, topo, FlowNetwork(sim, topo)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("start"),
+            st.sampled_from(HOSTS),
+            st.sampled_from(HOSTS),
+            st.floats(1.0, 1e6),
+            st.one_of(st.just(math.inf), st.floats(1.0, 1e4)),
+        ),
+        st.tuples(st.just("advance"), st.floats(0.01, 50.0)),
+        st.tuples(st.just("abort"), st.integers(0, 30)),
+        st.tuples(
+            st.just("load"),
+            st.sampled_from(HOSTS),
+            st.floats(0.0, 0.9),
+        ),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(operations, st.floats(10.0, 1e5))
+@settings(max_examples=60, deadline=None)
+def test_flow_network_invariants_under_random_operations(ops, capacity):
+    sim, topo, net = build(capacity)
+    flows = []
+    swallowers = []
+
+    def swallow(flow):
+        try:
+            yield flow.done
+        except FlowAborted:
+            pass
+
+    for op in ops:
+        if op[0] == "start":
+            _, src, dst, size, cap = op
+            if src == dst:
+                continue
+            flow = net.start_flow(src, dst, size, cap=cap)
+            flows.append(flow)
+            swallowers.append(sim.process(swallow(flow)))
+        elif op[0] == "advance":
+            sim.run(until=sim.now + op[1])
+        elif op[0] == "abort":
+            index = op[1]
+            if index < len(flows) and flows[index].is_active:
+                net.abort_flow(flows[index], cause="fuzz")
+        elif op[0] == "load":
+            _, host, level = op
+            topo.link(host, "hub").background_utilisation = level
+            topo.link("hub", host).background_utilisation = level
+            net.rebalance()
+
+    # Clear all load and drain: every non-aborted flow must complete.
+    for host in HOSTS:
+        topo.link(host, "hub").background_utilisation = 0.0
+        topo.link("hub", host).background_utilisation = 0.0
+    net.rebalance()
+    sim.run()
+
+    assert net.active_flows == []
+    for flow in flows:
+        if flow.aborted:
+            assert 0.0 <= flow.transferred <= flow.nbytes + 1e-6
+        else:
+            # Completed exactly.
+            assert flow.completed_at is not None
+            assert flow.remaining == 0.0
+            assert flow.transferred == pytest.approx(
+                flow.nbytes, rel=1e-9, abs=1e-3
+            )
+    # Conservation: bytes carried per link equal the sum over flows
+    # that used it of what they actually moved.
+    for link in topo.links():
+        expected = sum(
+            f.transferred for f in flows if link in f.links
+        )
+        assert link.bytes_carried == pytest.approx(
+            expected, rel=1e-6, abs=1.0
+        )
+        assert link.allocated == 0.0
+
+
+@given(
+    st.lists(st.floats(1.0, 1e5), min_size=1, max_size=10),
+    st.floats(100.0, 1e5),
+)
+@settings(max_examples=60, deadline=None)
+def test_simultaneous_flows_finish_in_size_order(sizes, capacity):
+    """Equal-share flows over one link complete in size order."""
+    sim, topo, net = build(capacity)
+    flows = [net.start_flow("a", "b", size) for size in sizes]
+    sim.run()
+    completions = [(f.nbytes, f.completed_at) for f in flows]
+    by_size = sorted(completions)
+    finish_times = [t for _, t in by_size]
+    assert finish_times == sorted(finish_times)
+
+
+@given(st.floats(1.0, 1e6), st.integers(1, 12), st.floats(100.0, 1e5))
+@settings(max_examples=60, deadline=None)
+def test_splitting_a_flow_into_streams_preserves_duration(
+    size, streams, capacity
+):
+    """n equal streams over one path finish together, at the same time
+    one big flow would (fair sharing makes the split free)."""
+    sim1, _, net1 = build(capacity)
+    whole = net1.start_flow("a", "b", size)
+    sim1.run()
+
+    sim2, _, net2 = build(capacity)
+    parts = [
+        net2.start_flow("a", "b", size / streams) for _ in range(streams)
+    ]
+    sim2.run()
+    last = max(f.completed_at for f in parts)
+    assert last == pytest.approx(whole.completed_at, rel=1e-6)

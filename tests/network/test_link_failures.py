@@ -1,0 +1,93 @@
+"""Tests for link failures and flapping."""
+
+import pytest
+
+from repro.network import FlowNetwork, LinkFlapProcess, Topology
+from repro.sim import Simulator
+
+
+def make_net(capacity=100.0):
+    sim = Simulator(seed=17)
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_duplex_link("a", "b", capacity)
+    return sim, topo, FlowNetwork(sim, topo)
+
+
+def test_down_link_has_zero_capacity():
+    _, topo, _ = make_net()
+    link = topo.link("a", "b")
+    assert link.is_up
+    link.set_down()
+    assert not link.is_up
+    assert link.available_capacity == 0.0
+    link.set_up()
+    assert link.available_capacity == 100.0
+
+
+def test_flow_stalls_during_outage_and_resumes():
+    sim, topo, net = make_net(capacity=100.0)
+    link = topo.link("a", "b")
+    flow = net.start_flow("a", "b", 1000.0)
+
+    def outage():
+        yield sim.timeout(5.0)       # 500 B moved
+        link.set_down()
+        net.rebalance()
+        yield sim.timeout(20.0)      # stalled
+        link.set_up()
+        net.rebalance()
+
+    sim.process(outage())
+    sim.run(until=flow.done)
+    # 5s before + 20s outage + 5s after.
+    assert sim.now == pytest.approx(30.0)
+    assert flow.transferred == pytest.approx(1000.0)
+
+
+def test_flap_process_produces_outages():
+    sim, topo, net = make_net()
+    flap = LinkFlapProcess(
+        sim, net, topo.link("a", "b"),
+        mean_up_time=10.0, mean_down_time=2.0,
+    )
+    sim.run(until=200.0)
+    assert flap.outages > 5
+    ups = [up for _, up in flap.history]
+    # Alternating down/up transitions.
+    assert ups[:4] == [False, True, False, True]
+
+
+def test_flap_stop_restores_link():
+    sim, topo, net = make_net()
+    link = topo.link("a", "b")
+    flap = LinkFlapProcess(
+        sim, net, link, mean_up_time=1.0, mean_down_time=100.0
+    )
+    sim.run(until=10.0)  # almost surely down now
+    flap.stop()
+    sim.run(until=11.0)
+    assert link.is_up
+
+
+def test_transfer_through_flapping_link_completes():
+    sim, topo, net = make_net(capacity=100.0)
+    LinkFlapProcess(
+        sim, net, topo.link("a", "b"),
+        mean_up_time=5.0, mean_down_time=1.0,
+    )
+    flow = net.start_flow("a", "b", 2000.0)
+    sim.run(until=flow.done)
+    assert flow.transferred == pytest.approx(2000.0)
+    # Outages stretched the transfer beyond the ideal 20 s.
+    assert sim.now > 20.0
+
+
+def test_flap_validation():
+    sim, topo, net = make_net()
+    link = topo.link("a", "b")
+    with pytest.raises(ValueError):
+        LinkFlapProcess(sim, net, link, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        LinkFlapProcess(sim, net, link, 1.0, -1.0)

@@ -1,0 +1,102 @@
+"""Tests for the analytic TCP throughput model."""
+
+import math
+
+import pytest
+
+from repro.network import Router, TCPModel, TCPParameters, Topology
+from repro.network.tcp import mathis_throughput
+from repro.units import mbit_per_s
+
+
+def wan_path(latency=0.010, loss=1e-4, capacity=mbit_per_s(30)):
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", capacity, latency=latency, loss_rate=loss)
+    return Router(topo).path("a", "b")
+
+
+def test_mathis_loss_free_is_infinite():
+    assert math.isinf(mathis_throughput(1460, 0.02, 0.0))
+
+
+def test_mathis_decreases_with_loss():
+    low = mathis_throughput(1460, 0.02, 1e-5)
+    high = mathis_throughput(1460, 0.02, 1e-3)
+    assert low > high
+
+
+def test_mathis_formula_value():
+    # (1460/0.01) * sqrt(1.5) / sqrt(1e-4) = 146000 * 1.2247 * 100
+    value = mathis_throughput(1460, 0.01, 1e-4)
+    assert value == pytest.approx(146000 * math.sqrt(1.5) * 100, rel=1e-9)
+
+
+def test_window_limit_on_lossless_wan():
+    model = TCPModel(TCPParameters(max_window=64 * 1024))
+    path = wan_path(latency=0.010, loss=0.0)
+    # rtt = 20ms -> 64KiB / 0.02s = 3.2 MiB/s
+    assert model.stream_cap(path) == pytest.approx(64 * 1024 / 0.02)
+
+
+def test_stream_cap_takes_tighter_of_two_limits():
+    params = TCPParameters(max_window=1024 * 1024)  # huge window
+    model = TCPModel(params)
+    path = wan_path(latency=0.010, loss=1e-3)
+    expected = mathis_throughput(params.mss, path.rtt, path.loss_rate)
+    assert model.stream_cap(path) == pytest.approx(expected)
+
+
+def test_loopback_is_uncapped():
+    topo = Topology()
+    topo.add_node("a")
+    model = TCPModel()
+    path = Router(topo).path("a", "a")
+    assert math.isinf(model.stream_cap(path))
+
+
+def test_parallel_streams_multiply_cap_below_link_rate():
+    """The Fig. 4 mechanism: n streams -> n * single-stream cap."""
+    model = TCPModel(TCPParameters(max_window=64 * 1024))
+    path = wan_path(latency=0.020, loss=0.0, capacity=mbit_per_s(30))
+    single = model.stream_cap(path)
+    assert single < mbit_per_s(30)
+    assert 4 * single > 2 * single  # monotone aggregation
+
+
+def test_connection_setup_is_1_5_rtt():
+    model = TCPModel()
+    path = wan_path(latency=0.010)
+    assert model.connection_setup_time(path) == pytest.approx(1.5 * 0.020)
+
+
+def test_slow_start_time_grows_with_window():
+    small = TCPModel(TCPParameters(max_window=16 * 1024))
+    large = TCPModel(TCPParameters(max_window=256 * 1024))
+    path = wan_path(latency=0.010, loss=0.0)
+    assert small.slow_start_time(path) < large.slow_start_time(path)
+
+
+def test_slow_start_zero_on_loopback():
+    topo = Topology()
+    topo.add_node("a")
+    path = Router(topo).path("a", "a")
+    assert TCPModel().slow_start_time(path) == 0.0
+
+
+def test_operating_window_bounded_by_max():
+    params = TCPParameters(max_window=64 * 1024)
+    model = TCPModel(params)
+    path = wan_path(latency=0.050, loss=0.0)
+    assert model.operating_window(path) <= params.max_window
+    assert model.operating_window(path, target_rate=1.0) >= params.mss
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TCPParameters(mss=0)
+    with pytest.raises(ValueError):
+        TCPParameters(max_window=100.0)  # less than one MSS
+    with pytest.raises(ValueError):
+        TCPParameters(initial_window=0)

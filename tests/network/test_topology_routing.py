@@ -1,0 +1,139 @@
+"""Tests for topology construction and Dijkstra routing."""
+
+import pytest
+
+from repro.network import NoRouteError, Router, Topology
+from repro.units import mbit_per_s
+
+
+def linear_topology():
+    topo = Topology()
+    for name in ["a", "b", "c"]:
+        topo.add_node(name)
+    topo.add_duplex_link("a", "b", mbit_per_s(100), latency=0.001)
+    topo.add_duplex_link("b", "c", mbit_per_s(10), latency=0.010)
+    return topo
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_node("x")
+    with pytest.raises(ValueError):
+        topo.add_node("x")
+
+
+def test_duplicate_link_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", 1.0)
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", 1.0)
+
+
+def test_link_to_unknown_node_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(KeyError):
+        topo.add_link("a", "ghost", 1.0)
+
+
+def test_duplex_link_creates_both_directions():
+    topo = linear_topology()
+    assert topo.has_link("a", "b")
+    assert topo.has_link("b", "a")
+
+
+def test_site_hosts_excludes_routers():
+    topo = Topology()
+    topo.add_node("h1", site="thu")
+    topo.add_node("h2", site="thu")
+    topo.add_node("sw", site="thu", is_router=True)
+    names = [n.name for n in topo.site_hosts("thu")]
+    assert names == ["h1", "h2"]
+    assert [n.name for n in topo.hosts()] == ["h1", "h2"]
+
+
+def test_route_follows_chain():
+    topo = linear_topology()
+    path = Router(topo).path("a", "c")
+    assert [l.key for l in path] == [("a", "b"), ("b", "c")]
+    assert path.latency == pytest.approx(0.011)
+    assert path.rtt == pytest.approx(0.022)
+
+
+def test_route_prefers_lower_latency():
+    topo = Topology()
+    for name in ["s", "m1", "m2", "d"]:
+        topo.add_node(name)
+    topo.add_link("s", "m1", 1.0, latency=0.005)
+    topo.add_link("m1", "d", 1.0, latency=0.005)
+    topo.add_link("s", "m2", 1.0, latency=0.001)
+    topo.add_link("m2", "d", 1.0, latency=0.001)
+    path = Router(topo).path("s", "d")
+    assert [l.key for l in path] == [("s", "m2"), ("m2", "d")]
+
+
+def test_loopback_path_is_empty():
+    topo = linear_topology()
+    path = Router(topo).path("a", "a")
+    assert path.is_loopback
+    assert path.latency == 0.0
+    assert path.raw_capacity == float("inf")
+
+
+def test_no_route_raises():
+    topo = Topology()
+    topo.add_node("island1")
+    topo.add_node("island2")
+    with pytest.raises(NoRouteError):
+        Router(topo).path("island1", "island2")
+
+
+def test_router_cache_invalidated_on_topology_change():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    router = Router(topo)
+    with pytest.raises(NoRouteError):
+        router.path("a", "b")
+    topo.add_link("a", "b", 1.0, latency=0.001)
+    path = router.path("a", "b")
+    assert len(path) == 1
+
+
+def test_path_loss_rate_composes():
+    topo = Topology()
+    for name in ["a", "b", "c"]:
+        topo.add_node(name)
+    topo.add_link("a", "b", 1.0, loss_rate=0.1)
+    topo.add_link("b", "c", 1.0, loss_rate=0.1)
+    path = Router(topo).path("a", "c")
+    assert path.loss_rate == pytest.approx(1 - 0.9 * 0.9)
+
+
+def test_path_capacity_is_bottleneck():
+    topo = linear_topology()
+    path = Router(topo).path("a", "c")
+    assert path.raw_capacity == pytest.approx(mbit_per_s(10))
+
+
+def test_background_reduces_available_capacity():
+    topo = linear_topology()
+    topo.link("b", "c").background_utilisation = 0.5
+    path = Router(topo).path("a", "c")
+    assert path.available_capacity == pytest.approx(mbit_per_s(5))
+
+
+def test_link_validation():
+    from repro.network import Link
+
+    with pytest.raises(ValueError):
+        Link("a", "b", capacity=0.0)
+    with pytest.raises(ValueError):
+        Link("a", "b", capacity=1.0, latency=-1.0)
+    with pytest.raises(ValueError):
+        Link("a", "b", capacity=1.0, loss_rate=1.0)
+    link = Link("a", "b", capacity=100.0)
+    with pytest.raises(ValueError):
+        link.background_utilisation = 1.0

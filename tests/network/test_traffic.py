@@ -1,0 +1,131 @@
+"""Tests for background traffic processes."""
+
+import pytest
+
+from repro.network import (
+    CrossTrafficProcess,
+    FlowNetwork,
+    FlowTrafficGenerator,
+    Topology,
+)
+from repro.sim import Simulator
+
+
+def make_net(capacity=1000.0):
+    sim = Simulator(seed=42)
+    topo = Topology()
+    for name in ["a", "b", "c"]:
+        topo.add_node(name)
+    topo.add_duplex_link("a", "b", capacity)
+    topo.add_duplex_link("b", "c", capacity)
+    return sim, topo, FlowNetwork(sim, topo)
+
+
+def test_cross_traffic_changes_utilisation_over_time():
+    sim, topo, net = make_net()
+    link = topo.link("a", "b")
+    proc = CrossTrafficProcess(
+        sim, net, link, levels=[0.1, 0.5, 0.8], mean_holding_time=10.0
+    )
+    sim.run(until=200.0)
+    levels = {round(u, 1) for _, u in proc.history}
+    assert len(proc.history) > 5
+    assert levels <= {0.1, 0.5, 0.8}
+    assert len(levels) > 1  # actually moved between levels
+
+
+def test_cross_traffic_jitter_stays_in_bounds():
+    sim, topo, net = make_net()
+    proc = CrossTrafficProcess(
+        sim, net, topo.link("a", "b"),
+        levels=[0.5], mean_holding_time=5.0, jitter=0.2,
+    )
+    sim.run(until=100.0)
+    for _, level in proc.history:
+        assert 0.0 <= level <= 0.95
+
+
+def test_cross_traffic_slows_foreground_flow():
+    sim, topo, net = make_net(capacity=100.0)
+    CrossTrafficProcess(
+        sim, net, topo.link("a", "b"),
+        levels=[0.5], mean_holding_time=1e9,
+    )
+    flow = net.start_flow("a", "b", 1000.0)
+    sim.run(until=flow.done)
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_cross_traffic_stop_halts_jumps():
+    sim, topo, net = make_net()
+    proc = CrossTrafficProcess(
+        sim, net, topo.link("a", "b"),
+        levels=[0.1, 0.2], mean_holding_time=1.0,
+    )
+    sim.run(until=10.0)
+    proc.stop()
+    sim.run(until=30.0)
+    count = len(proc.history)
+    sim.run(until=100.0)
+    assert len(proc.history) == count
+
+
+def test_cross_traffic_validation():
+    sim, topo, net = make_net()
+    link = topo.link("a", "b")
+    with pytest.raises(ValueError):
+        CrossTrafficProcess(sim, net, link, levels=[], mean_holding_time=1.0)
+    with pytest.raises(ValueError):
+        CrossTrafficProcess(sim, net, link, levels=[1.5], mean_holding_time=1.0)
+    with pytest.raises(ValueError):
+        CrossTrafficProcess(sim, net, link, levels=[0.1], mean_holding_time=0)
+
+
+def test_flow_generator_spawns_flows():
+    sim, topo, net = make_net()
+    gen = FlowTrafficGenerator(
+        sim, net, hosts=["a", "b", "c"], arrival_rate=1.0, mean_size=100.0
+    )
+    sim.run(until=100.0)
+    assert gen.spawned > 50
+    assert len(net.completed) > 0
+    for flow in net.completed:
+        assert flow.label == "background"
+        assert flow.path.src != flow.path.dst
+
+
+def test_flow_generator_deterministic_under_seed():
+    counts = []
+    for _ in range(2):
+        sim, topo, net = make_net()
+        gen = FlowTrafficGenerator(
+            sim, net, hosts=["a", "b"], arrival_rate=2.0, mean_size=50.0
+        )
+        sim.run(until=50.0)
+        counts.append(gen.spawned)
+    assert counts[0] == counts[1]
+
+
+def test_flow_generator_stop():
+    sim, topo, net = make_net()
+    gen = FlowTrafficGenerator(
+        sim, net, hosts=["a", "b"], arrival_rate=5.0, mean_size=10.0
+    )
+    sim.run(until=10.0)
+    gen.stop()
+    sim.run(until=11.0)
+    spawned = gen.spawned
+    sim.run(until=50.0)
+    assert gen.spawned == spawned
+
+
+def test_flow_generator_validation():
+    sim, topo, net = make_net()
+    with pytest.raises(ValueError):
+        FlowTrafficGenerator(sim, net, ["a"], 1.0, 10.0)
+    with pytest.raises(ValueError):
+        FlowTrafficGenerator(sim, net, ["a", "b"], 0.0, 10.0)
+    with pytest.raises(ValueError):
+        FlowTrafficGenerator(sim, net, ["a", "b"], 1.0, -5.0)
+    with pytest.raises(ValueError):
+        FlowTrafficGenerator(sim, net, ["a", "b"], 1.0, 10.0, pareto_alpha=1.0)

@@ -1,0 +1,93 @@
+"""Tests for the access-count replication policy."""
+
+import pytest
+
+from repro.replica import AccessCountReplicationPolicy, ReplicaManager
+from repro.testbed import build_testbed
+from repro.units import megabytes
+
+from tests.conftest import run_process
+
+
+def setup_policy(threshold=3, size_mb=16):
+    testbed = build_testbed(seed=31, monitoring=False)
+    grid = testbed.grid
+    size = megabytes(size_mb)
+    testbed.catalog.create_logical_file("f", size)
+    grid.host("alpha4").filesystem.create("f", size)
+    testbed.catalog.register_replica("f", "alpha4")
+    manager = ReplicaManager(grid, testbed.catalog, "alpha1")
+    policy = AccessCountReplicationPolicy(
+        grid, testbed.catalog, manager, threshold=threshold
+    )
+    return testbed, policy
+
+
+def test_no_replication_below_threshold():
+    testbed, policy = setup_policy(threshold=3)
+    policy.record_access("hit0", "f", remote=True)
+    policy.record_access("hit1", "f", remote=True)
+    assert policy.pending_replications() == []
+    assert policy.access_count("f", "HIT") == 2
+
+
+def test_threshold_triggers_site_replication():
+    testbed, policy = setup_policy(threshold=3)
+    for client in ["hit0", "hit1", "hit0"]:
+        policy.record_access(client, "f", remote=True)
+    pending = policy.pending_replications()
+    assert len(pending) == 1
+    name, target = pending[0]
+    assert name == "f"
+    assert testbed.grid.host(target).site == "HIT"
+
+
+def test_local_hits_do_not_count():
+    testbed, policy = setup_policy(threshold=1)
+    policy.record_access("hit0", "f", remote=False)
+    assert policy.pending_replications() == []
+
+
+def test_replicate_pending_moves_data_and_registers():
+    testbed, policy = setup_policy(threshold=2)
+    for _ in range(2):
+        policy.record_access("hit0", "f", remote=True)
+    created = run_process(testbed.grid, policy.replicate_pending())
+    assert len(created) == 1
+    entry = created[0]
+    assert testbed.grid.host(entry.host_name).site == "HIT"
+    assert "f" in testbed.grid.host(entry.host_name).filesystem
+    assert policy.completed == [("f", entry.host_name)]
+    assert policy.pending_replications() == []
+
+
+def test_site_with_existing_replica_not_duplicated():
+    testbed, policy = setup_policy(threshold=1)
+    # THU already holds the file at alpha4.
+    policy.record_access("alpha1", "f", remote=True)
+    assert policy.pending_replications() == []
+
+
+def test_each_site_handled_once():
+    testbed, policy = setup_policy(threshold=1)
+    policy.record_access("hit0", "f", remote=True)
+    policy.record_access("hit1", "f", remote=True)
+    assert len(policy.pending_replications()) == 1
+
+
+def test_full_site_is_skipped():
+    testbed, policy = setup_policy(threshold=1, size_mb=16)
+    # Fill every Li-Zen disk (10 GB each).
+    for host in testbed.grid.site_hosts("LZ"):
+        host.filesystem.create("ballast", host.filesystem.free_bytes)
+    policy.record_access("lz01", "f", remote=True)
+    assert policy.pending_replications() == []
+
+
+def test_threshold_validation():
+    testbed, _ = setup_policy()
+    manager = ReplicaManager(testbed.grid, testbed.catalog, "alpha2")
+    with pytest.raises(ValueError):
+        AccessCountReplicationPolicy(
+            testbed.grid, testbed.catalog, manager, threshold=0
+        )

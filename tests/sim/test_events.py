@@ -1,0 +1,128 @@
+"""Tests for events and condition events (AllOf / AnyOf)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator, SimulationError
+
+
+def test_event_lifecycle_flags():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(5)
+    assert ev.triggered and not ev.processed
+    sim.run()
+    assert ev.processed
+    assert ev.ok
+    assert ev.value == 5
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_delayed_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("later", delay=9.0)
+    fired = []
+    ev.callbacks.append(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [9.0]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="a")
+    t2 = sim.timeout(5.0, value="b")
+    got = []
+
+    def proc():
+        values = yield AllOf(sim, [t1, t2])
+        got.append((sim.now, sorted(values.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="fast")
+    t2 = sim.timeout(5.0, value="slow")
+    got = []
+
+    def proc():
+        values = yield AnyOf(sim, [t1, t2])
+        got.append((sim.now, list(values.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(1.0, ["fast"])]
+
+
+def test_empty_all_of_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+    sim.run()
+    assert cond.value == {}
+
+
+def test_all_of_fails_if_member_fails():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = sim.event()
+    caught = []
+
+    def failer():
+        yield sim.timeout(0.5)
+        bad.fail(RuntimeError("member failed"))
+
+    def waiter():
+        try:
+            yield AllOf(sim, [good, bad])
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    sim.process(failer())
+    sim.process(waiter())
+    sim.run()
+    assert caught == ["member failed"]
+
+
+def test_condition_rejects_foreign_events():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim_a, [sim_a.timeout(1.0), sim_b.timeout(1.0)])
+
+
+def test_all_of_accepts_already_processed_events():
+    sim = Simulator()
+    done = sim.timeout(0.0, value="x")
+    sim.run()
+    assert done.processed
+    cond = AllOf(sim, [done])
+    sim.run()
+    assert cond.value == {done: "x"}

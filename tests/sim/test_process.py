@@ -1,0 +1,215 @@
+"""Tests for generator-based processes: values, exceptions, interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, SimulationError
+from repro.sim.errors import StopProcess
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="tick")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["tick"]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 99
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 99
+
+
+def test_stop_process_terminates_with_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise StopProcess("early")
+        yield sim.timeout(100.0)  # pragma: no cover
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "early"
+    assert sim.now == 1.0
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield sim.timeout(2.0)
+        order.append("child")
+        return "from-child"
+
+    def parent():
+        value = yield sim.process(child())
+        order.append("parent")
+        return value
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == "from-child"
+    assert order == ["child", "parent"]
+
+
+def test_failed_event_is_thrown_into_waiter():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        ev = sim.event()
+        sim.process(_failer(sim, ev))
+        try:
+            yield ev
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    def _failer(sim, ev):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_reaches_wait_point():
+    sim = Simulator()
+    causes = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            causes.append((intr.cause, sim.now))
+
+    def attacker(proc):
+        yield sim.timeout(5.0)
+        proc.interrupt(cause="abort")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run(until=v)
+    assert causes == [("abort", 5.0)]
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue_waiting():
+    sim = Simulator()
+    trace = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            trace.append(("interrupted", sim.now))
+        yield sim.timeout(10.0)
+        trace.append(("done", sim.now))
+
+    def attacker(proc):
+        yield sim.timeout(4.0)
+        proc.interrupt()
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert trace == [("interrupted", 4.0), ("done", 14.0)]
+
+
+def test_interrupt_racing_with_completion_is_dropped():
+    """An interrupt scheduled at the same instant the victim finishes
+    must not crash the run (regression for a kernel race found by the
+    property fuzzer)."""
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(5.0)
+
+    def attacker(proc):
+        yield sim.timeout(5.0)
+        if proc.is_alive:
+            proc.interrupt(cause="race")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert v.triggered and v.ok
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_non_generator_target_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_yielding_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("cached")
+    sim.run()  # process the event
+    got = []
+
+    def proc():
+        value = yield done
+        got.append((value, sim.now))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [("cached", 0.0)]
+
+
+def test_is_alive_tracks_lifecycle():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive

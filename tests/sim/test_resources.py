@@ -1,0 +1,157 @@
+"""Tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+
+
+def test_resource_fifo_handoff():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        with res.request() as req:
+            yield req
+            order.append(("start", tag, sim.now))
+            yield sim.timeout(hold)
+        order.append(("end", tag, sim.now))
+
+    sim.process(worker("a", 3.0))
+    sim.process(worker("b", 2.0))
+    sim.run()
+    assert order == [
+        ("start", "a", 0.0),
+        ("end", "a", 3.0),
+        ("start", "b", 3.0),
+        ("end", "b", 5.0),
+    ]
+
+
+def test_release_of_queued_request_cancels_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.release(queued)  # cancel before grant
+    res.release(held)
+    assert res.count == 0
+    assert not queued.triggered
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_container_put_get_levels():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=4.0)
+    tank.put(3.0)
+    assert tank.level == 7.0
+    tank.get(5.0)
+    assert tank.level == 2.0
+
+
+def test_container_get_blocks_until_available():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    got = []
+
+    def consumer():
+        yield tank.get(5.0)
+        got.append(sim.now)
+
+    def producer():
+        yield sim.timeout(2.0)
+        yield tank.put(5.0)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [2.0]
+
+
+def test_container_put_blocks_on_overflow():
+    sim = Simulator()
+    tank = Container(sim, capacity=5.0, init=5.0)
+    done = []
+
+    def producer():
+        yield tank.put(2.0)
+        done.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(3.0)
+        yield tank.get(4.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert done == [3.0]
+    assert tank.level == 3.0
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=5, init=6)
+    tank = Container(sim, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for item in ["x", "y", "z"]:
+            yield store.put(item)
+            yield sim.timeout(1.0)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_capacity_blocks_puts():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", sim.now))
+        yield store.put("b")
+        times.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(4.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [("a", 0.0), ("b", 4.0)]

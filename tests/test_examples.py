@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs clean as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

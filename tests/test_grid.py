@@ -1,0 +1,70 @@
+"""Tests for the DataGrid container."""
+
+import pytest
+
+from repro.grid import DataGrid
+from repro.units import mbit_per_s
+
+
+def test_add_host_creates_node_and_host():
+    grid = DataGrid()
+    host = grid.add_host("alpha1", "THU", cores=2)
+    assert grid.host("alpha1") is host
+    assert grid.topology.has_node("alpha1")
+    assert grid.topology.node("alpha1").site == "THU"
+
+
+def test_duplicate_host_rejected():
+    grid = DataGrid()
+    grid.add_host("a", "S")
+    with pytest.raises(ValueError):
+        grid.add_host("a", "S")
+
+
+def test_routers_are_not_hosts():
+    grid = DataGrid()
+    grid.add_router("switch", site="THU")
+    assert "switch" not in grid.hosts
+    assert grid.topology.node("switch").is_router
+
+
+def test_connect_and_path():
+    grid = DataGrid()
+    grid.add_host("a", "S1")
+    grid.add_router("r")
+    grid.add_host("b", "S2")
+    grid.connect("a", "r", mbit_per_s(100), latency=0.001)
+    grid.connect("r", "b", mbit_per_s(10), latency=0.002)
+    path = grid.path("a", "b")
+    assert len(path) == 2
+    assert path.latency == pytest.approx(0.003)
+
+
+def test_site_hosts_sorted():
+    grid = DataGrid()
+    grid.add_host("b2", "X")
+    grid.add_host("b1", "X")
+    grid.add_host("c1", "Y")
+    assert [h.name for h in grid.site_hosts("X")] == ["b1", "b2"]
+    assert grid.host_names() == ["b1", "b2", "c1"]
+
+
+def test_service_registry():
+    grid = DataGrid()
+    grid.add_host("a", "S")
+    service = object()
+    grid.register_service("a", "thing", service)
+    assert grid.service("a", "thing") is service
+    assert grid.has_service("a", "thing")
+    assert not grid.has_service("a", "other")
+    with pytest.raises(ValueError):
+        grid.register_service("a", "thing", object())
+    with pytest.raises(KeyError):
+        grid.register_service("ghost", "thing", object())
+
+
+def test_run_passthrough():
+    grid = DataGrid()
+    grid.sim.timeout(3.0)
+    grid.run(until=10.0)
+    assert grid.sim.now == 10.0

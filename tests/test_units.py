@@ -1,0 +1,44 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_mbit_per_s():
+    assert units.mbit_per_s(8) == 1e6  # 8 Mbit/s = 1 MB/s (SI)
+    assert units.mbit_per_s(100) == 12.5e6
+
+
+def test_gbit_per_s():
+    assert units.gbit_per_s(1) == 125e6
+
+
+def test_round_trip_mbps():
+    assert units.to_mbit_per_s(units.mbit_per_s(30)) == pytest.approx(30)
+
+
+def test_megabytes_is_binary():
+    assert units.megabytes(1) == 1024 * 1024
+    assert units.megabytes(2048) == 2 * 1024**3
+
+
+def test_to_megabytes_round_trip():
+    assert units.to_megabytes(units.megabytes(512)) == pytest.approx(512)
+
+
+def test_milliseconds():
+    assert units.milliseconds(20) == 0.02
+
+
+def test_constants_consistent():
+    assert units.GiB == 1024 * units.MiB == 1024 * 1024 * units.KiB
+
+
+@given(st.floats(0.001, 1e6))
+@settings(max_examples=50, deadline=None)
+def test_conversions_are_monotone_and_invertible(x):
+    assert units.to_mbit_per_s(units.mbit_per_s(x)) == pytest.approx(x)
+    assert units.to_megabytes(units.megabytes(x)) == pytest.approx(x)

@@ -3,37 +3,78 @@
 
 The paper's Java GUI showed, live, the cost of fetching a replica from
 every remote site to ``alpha1``, with a scroll bar selecting the
-averaging time scale and a button sorting sites by cost.  This is the
-headless version: it runs the monitor over 20 simulated minutes of
-dynamic background load and renders periodic "screens" — per-site cost
-strips (sparklines), the averaged values at three time scales, and the
-sorted cost list.
+averaging time scale and a button sorting sites by cost.  This headless
+version is built on the instrumentation layer: a sampler process asks
+the selection server to score every candidate periodically, and the
+screens are rendered *entirely* from the ``replica.selection`` events
+the cost model emits — the monitor never touches the scores directly,
+demonstrating that the event stream alone carries the whole Fig. 5
+display (and that an external tool tailing the JSONL export could
+render the same screens).
 
 Run:  python examples/cost_monitor_cli.py
 """
 
-from repro.experiments.fig5 import CostMonitor
 from repro.experiments.reporting import format_table, sparkline
+from repro.sim import Interrupt
 from repro.testbed import build_testbed
 
 CLIENT = "alpha1"
 CANDIDATES = ["alpha4", "hit0", "hit2", "lz02", "lz04"]
+SAMPLE_PERIOD = 15.0
 SCREEN_EVERY = 300.0
 DURATION = 1200.0
 TIME_SCALES = (60.0, 180.0, 600.0)
 
 
-def render_screen(testbed, monitor):
+def sampler(testbed):
+    """Score all candidates every SAMPLE_PERIOD seconds.
+
+    The decisions themselves are discarded; the cost model's
+    ``replica.selection`` events are the only record kept.
+    """
+    try:
+        while True:
+            yield from testbed.selection_server.score_candidates(
+                CLIENT, CANDIDATES
+            )
+            yield testbed.sim.timeout(SAMPLE_PERIOD)
+    except Interrupt:
+        return
+
+
+def selection_history(testbed):
+    """candidate -> [(time, score)], replayed from the event log."""
+    history = {name: [] for name in CANDIDATES}
+    for event in testbed.obs.events.query("replica.selection"):
+        for row in event["scores"]:
+            history.setdefault(row["candidate"], []).append(
+                (event["time"], row["score"])
+            )
+    return history
+
+
+def windowed_mean(points, now, window):
+    recent = [score for time, score in points if time >= now - window]
+    if not recent:
+        return None
+    return sum(recent) / len(recent)
+
+
+def render_screen(testbed):
     now = testbed.sim.now
-    print(f"===== cost monitor @ t={now:.0f}s "
-          f"(client {CLIENT}) =====")
+    history = selection_history(testbed)
+    print(f"===== cost monitor @ t={now:.0f}s (client {CLIENT}) =====")
     rows = []
-    latest = monitor.latest_costs()
     for name in CANDIDATES:
-        row = {"site": name, "latest": latest[name]}
+        points = history[name]
+        row = {"site": name,
+               "latest": points[-1][1] if points else None}
         for scale in TIME_SCALES:
-            row[f"avg_{int(scale)}s"] = monitor.average_costs(scale)[name]
-        row["history"] = sparkline(monitor.history[name].recent(40))
+            row[f"avg_{int(scale)}s"] = windowed_mean(points, now, scale)
+        row["history"] = sparkline(
+            [score for _, score in points[-40:]]
+        )
         rows.append(row)
     headers = (
         ["site", "latest"]
@@ -41,25 +82,37 @@ def render_screen(testbed, monitor):
         + ["history"]
     )
     print(format_table(headers, rows))
-    order = monitor.sorted_by_cost(window=TIME_SCALES[0])
+    order = sorted(
+        (name for name in CANDIDATES
+         if windowed_mean(history[name], now, TIME_SCALES[0]) is not None),
+        key=lambda n: -windowed_mean(history[n], now, TIME_SCALES[0]),
+    )
     print(f"[Cost] sorted best-first: {' > '.join(order)}")
     print()
 
 
 def main():
-    testbed = build_testbed(seed=123, dynamic=True)
-    monitor = CostMonitor(testbed, CLIENT, CANDIDATES, period=15.0)
+    testbed = build_testbed(seed=123, dynamic=True, observe=True)
+    process = testbed.sim.process(sampler(testbed))
 
     elapsed = 0.0
     while elapsed < DURATION:
         testbed.grid.run(until=testbed.sim.now + SCREEN_EVERY)
         elapsed += SCREEN_EVERY
-        render_screen(testbed, monitor)
+        render_screen(testbed)
 
-    monitor.stop()
-    final_order = monitor.sorted_by_cost(window=DURATION)
+    if process.is_alive:
+        process.interrupt(cause="stopped")
+    history = selection_history(testbed)
+    order = sorted(
+        CANDIDATES,
+        key=lambda n: -(windowed_mean(history[n], DURATION, DURATION)
+                        or float("-inf")),
+    )
+    events = len(testbed.obs.events.query("replica.selection"))
     print(f"over the whole run, the best replica source was "
-          f"{final_order[0]} and the worst {final_order[-1]}")
+          f"{order[0]} and the worst {order[-1]} "
+          f"({events} selection events replayed)")
 
 
 if __name__ == "__main__":

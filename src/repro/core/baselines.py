@@ -136,7 +136,7 @@ class CostModelSelector(_Selector):
     def __init__(self, grid, information, weights=None):
         self.grid = grid
         self.information = information
-        self.cost_model = CostModel(weights)
+        self.cost_model = CostModel(weights, obs=grid.obs)
 
     def select(self, client_name, candidates):
         self._require(candidates)

@@ -7,9 +7,14 @@ score is too.  Higher is better: "the score high or low represents the
 user or application acquiring the replica effectively or not".
 """
 
+import logging
+
 from repro.core.weights import SelectionWeights
+from repro.obs.core import NULL_OBS
 
 __all__ = ["CostModel", "ReplicaScore"]
+
+logger = logging.getLogger("repro.core.cost_model")
 
 
 class ReplicaScore:
@@ -48,10 +53,17 @@ class ReplicaScore:
 
 
 class CostModel:
-    """Scores and ranks candidate replica sites."""
+    """Scores and ranks candidate replica sites.
 
-    def __init__(self, weights=None):
+    When handed an :class:`~repro.obs.core.Observability` bundle, every
+    ranking emits a ``replica.selection`` event carrying the full
+    weighted-term breakdown per candidate — the raw material of the
+    paper's Table 1 and the Fig. 5 cost monitor.
+    """
+
+    def __init__(self, weights=None, obs=None):
         self.weights = weights or SelectionWeights.paper_default()
+        self.obs = obs if obs is not None else NULL_OBS
 
     def __repr__(self):
         return f"<CostModel {self.weights!r}>"
@@ -69,7 +81,30 @@ class CostModel:
         """
         scores = [self.score_factors(f) for f in factors_list]
         scores.sort(key=lambda s: -s.score)
+        if scores and self.obs.enabled:
+            self._emit_ranking(scores)
         return scores
+
+    def _emit_ranking(self, scores):
+        margin = (
+            scores[0].score - scores[1].score if len(scores) > 1 else None
+        )
+        self.obs.events.emit(
+            "replica.selection",
+            winner=scores[0].candidate,
+            winner_score=scores[0].score,
+            margin=margin,
+            candidates=len(scores),
+            weights=self.weights.as_tuple(),
+            scores=[score.as_dict() for score in scores],
+        )
+        self.obs.metrics.counter("costmodel.rankings").inc()
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "ranked %d candidates: %s wins with %.4f (margin %s)",
+                len(scores), scores[0].candidate, scores[0].score,
+                "n/a" if margin is None else f"{margin:.4f}",
+            )
 
     def best(self, factors_list):
         """The highest-scoring candidate's :class:`ReplicaScore`."""

@@ -8,10 +8,14 @@ retrieved over GridFTP and the pair (decision, transfer record) returned
 — exactly the data Table 1 reports.
 """
 
+import logging
+
 from repro.core.cost_model import CostModel
 from repro.gridftp.gridftp import GridFtpClient
 
 __all__ = ["ReplicaSelectionServer", "SelectionDecision"]
+
+logger = logging.getLogger("repro.core.server")
 
 
 class SelectionDecision:
@@ -69,7 +73,7 @@ class ReplicaSelectionServer:
         self.host_name = host_name
         self.catalog = catalog
         self.information = information
-        self.cost_model = CostModel(weights)
+        self.cost_model = CostModel(weights, obs=grid.obs)
         self.exclude_unreachable = bool(exclude_unreachable)
         #: All decisions made, in order (diagnostics / experiments).
         self.decisions = []
@@ -83,6 +87,12 @@ class ReplicaSelectionServer:
         :class:`SelectionDecision`."""
         if not candidate_names:
             raise ValueError("no candidate locations supplied")
+        obs = self.grid.obs
+        span = obs.tracer.start_span(
+            "replica.selection", client=client_name,
+            candidates=len(candidate_names),
+        )
+        started_at = self.grid.sim.now
         # Client hands the candidate list to the selection server.
         if client_name != self.host_name:
             yield self.grid.sim.timeout(
@@ -100,6 +110,13 @@ class ReplicaSelectionServer:
                 if f.bandwidth_fraction > self.unreachable_threshold
             ]
             if live:
+                dropped = len(factors) - len(live)
+                if dropped:
+                    span.set(unreachable_dropped=dropped)
+                    logger.debug(
+                        "dropped %d unreachable candidate(s) for %s",
+                        dropped, client_name,
+                    )
                 factors = live
         decision = SelectionDecision(
             logical_name=None,
@@ -108,6 +125,21 @@ class ReplicaSelectionServer:
             decided_at=self.grid.sim.now,
         )
         self.decisions.append(decision)
+        span.set(chosen=decision.chosen)
+        span.finish()
+        if obs.enabled:
+            obs.metrics.histogram("selection.latency_seconds").observe(
+                self.grid.sim.now - started_at
+            )
+            obs.metrics.counter("selection.decisions").inc()
+            obs.events.emit(
+                "selection.decision",
+                client=client_name,
+                chosen=decision.chosen,
+                chosen_score=decision.chosen_score,
+                candidates=len(decision.scores),
+                latency_seconds=self.grid.sim.now - started_at,
+            )
         return decision
 
     def select(self, client_name, logical_name):

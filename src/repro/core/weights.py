@@ -40,6 +40,10 @@ class SelectionWeights:
     def total(self):
         return self.bandwidth + self.cpu + self.io
 
+    def as_tuple(self):
+        """(BW_W, CPU_W, IO_W) — the order Equation (1) lists them."""
+        return (self.bandwidth, self.cpu, self.io)
+
     def normalized(self):
         """Equivalent weights scaled to sum to 1."""
         return SelectionWeights(

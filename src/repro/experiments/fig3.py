@@ -33,7 +33,7 @@ def run_fig3(sizes_mb=DEFAULT_SIZES_MB, seed=0):
     for size_mb in sizes_mb:
         filename = f"fig3-{size_mb}mb"
         source_fs.create(filename, megabytes(size_mb))
-        times = {}
+        results = {}
         for label, client in [
             ("ftp", FtpClient(grid, DESTINATION)),
             ("gridftp", GridFtpClient(grid, DESTINATION)),
@@ -43,14 +43,15 @@ def run_fig3(sizes_mb=DEFAULT_SIZES_MB, seed=0):
                     client.get(SOURCE, filename, f"{filename}.{label}")
                 )
             )
-            times[label] = record.elapsed
+            results[label] = record.as_dict()
             grid.host(DESTINATION).filesystem.delete(f"{filename}.{label}")
         rows.append({
             "file_size_mb": size_mb,
-            "ftp_seconds": times["ftp"],
-            "gridftp_seconds": times["gridftp"],
+            "ftp_seconds": results["ftp"]["elapsed"],
+            "gridftp_seconds": results["gridftp"]["elapsed"],
             "gridftp_overhead_pct": 100.0 * (
-                times["gridftp"] / times["ftp"] - 1.0
+                results["gridftp"]["elapsed"] / results["ftp"]["elapsed"]
+                - 1.0
             ),
         })
 

@@ -56,7 +56,7 @@ def run_fig4(sizes_mb=DEFAULT_SIZES_MB, streams=DEFAULT_STREAMS, seed=0):
                     )
                 )
             )
-            row[_column_name(parallelism)] = record.elapsed
+            row[_column_name(parallelism)] = record.as_dict()["elapsed"]
             dest_fs.delete("incoming")
         rows.append(row)
         source_fs.delete(filename)

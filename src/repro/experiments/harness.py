@@ -18,11 +18,15 @@ __all__ = ["TraceResult", "register_replicas", "run_selection_trace"]
 class TraceResult:
     """Outcome of one selection trace."""
 
-    def __init__(self, selector_name, fetches, oracle_matches):
+    def __init__(self, selector_name, fetches, oracle_matches, obs=None):
         self.selector_name = selector_name
         #: List of (round, chosen_host, elapsed_seconds).
         self.fetches = list(fetches)
         self.oracle_matches = int(oracle_matches)
+        #: The testbed's :class:`~repro.obs.core.Observability` bundle
+        #: (disabled unless the testbed was built with ``observe=True``
+        #: or the trace ran inside an open capture).
+        self.obs = obs
 
     def __repr__(self):
         return (
@@ -97,4 +101,5 @@ def run_selection_trace(testbed, selector, client_name, logical_name,
             yield grid.sim.timeout(gap)
 
     grid.sim.run(until=grid.sim.process(trace()))
-    return TraceResult(selector.name, fetches, oracle_matches)
+    return TraceResult(selector.name, fetches, oracle_matches,
+                       obs=grid.obs)

@@ -77,13 +77,19 @@ def bar_chart(labels, values, width=50, unit=""):
         raise ValueError("labels and values must have equal length")
     if not values:
         return ""
-    peak = max(values)
-    if peak <= 0:
-        peak = 1.0
+    # Non-finite values still get a labelled row (with "nan"/"inf" as
+    # the number) but are left out of the scale and drawn barless.
+    finite = [
+        v for v in values if v is not None and math.isfinite(v)
+    ]
+    peak = max((v for v in finite if v > 0), default=1.0)
     label_width = max(len(label) for label in labels)
     lines = []
     for label, value in zip(labels, values):
-        bar = "█" * max(1, round(width * value / peak)) if value > 0 else ""
+        drawable = (
+            value is not None and math.isfinite(value) and value > 0
+        )
+        bar = "█" * max(1, round(width * value / peak)) if drawable else ""
         lines.append(
             f"{label.rjust(label_width)} | {bar} "
             f"{format_number(value)}{unit}"
@@ -92,8 +98,12 @@ def bar_chart(labels, values, width=50, unit=""):
 
 
 def sparkline(values):
-    """A one-line ASCII chart of a numeric sequence."""
-    values = [v for v in values if v is not None and not math.isnan(v)]
+    """A one-line ASCII chart of a numeric sequence.
+
+    ``None``, NaN and ±inf entries are dropped — they carry no scale
+    information and would otherwise poison the whole line.
+    """
+    values = [v for v in values if v is not None and math.isfinite(v)]
     if not values:
         return ""
     low, high = min(values), max(values)

@@ -5,10 +5,17 @@ Usage::
     python -m repro.experiments.runner                 # everything
     python -m repro.experiments.runner fig3 table1     # a subset
     python -m repro.experiments.runner --quick fig4    # small sizes
+    python -m repro.experiments.runner --trace-out t.jsonl table1
     python -m repro.experiments.runner --list
+
+``--trace-out`` turns on the instrumentation layer for every simulator
+the experiments build and writes the merged metric/span/event stream as
+JSON Lines; ``--obs-report`` prints the per-run instrumentation summary
+instead of (or as well as) exporting it.
 """
 
 import argparse
+import contextlib
 import sys
 
 from repro.experiments.ablation_coalloc import run_ablation_coalloc
@@ -177,6 +184,15 @@ def main(argv=None):
         "--output", metavar="FILE",
         help="also write the results to this text file",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="capture instrumentation from every run and export the "
+             "merged metric/span/event stream as JSON Lines",
+    )
+    parser.add_argument(
+        "--obs-report", action="store_true",
+        help="print an instrumentation summary after the experiments",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -189,19 +205,47 @@ def main(argv=None):
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    observing = args.trace_out or args.obs_report
+    trace_handle = None
+    if args.trace_out:
+        # Open up front so a bad path fails before hours of experiments.
+        try:
+            trace_handle = open(args.trace_out, "w")
+        except OSError as error:
+            parser.error(f"cannot write --trace-out: {error}")
+    if observing:
+        from repro.obs import capture
+
+        capturing = capture()
+    else:
+        capturing = contextlib.nullcontext()
+
     sections = []
-    for experiment_id in requested:
-        result = run_experiment(
-            experiment_id, quick=args.quick, seed=args.seed,
-            seeds=args.seeds,
-        )
-        text = result.to_text()
-        print(text)
-        print()
-        sections.append(text)
+    with capturing as collector:
+        for experiment_id in requested:
+            result = run_experiment(
+                experiment_id, quick=args.quick, seed=args.seed,
+                seeds=args.seeds,
+            )
+            text = result.to_text()
+            print(text)
+            print()
+            sections.append(text)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(sections) + "\n")
+    if observing:
+        if trace_handle is not None:
+            with trace_handle:
+                written = collector.export_jsonl(trace_handle)
+            print(f"wrote {written} instrumentation records to "
+                  f"{args.trace_out}")
+        if args.obs_report:
+            from repro.obs import render_report
+
+            for index, session in enumerate(collector.sessions):
+                print(render_report(session, title=f"session {index}"))
+                print()
     return 0
 
 

@@ -16,8 +16,8 @@ __all__ = ["DataGrid"]
 class DataGrid:
     """A simulated Data Grid: machines, network, and attached services."""
 
-    def __init__(self, sim=None, seed=0):
-        self.sim = sim or Simulator(seed=seed)
+    def __init__(self, sim=None, seed=0, observe=None):
+        self.sim = sim or Simulator(seed=seed, observe=observe)
         self.topology = Topology()
         self.router = Router(self.topology)
         self.network = FlowNetwork(self.sim, self.topology, self.router)
@@ -31,6 +31,11 @@ class DataGrid:
             f"<DataGrid {len(self.hosts)} hosts, "
             f"{len(self.topology.links())} links>"
         )
+
+    @property
+    def obs(self):
+        """The simulator's observability bundle."""
+        return self.sim.obs
 
     # -- construction -----------------------------------------------------
 

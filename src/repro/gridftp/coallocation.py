@@ -18,6 +18,7 @@ from repro.gridftp.datachannel import run_data_transfer
 from repro.gridftp.gsi import gsi_handshake
 from repro.gridftp.modes import ExtendedBlockMode
 from repro.gridftp.record import TransferRecord
+from repro.gridftp.telemetry import TransferTelemetry
 from repro.sim import AllOf
 from repro.units import MiB
 
@@ -90,10 +91,15 @@ def conservative_coallocation_get(client, server_names, remote_name,
     sim = grid.sim
     mode = ExtendedBlockMode()
     started_at = sim.now
+    telemetry = TransferTelemetry(
+        grid, "gridftp-coalloc", "+".join(server_names),
+        client.host_name, remote_name, servers=len(server_names),
+    )
 
     payload, channels = yield from _open_all(
         client, server_names, remote_name
     )
+    telemetry.phase("control")
 
     # Build the block queue.
     blocks = []
@@ -107,14 +113,23 @@ def conservative_coallocation_get(client, server_names, remote_name,
     data_start = sim.now
 
     def worker(server_name):
+        worker_span = telemetry.child_span(
+            "coalloc.worker", server=server_name
+        )
         while queue:
             block = queue.pop()
+            block_span = worker_span.child(
+                "coalloc.block", server=server_name, block_bytes=block
+            )
             yield from run_data_transfer(
                 grid, server_name, client.host_name, block,
                 mode=mode, streams=streams_per_server,
                 label=f"coalloc:{remote_name}@{server_name}",
             )
+            block_span.finish()
             blocks_by_server[server_name] += 1
+        worker_span.set(blocks=blocks_by_server[server_name])
+        worker_span.finish()
 
     workers = [
         sim.process(worker(name)) for name in server_names
@@ -122,10 +137,12 @@ def conservative_coallocation_get(client, server_names, remote_name,
     if workers:
         yield AllOf(sim, workers)
     data_seconds = sim.now - data_start
+    telemetry.phase("data")
 
     for channel in channels:
         yield from channel.close()
     client._store_local(local_name, payload)
+    telemetry.phase("teardown")
 
     record = TransferRecord(
         protocol="gridftp-coalloc",
@@ -143,6 +160,7 @@ def conservative_coallocation_get(client, server_names, remote_name,
         data_seconds=data_seconds,
         finished_at=sim.now,
     )
+    telemetry.finish(record)
     return CoallocationResult(record, blocks_by_server)
 
 
@@ -161,27 +179,38 @@ def brute_force_coallocation_get(client, server_names, remote_name,
     sim = grid.sim
     mode = ExtendedBlockMode()
     started_at = sim.now
+    telemetry = TransferTelemetry(
+        grid, "gridftp-coalloc-bruteforce", "+".join(server_names),
+        client.host_name, remote_name, servers=len(server_names),
+    )
 
     payload, channels = yield from _open_all(
         client, server_names, remote_name
     )
+    telemetry.phase("control")
     share = payload / len(server_names)
     data_start = sim.now
 
     def worker(server_name):
+        worker_span = telemetry.child_span(
+            "coalloc.worker", server=server_name, share_bytes=share
+        )
         yield from run_data_transfer(
             grid, server_name, client.host_name, share,
             mode=mode, streams=streams_per_server,
             label=f"coalloc-bf:{remote_name}@{server_name}",
         )
+        worker_span.finish()
 
     workers = [sim.process(worker(name)) for name in server_names]
     yield AllOf(sim, workers)
     data_seconds = sim.now - data_start
+    telemetry.phase("data")
 
     for channel in channels:
         yield from channel.close()
     client._store_local(local_name, payload)
+    telemetry.phase("teardown")
 
     record = TransferRecord(
         protocol="gridftp-coalloc-bruteforce",
@@ -199,6 +228,7 @@ def brute_force_coallocation_get(client, server_names, remote_name,
         data_seconds=data_seconds,
         finished_at=sim.now,
     )
+    telemetry.finish(record)
     return CoallocationResult(
         record, {name: 1 for name in server_names}
     )

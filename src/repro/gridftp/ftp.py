@@ -10,6 +10,7 @@ from repro.gridftp.datachannel import run_data_transfer
 from repro.gridftp.errors import RemoteFileNotFoundError
 from repro.gridftp.modes import StreamMode
 from repro.gridftp.record import TransferRecord
+from repro.gridftp.telemetry import TransferTelemetry
 from repro.sim import Resource
 
 __all__ = ["FtpClient", "FtpServer"]
@@ -76,25 +77,33 @@ class FtpClient:
         server = self.grid.service(server_name, self.server_service)
         sim = self.grid.sim
         started_at = sim.now
+        telemetry = TransferTelemetry(
+            self.grid, self.protocol, server_name, self.host_name,
+            remote_name,
+        )
 
         with server.connections.request() as slot:
             yield slot
             channel = yield from ControlChannel.open(
                 self.grid, self.host_name, server_name
             )
+            telemetry.phase("connect")
             control_start = sim.now
             yield from channel.exchange(server.login_commands)
             auth_seconds = yield from self._authenticate(channel, server)
             yield from channel.exchange(server.retrieve_commands)
             payload = server.size_of(remote_name)
             control_seconds = sim.now - control_start - auth_seconds
+            telemetry.split_phase("control", control_seconds, "auth")
 
             result = yield from self._move_data(
                 server_name, payload, remote_name
             )
+            telemetry.split_phase("startup", result.startup_seconds, "data")
 
             yield from channel.close()
 
+        telemetry.phase("teardown")
         self._store_local(local_name, payload)
         record = TransferRecord(
             protocol=self.protocol,
@@ -112,6 +121,7 @@ class FtpClient:
             data_seconds=result.data_seconds,
             finished_at=sim.now,
         )
+        telemetry.finish(record)
         server.served.append(record)
         return record
 

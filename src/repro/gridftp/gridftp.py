@@ -19,6 +19,7 @@ from repro.gridftp.ftp import FtpClient, FtpServer
 from repro.gridftp.gsi import GSIConfig, gsi_handshake
 from repro.gridftp.modes import ExtendedBlockMode, StreamMode
 from repro.gridftp.record import TransferRecord
+from repro.gridftp.telemetry import TransferTelemetry
 
 __all__ = ["GridFtpClient", "GridFtpServer"]
 
@@ -66,15 +67,21 @@ class GridFtpClient(FtpClient):
         mode, streams = self._plan(parallelism)
         sim = self.grid.sim
         started_at = sim.now
+        telemetry = TransferTelemetry(
+            self.grid, self.protocol, server_name, self.host_name,
+            remote_name,
+        )
 
         with server.connections.request() as slot:
             yield slot
             channel = yield from ControlChannel.open(
                 self.grid, self.host_name, server_name
             )
+            telemetry.phase("connect")
             auth_seconds = yield from gsi_handshake(
                 self.grid, self.host_name, server_name, self.gsi
             )
+            telemetry.phase("auth")
             control_start = sim.now
             yield from channel.exchange(server.login_commands)
             yield from channel.exchange(server.retrieve_commands)
@@ -82,15 +89,18 @@ class GridFtpClient(FtpClient):
                 server.size_of(remote_name), offset, length
             )
             control_seconds = sim.now - control_start
+            telemetry.phase("control")
 
             result = yield from run_data_transfer(
                 self.grid, server_name, self.host_name, payload,
                 mode=mode, streams=streams,
                 label=f"gridftp:{remote_name}",
             )
+            telemetry.split_phase("startup", result.startup_seconds, "data")
 
             yield from channel.close()
 
+        telemetry.phase("teardown")
         self._store_local(local_name, payload)
         record = TransferRecord(
             protocol=self.protocol,
@@ -108,6 +118,7 @@ class GridFtpClient(FtpClient):
             data_seconds=result.data_seconds,
             finished_at=sim.now,
         )
+        telemetry.finish(record)
         server.served.append(record)
         return record
 
@@ -126,27 +137,36 @@ class GridFtpClient(FtpClient):
         mode, streams = self._plan(parallelism)
         sim = self.grid.sim
         started_at = sim.now
+        telemetry = TransferTelemetry(
+            self.grid, self.protocol, self.host_name, server_name,
+            remote_name, direction="put",
+        )
 
         with server.connections.request() as slot:
             yield slot
             channel = yield from ControlChannel.open(
                 self.grid, self.host_name, server_name
             )
+            telemetry.phase("connect")
             auth_seconds = yield from gsi_handshake(
                 self.grid, self.host_name, server_name, self.gsi
             )
+            telemetry.phase("auth")
             control_start = sim.now
             yield from channel.exchange(server.login_commands)
             yield from channel.exchange(server.retrieve_commands)
             control_seconds = sim.now - control_start
+            telemetry.phase("control")
 
             result = yield from run_data_transfer(
                 self.grid, self.host_name, server_name, payload,
                 mode=mode, streams=streams,
                 label=f"gridftp:{remote_name}",
             )
+            telemetry.split_phase("startup", result.startup_seconds, "data")
             yield from channel.close()
 
+        telemetry.phase("teardown")
         fs = server.host.filesystem
         if remote_name in fs:
             fs.delete(remote_name)
@@ -167,6 +187,7 @@ class GridFtpClient(FtpClient):
             data_seconds=result.data_seconds,
             finished_at=sim.now,
         )
+        telemetry.finish(record)
         server.served.append(record)
         return record
 
@@ -185,6 +206,10 @@ class GridFtpClient(FtpClient):
         mode, streams = self._plan(parallelism)
         sim = self.grid.sim
         started_at = sim.now
+        telemetry = TransferTelemetry(
+            self.grid, "gridftp-third-party", src_server_name,
+            dst_server_name, remote_name, steered_by=self.host_name,
+        )
 
         with src_server.connections.request() as src_slot, \
                 dst_server.connections.request() as dst_slot:
@@ -196,12 +221,14 @@ class GridFtpClient(FtpClient):
             dst_channel = yield from ControlChannel.open(
                 self.grid, self.host_name, dst_server_name
             )
+            telemetry.phase("connect")
             auth_src = yield from gsi_handshake(
                 self.grid, self.host_name, src_server_name, self.gsi
             )
             auth_dst = yield from gsi_handshake(
                 self.grid, self.host_name, dst_server_name, self.gsi
             )
+            telemetry.phase("auth")
             control_start = sim.now
             yield from src_channel.exchange(
                 src_server.login_commands + src_server.retrieve_commands
@@ -211,15 +238,18 @@ class GridFtpClient(FtpClient):
             )
             payload = src_server.size_of(remote_name)
             control_seconds = sim.now - control_start
+            telemetry.phase("control")
 
             result = yield from run_data_transfer(
                 self.grid, src_server_name, dst_server_name, payload,
                 mode=mode, streams=streams,
                 label=f"gridftp-3pt:{remote_name}",
             )
+            telemetry.split_phase("startup", result.startup_seconds, "data")
             yield from src_channel.close()
             yield from dst_channel.close()
 
+        telemetry.phase("teardown")
         fs = dst_server.host.filesystem
         if dst_name in fs:
             fs.delete(dst_name)
@@ -240,6 +270,7 @@ class GridFtpClient(FtpClient):
             data_seconds=result.data_seconds,
             finished_at=sim.now,
         )
+        telemetry.finish(record)
         src_server.served.append(record)
         return record
 

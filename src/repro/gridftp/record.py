@@ -79,5 +79,7 @@ class TransferRecord:
             "data_seconds": self.data_seconds,
             "finished_at": self.finished_at,
             "elapsed": self.elapsed,
+            "overhead_seconds": self.overhead_seconds,
             "throughput": self.throughput,
+            "data_throughput": self.data_throughput,
         }

@@ -8,12 +8,16 @@ partial-transfer chunks (one chunk per marker interval), and on a fault
 only the in-flight chunk's progress is lost.
 """
 
+import logging
+
 from repro.gridftp.errors import TransferError
 from repro.sim import Interrupt
 from repro.units import MiB
 
 __all__ = ["ReliableFileTransfer", "ReliableTransferResult",
            "TooManyAttemptsError"]
+
+logger = logging.getLogger("repro.gridftp.reliable")
 
 
 class TooManyAttemptsError(TransferError):
@@ -95,9 +99,14 @@ class ReliableFileTransfer:
         :class:`ReliableTransferResult`."""
         local_name = local_name or remote_name
         sim = self.grid.sim
+        obs = self.grid.obs
         server = self.grid.service(server_name, self.client.server_service)
         payload = server.size_of(remote_name)
         started_at = sim.now
+        span = obs.tracer.start_span(
+            "rft.get", server=server_name, filename=remote_name,
+            payload_bytes=payload,
+        )
 
         offset = 0.0
         attempts = 0
@@ -107,6 +116,10 @@ class ReliableFileTransfer:
         while offset < payload or (payload == 0 and not records):
             chunk = min(self.marker_interval_bytes, payload - offset)
             attempts += 1
+            chunk_span = span.child(
+                "rft.chunk", offset=offset, chunk_bytes=chunk,
+                attempt=attempts,
+            )
             fetch = sim.process(
                 self.client.get(
                     server_name, remote_name,
@@ -123,14 +136,40 @@ class ReliableFileTransfer:
                 # last marker.  Back off and retry.
                 faults += 1
                 retransmitted += chunk
+                chunk_span.set(error="fault").finish()
+                obs.metrics.counter("rft.faults").inc()
+                obs.events.emit(
+                    "transfer.fault", server=server_name,
+                    filename=remote_name, offset=offset,
+                    chunk_bytes=chunk, fault_number=faults,
+                )
+                logger.warning(
+                    "fault fetching %r chunk at offset %.0f from %s "
+                    "(fault %d of %d tolerated)",
+                    remote_name, offset, server_name, faults,
+                    self.max_attempts,
+                )
                 if faults >= self.max_attempts:
+                    span.set(error="too-many-attempts", faults=faults)
+                    span.finish()
+                    logger.error(
+                        "%r: gave up after %d failed attempts at "
+                        "offset %.0f", remote_name, faults, offset,
+                    )
                     raise TooManyAttemptsError(
                         f"{remote_name!r}: gave up after "
                         f"{faults} failed attempts at offset "
                         f"{offset:.0f}"
                     ) from None
+                obs.metrics.counter("rft.retries").inc()
+                logger.warning(
+                    "retrying %r at offset %.0f after %.1fs backoff",
+                    remote_name, offset, self.retry_backoff,
+                )
                 yield sim.timeout(self.retry_backoff)
                 continue
+            chunk_span.finish()
+            obs.metrics.counter("rft.chunks").inc()
             records.append(record)
             offset += chunk
             fs = self.client.host.filesystem
@@ -144,6 +183,13 @@ class ReliableFileTransfer:
         if local_name in fs:
             fs.delete(local_name)
         fs.create(local_name, payload)
+        span.set(attempts=attempts, faults=faults,
+                 bytes_retransmitted=retransmitted)
+        span.finish()
+        if retransmitted:
+            obs.metrics.counter("rft.bytes_retransmitted").inc(
+                retransmitted
+            )
         return ReliableTransferResult(
             filename=remote_name,
             payload_bytes=payload,

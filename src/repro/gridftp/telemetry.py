@@ -1,0 +1,98 @@
+"""Per-transfer telemetry: the span tree, metrics and completion event.
+
+One :class:`TransferTelemetry` accompanies each transfer through the
+client code.  It opens the ``<protocol>.transfer`` span, records a child
+span per protocol phase (``connect``/``auth``/``control``/``startup``/
+``data``/``teardown``) whose sim-time boundaries are contiguous — so
+the children's durations sum exactly to the parent's, which equals
+``TransferRecord.elapsed`` — and on completion emits the structured
+``transfer.complete`` event (the record's ``as_dict``) plus transfer
+counters and a duration histogram.
+
+Everything degrades to no-ops when the grid's observability is off.
+"""
+
+import logging
+
+__all__ = ["TransferTelemetry"]
+
+logger = logging.getLogger("repro.gridftp")
+
+
+class TransferTelemetry:
+    """Builds the span tree and emits metrics/events for one transfer."""
+
+    __slots__ = ("obs", "sim", "span", "_mark")
+
+    def __init__(self, grid, protocol, source, destination, filename,
+                 parent=None, **attributes):
+        self.obs = grid.obs
+        self.sim = grid.sim
+        self.span = self.obs.tracer.start_span(
+            f"{protocol}.transfer", parent=parent, protocol=protocol,
+            source=source, destination=destination, filename=filename,
+            **attributes,
+        )
+        self._mark = self.sim.now
+
+    def phase(self, name):
+        """Close one phase child spanning [previous mark, now]."""
+        now = self.sim.now
+        self.span.child(name, start=self._mark, end=now)
+        self._mark = now
+
+    def split_phase(self, first_name, first_seconds, second_name):
+        """Close two contiguous children covering [mark, now].
+
+        The first lasts ``first_seconds`` from the mark; the second runs
+        to now.  Used where one engine call covers two protocol phases
+        (data-channel startup then the data flow itself).
+        """
+        now = self.sim.now
+        cut = min(self._mark + first_seconds, now)
+        self.span.child(first_name, start=self._mark, end=cut)
+        self.span.child(second_name, start=cut, end=now)
+        self._mark = now
+
+    def child_span(self, name, **attributes):
+        """An open child span (caller finishes it) — per-stream/worker
+        children of co-allocated and reliable transfers."""
+        return self.obs.tracer.start_span(
+            name, parent=self.span, **attributes
+        )
+
+    def abort(self, reason):
+        """Close the parent span marking the transfer as failed."""
+        if not self.span.finished:
+            self.span.set(error=reason)
+            self.span.finish()
+
+    def finish(self, record):
+        """Close the parent span and emit the completion event/metrics."""
+        self.span.set(
+            payload_bytes=record.payload_bytes,
+            wire_bytes=record.wire_bytes,
+            streams=record.streams,
+            mode=record.mode_name,
+        )
+        self.span.finish()
+        if self.obs.enabled:
+            self.obs.events.emit("transfer.complete", **record.as_dict())
+            metrics = self.obs.metrics
+            metrics.counter(
+                "gridftp.transfers", protocol=record.protocol
+            ).inc()
+            metrics.counter(
+                "gridftp.bytes_moved", protocol=record.protocol
+            ).inc(record.payload_bytes)
+            metrics.histogram("gridftp.transfer_seconds").observe(
+                record.elapsed
+            )
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s %s->%s %r: %.0fB in %.3fs (%d stream(s), %s)",
+                record.protocol, record.source, record.destination,
+                record.filename, record.payload_bytes, record.elapsed,
+                record.streams, record.mode_name,
+            )
+        return record

@@ -7,9 +7,14 @@ forecaster library runs inside the memory/API layer).
 """
 
 from repro.monitoring.nws.forecasting import ForecasterBattery, default_battery
+from repro.obs.metrics import exponential_buckets
 from repro.timeseries import SampleSeries
 
 __all__ = ["NwsMemory"]
+
+#: Absolute forecast errors span CPU fractions (~1e-3) to bandwidth in
+#: bytes/second (~1e8), so the buckets cover eleven decades.
+_ERROR_BUCKETS = exponential_buckets(1e-6, 10.0, 12)
 
 
 class NwsMemory:
@@ -23,6 +28,8 @@ class NwsMemory:
         self._battery_factory = battery_factory
         self._series = {}
         self._batteries = {}
+        self._obs_on = sim.obs.enabled
+        self._error_histograms = {}
 
     def __repr__(self):
         return f"<NwsMemory {self.name} {len(self._series)} series>"
@@ -35,6 +42,20 @@ class NwsMemory:
                 max_samples=self.max_samples_per_series
             )
             self._batteries[key] = ForecasterBattery(self._battery_factory())
+        elif self._obs_on:
+            # Score the previous forecast against the reading that just
+            # arrived, before it is folded into the battery.
+            prediction, _ = self._batteries[key].forecast()
+            if prediction is not None:
+                resource = measurement.resource
+                histogram = self._error_histograms.get(resource)
+                if histogram is None:
+                    histogram = self.sim.obs.metrics.histogram(
+                        "nws.forecast_abs_error", bounds=_ERROR_BUCKETS,
+                        resource=resource,
+                    )
+                    self._error_histograms[resource] = histogram
+                histogram.observe(abs(prediction - measurement.value))
         self._series[key].append(measurement.time, measurement.value)
         self._batteries[key].update(measurement.value)
 

@@ -10,8 +10,12 @@ current cross-traffic and contending flows, capped by the probe's own
 TCP limits.
 """
 
+import logging
+
 from repro.monitoring.nws.series import Measurement, series_key
 from repro.sim import Interrupt
+
+logger = logging.getLogger("repro.monitoring.nws.sensor")
 
 __all__ = [
     "BandwidthSensor",
@@ -45,6 +49,9 @@ class Sensor:
         )
         #: Number of measurements taken.
         self.measurements_taken = 0
+        self._measurement_counter = sim.obs.metrics.counter(
+            "nws.measurements", resource=self.resource
+        )
         if nameserver is not None:
             nameserver.register("sensor", self.sensor_name, self)
         #: None when driven externally (e.g. by a Clique).
@@ -85,6 +92,12 @@ class Sensor:
             )
         )
         self.measurements_taken += 1
+        self._measurement_counter.inc()
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s measured %.6g at t=%.1f", self.sensor_name, value,
+                self.sim.now,
+            )
         return value
 
     def _run(self):

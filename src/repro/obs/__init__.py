@@ -1,0 +1,71 @@
+"""repro.obs — grid-wide instrumentation: metrics, sim-time spans,
+structured events.
+
+Three always-on primitives, bundled per simulator as an
+:class:`Observability` (reached via ``sim.obs`` / ``grid.obs`` /
+``testbed.obs``):
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms with a no-op fast path when disabled;
+* :class:`Tracer` / :class:`Span` — tracing spans whose timestamps come
+  from the *simulated* clock, with explicit parent/child nesting;
+* :class:`EventLog` — an append-only structured event log with a JSONL
+  exporter, so the paper's Table 1 and Fig. 5 become queries over the
+  trace.
+
+Observability is off by default (``sim.obs is NULL_OBS``); enable it
+with ``build_testbed(observe=True)`` or wrap a whole batch in
+:func:`capture`.
+"""
+
+from repro.obs.core import (
+    NULL_OBS,
+    Observability,
+    ObservabilityCapture,
+    capture,
+    observability_for,
+)
+from repro.obs.events import EventLog, read_jsonl
+from repro.obs.logconfig import configure_logging, repro_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+def render_report(obs, title="observability report"):
+    """Render one Observability as an aligned-text report.
+
+    Imported lazily: :mod:`repro.obs.report` reuses the experiment
+    reporting toolkit, and the experiment package imports the simulator
+    (whose kernel imports :mod:`repro.obs.core`) — a top-level import
+    here would close that cycle.
+    """
+    from repro.obs.report import render_report as _render
+
+    return _render(obs, title=title)
+
+__all__ = [
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityCapture",
+    "Span",
+    "Tracer",
+    "capture",
+    "configure_logging",
+    "exponential_buckets",
+    "observability_for",
+    "read_jsonl",
+    "render_report",
+    "repro_logger",
+]

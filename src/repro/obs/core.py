@@ -1,0 +1,163 @@
+"""The observability bundle: metrics + tracer + event log per simulator.
+
+Every :class:`~repro.sim.kernel.Simulator` owns an
+:class:`Observability`.  By default it is the shared disabled singleton
+(:data:`NULL_OBS`) whose instruments all no-op, so benchmarks pay
+nothing; pass ``observe=True`` to the simulator / grid / testbed, or run
+inside :func:`capture`, to get a live one.
+
+:func:`capture` is how batch drivers (the experiment runner's
+``--trace-out``) observe simulators they do not construct themselves:
+every Observability created while the context is open registers with the
+collector, which can then export one merged JSONL trace.
+"""
+
+import json
+from contextlib import contextmanager
+
+from repro.obs.events import EventLog, _jsonable
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["NULL_OBS", "Observability", "ObservabilityCapture", "capture",
+           "observability_for"]
+
+
+def _zero_clock():
+    return 0.0
+
+
+class Observability:
+    """Metrics registry, tracer and event log sharing one sim clock."""
+
+    def __init__(self, clock=None, enabled=True):
+        clock = clock or _zero_clock
+        self.clock = clock
+        self.enabled = bool(enabled)
+        self.metrics = MetricsRegistry(enabled)
+        self.tracer = Tracer(clock, enabled)
+        self.events = EventLog(clock, enabled)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return (
+            f"<Observability {state}: {len(self.tracer.spans)} spans, "
+            f"{len(self.events)} events>"
+        )
+
+    # -- conveniences -----------------------------------------------------
+
+    def span(self, name, parent=None, **attributes):
+        return self.tracer.start_span(name, parent=parent, **attributes)
+
+    def emit(self, kind, **fields):
+        return self.events.emit(kind, **fields)
+
+    # -- export -----------------------------------------------------------
+
+    def records(self):
+        """Everything as flat dicts: events, spans, then metrics."""
+        out = []
+        for event in self.events:
+            record = {"type": "event"}
+            record.update(event)
+            out.append(record)
+        for span in self.tracer.spans:
+            record = {"type": "span"}
+            record.update(span.as_dict())
+            out.append(record)
+        for instrument in self.metrics.instruments():
+            record = {"type": "metric"}
+            record.update(instrument.as_dict())
+            out.append(record)
+        return out
+
+    def export_jsonl(self, target):
+        """Dump events + spans + metrics as JSONL; returns line count."""
+        records = self.records()
+        if hasattr(target, "write"):
+            handle = target
+            for record in records:
+                handle.write(json.dumps(record, default=_jsonable) + "\n")
+        else:
+            with open(target, "w") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(record, default=_jsonable) + "\n"
+                    )
+        return len(records)
+
+
+#: Shared disabled bundle — the default for every simulator.
+NULL_OBS = Observability(enabled=False)
+
+_CAPTURE_STACK = []
+
+
+class ObservabilityCapture:
+    """Collects every Observability created while a capture is open."""
+
+    def __init__(self):
+        #: One entry per simulator built inside the capture.
+        self.sessions = []
+
+    def __repr__(self):
+        return f"<ObservabilityCapture {len(self.sessions)} sessions>"
+
+    def records(self):
+        """All sessions' records, each tagged with its session index."""
+        out = []
+        for index, session in enumerate(self.sessions):
+            for record in session.records():
+                record["session"] = index
+                out.append(record)
+        return out
+
+    def export_jsonl(self, target):
+        """Merged JSONL dump of every captured session; line count."""
+        records = self.records()
+        if hasattr(target, "write"):
+            handle = target
+            for record in records:
+                handle.write(json.dumps(record, default=_jsonable) + "\n")
+        else:
+            with open(target, "w") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(record, default=_jsonable) + "\n"
+                    )
+        return len(records)
+
+
+@contextmanager
+def capture():
+    """Observe every simulator constructed inside the block::
+
+        with obs.capture() as cap:
+            run_table1(...)
+        cap.export_jsonl("trace.jsonl")
+    """
+    collector = ObservabilityCapture()
+    _CAPTURE_STACK.append(collector)
+    try:
+        yield collector
+    finally:
+        _CAPTURE_STACK.remove(collector)
+
+
+def observability_for(clock, observe=None):
+    """The Observability a new simulator should use.
+
+    ``observe=True`` forces a live bundle, ``False`` the disabled
+    singleton; ``None`` (the default) enables observability only when a
+    :func:`capture` context is open.  Live bundles register with every
+    open capture collector.
+    """
+    if observe is None:
+        observe = bool(_CAPTURE_STACK)
+    if not observe:
+        return NULL_OBS
+    obs = Observability(clock)
+    for collector in _CAPTURE_STACK:
+        collector.sessions.append(obs)
+    return obs

@@ -1,0 +1,264 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Instruments are cheap enough to leave always-on in simulation hot paths:
+a disabled registry hands out shared no-op instruments whose mutators do
+nothing, so instrumented code pays one attribute access and an early
+return.  Instruments are identified by ``(name, labels)``; asking twice
+for the same identity returns the same object, so call sites may either
+cache the handle (hot paths) or re-fetch per call (cold paths).
+"""
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Latency-style buckets (seconds): 1 ms .. ~17 min, doubling.
+DEFAULT_SECONDS_BUCKETS = tuple(0.001 * 2 ** i for i in range(21))
+
+
+def exponential_buckets(start, factor, count):
+    """``count`` bucket bounds growing geometrically from ``start``."""
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+def _label_suffix(labels):
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name, labels=None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def __repr__(self):
+        return f"<Counter {self.qualified_name}={self.value:g}>"
+
+    @property
+    def qualified_name(self):
+        return self.name + _label_suffix(self.labels)
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def as_dict(self):
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, levels)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name, labels=None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def __repr__(self):
+        return f"<Gauge {self.qualified_name}={self.value:g}>"
+
+    @property
+    def qualified_name(self):
+        return self.name + _label_suffix(self.labels)
+
+    def set(self, value):
+        self.value = float(value)
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+
+    def as_dict(self):
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one extra
+    overflow bucket catches everything beyond the last bound.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name, bounds=DEFAULT_SECONDS_BUCKETS, labels=None):
+        bounds = tuple(sorted(float(b) for b in bounds))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self):
+        return (
+            f"<Histogram {self.qualified_name} n={self.count} "
+            f"mean={self.mean:g}>"
+        )
+
+    @property
+    def qualified_name(self):
+        return self.name + _label_suffix(self.labels)
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def observe(self, value):
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q):
+        """Approximate quantile from bucket counts (bound of the bucket
+        containing the q-th observation; None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            if running >= target:
+                return bound
+        return self.max
+
+    def as_dict(self):
+        return {
+            "kind": self.kind, "name": self.name,
+            "labels": dict(self.labels), "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count, "sum": self.sum,
+            "min": self.min, "max": self.max,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by disabled registries."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    labels = {}
+    qualified_name = "null"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = None
+    max = None
+    bounds = ()
+    bucket_counts = ()
+
+    def inc(self, amount=1.0):
+        pass
+
+    def dec(self, amount=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def quantile(self, q):
+        return None
+
+    def as_dict(self):
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Creates and stores instruments; disabled registries no-op."""
+
+    def __init__(self, enabled=True):
+        self.enabled = bool(enabled)
+        self._instruments = {}
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"<MetricsRegistry {state}, {len(self._instruments)} instruments>"
+
+    def _get(self, factory, name, labels, **kwargs):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        key = (name, factory.kind, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, labels=labels, **kwargs)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, bounds=DEFAULT_SECONDS_BUCKETS, **labels):
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    def instruments(self, kind=None):
+        """All instruments (optionally of one kind), sorted by name."""
+        found = [
+            i for i in self._instruments.values()
+            if kind is None or i.kind == kind
+        ]
+        return sorted(found, key=lambda i: i.qualified_name)
+
+    def snapshot(self):
+        """Flat ``qualified_name -> value`` view (histograms: count)."""
+        out = {}
+        for instrument in self.instruments():
+            if instrument.kind == "histogram":
+                out[instrument.qualified_name] = instrument.count
+            else:
+                out[instrument.qualified_name] = instrument.value
+        return out

@@ -1,0 +1,82 @@
+"""Text rendering of an observability bundle.
+
+Reuses the experiment reporting toolkit (aligned tables, sparklines) so
+``repro-experiments --obs-report`` output matches the exhibits' look.
+"""
+
+from repro.experiments.reporting import format_table, sparkline
+
+__all__ = ["render_report"]
+
+
+def _span_summary(tracer):
+    stats = {}
+    for span in tracer.spans:
+        entry = stats.setdefault(
+            span.name, {"span": span.name, "count": 0, "total_s": 0.0,
+                        "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration
+        entry["max_s"] = max(entry["max_s"], span.duration)
+    rows = []
+    for entry in sorted(stats.values(), key=lambda e: -e["total_s"]):
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+        rows.append(entry)
+    return rows
+
+
+def render_report(obs, title="observability report"):
+    """Render one Observability as an aligned-text report."""
+    parts = [f"== {title} =="]
+
+    counters = obs.metrics.instruments(kind="counter")
+    gauges = obs.metrics.instruments(kind="gauge")
+    if counters or gauges:
+        rows = [
+            {"metric": i.qualified_name, "kind": i.kind, "value": i.value}
+            for i in counters + gauges
+        ]
+        parts.append("[metrics]")
+        parts.append(format_table(["metric", "kind", "value"], rows))
+
+    histograms = obs.metrics.instruments(kind="histogram")
+    if histograms:
+        rows = []
+        for h in histograms:
+            rows.append({
+                "histogram": h.qualified_name,
+                "count": h.count,
+                "mean": h.mean,
+                "min": h.min,
+                "max": h.max,
+                "p50": h.quantile(0.5),
+                "p95": h.quantile(0.95),
+                "buckets": sparkline(h.bucket_counts),
+            })
+        parts.append("[histograms]")
+        parts.append(format_table(
+            ["histogram", "count", "mean", "min", "max", "p50", "p95",
+             "buckets"],
+            rows,
+        ))
+
+    span_rows = _span_summary(obs.tracer)
+    if span_rows:
+        parts.append("[spans]")
+        parts.append(format_table(
+            ["span", "count", "total_s", "mean_s", "max_s"], span_rows
+        ))
+
+    kind_counts = obs.events.kinds()
+    if kind_counts:
+        rows = [
+            {"event_kind": kind, "count": count}
+            for kind, count in sorted(kind_counts.items())
+        ]
+        parts.append("[events]")
+        parts.append(format_table(["event_kind", "count"], rows))
+
+    if len(parts) == 1:
+        parts.append("(nothing recorded)")
+    return "\n".join(parts)

@@ -1,0 +1,175 @@
+"""Sim-time tracing spans.
+
+A :class:`Span` is an interval on the *simulated* clock — start and end
+come from ``Simulator.now``, never wall time — with a name, attributes,
+and an optional parent, so one GridFTP fetch decomposes into its
+auth/control/startup/data phase children and a co-allocated download
+shows one child per worker stream.
+
+Processes in the simulator interleave, so there is deliberately no
+implicit "current span" context: parents are passed explicitly
+(``span.child(...)`` or ``tracer.start_span(..., parent=span)``), which
+keeps attribution correct across concurrently running processes.
+"""
+
+from itertools import count
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One named interval of simulated time."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start",
+                 "end", "attributes")
+
+    def __init__(self, tracer, name, span_id, parent_id=None, start=0.0,
+                 attributes=None):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = float(start)
+        self.end = None
+        self.attributes = dict(attributes or {})
+
+    def __repr__(self):
+        end = f"{self.end:.6g}" if self.end is not None else "…"
+        return f"<Span {self.name} #{self.span_id} [{self.start:.6g}, {end}]>"
+
+    @property
+    def finished(self):
+        return self.end is not None
+
+    @property
+    def duration(self):
+        """Span length in simulated seconds (None while open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attributes):
+        """Attach attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def child(self, name, start=None, end=None, **attributes):
+        """Open (or, with ``end`` given, immediately close) a child span."""
+        span = self._tracer.start_span(
+            name, parent=self, start=start, **attributes
+        )
+        if end is not None:
+            span.finish(end)
+        return span
+
+    def finish(self, end=None):
+        """Close the span at ``end`` (default: the tracer's clock now)."""
+        if self.end is not None:
+            raise RuntimeError(f"span {self.name!r} already finished")
+        end = self._tracer.clock() if end is None else float(end)
+        if end < self.start:
+            raise ValueError(
+                f"span {self.name!r} cannot end at {end} before its "
+                f"start {self.start}"
+            )
+        self.end = end
+        self._tracer.spans.append(self)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.end is None:
+            if exc_type is not None:
+                self.attributes.setdefault("error", exc_type.__name__)
+            self.finish()
+        return False
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """Shared inert span used when tracing is disabled."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = -1
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    finished = True
+    attributes = {}
+
+    def set(self, **attributes):
+        return self
+
+    def child(self, name, start=None, end=None, **attributes):
+        return self
+
+    def finish(self, end=None):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def as_dict(self):
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans against one clock; keeps every finished span."""
+
+    def __init__(self, clock, enabled=True):
+        self.clock = clock
+        self.enabled = bool(enabled)
+        #: Finished spans, in finish order.
+        self.spans = []
+        self._ids = count(1)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state}, {len(self.spans)} finished spans>"
+
+    def start_span(self, name, parent=None, start=None, **attributes):
+        """Open a span (finish it with ``.finish()`` or a ``with`` block)."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent_id = parent.span_id if parent is not None else None
+        if parent_id == NULL_SPAN.span_id:
+            parent_id = None
+        return Span(
+            self, name, next(self._ids), parent_id=parent_id,
+            start=self.clock() if start is None else start,
+            attributes=attributes,
+        )
+
+    def span(self, name, parent=None, **attributes):
+        """``with tracer.span("gridftp.transfer", ...)`` convenience."""
+        return self.start_span(name, parent=parent, **attributes)
+
+    def finished(self, name=None):
+        """Finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self.spans)
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span):
+        """Finished direct children of a span."""
+        return [s for s in self.spans if s.parent_id == span.span_id]

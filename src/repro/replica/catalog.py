@@ -5,9 +5,13 @@ catalog runs on a host; remote queries are generators charging a round
 trip (an LDAP search against the Globus replica catalog, in 2005 terms).
 """
 
+import logging
+
 from repro.replica.logical_file import LogicalFile
 
 __all__ = ["LogicalFileNotFoundError", "ReplicaCatalog", "ReplicaEntry"]
+
+logger = logging.getLogger("repro.replica.catalog")
 
 
 class LogicalFileNotFoundError(KeyError):
@@ -45,6 +49,7 @@ class ReplicaCatalog:
         self._logical = {}
         self._replicas = {}
         self.queries_served = 0
+        self._query_counter = grid.obs.metrics.counter("catalog.lookups")
         grid.register_service(host_name, self.service_name, self)
 
     def __repr__(self):
@@ -124,4 +129,11 @@ class ReplicaCatalog:
             rtt = self.grid.path(client_name, self.host_name).rtt
             yield self.grid.sim.timeout(rtt)
         self.queries_served += 1
-        return self.locations(logical_name)
+        self._query_counter.inc()
+        entries = self.locations(logical_name)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s asked for %r: %d location(s)", client_name,
+                logical_name, len(entries),
+            )
+        return entries

@@ -5,9 +5,13 @@ management service [that takes] advantage of replica catalog with
 GridFTP transfer" in the paper's background section.
 """
 
+import logging
+
 from repro.gridftp.gridftp import GridFtpClient
 
 __all__ = ["ReplicaManager"]
+
+logger = logging.getLogger("repro.replica.manager")
 
 
 class ReplicaManager:
@@ -42,7 +46,10 @@ class ReplicaManager:
             self.catalog.create_logical_file(
                 logical_name, actual_size, attributes
             )
-        return self.catalog.register_replica(logical_name, host_name)
+        entry = self.catalog.register_replica(logical_name, host_name)
+        self.grid.obs.metrics.counter("replica.published").inc()
+        logger.info("published %r at %s", logical_name, host_name)
+        return entry
 
     def create_replica(self, logical_name, source_host, target_host,
                        parallelism=None):
@@ -61,7 +68,13 @@ class ReplicaManager:
             source_host, target_host, logical_name,
             parallelism=parallelism,
         )
-        return self.catalog.register_replica(logical_name, target_host)
+        entry = self.catalog.register_replica(logical_name, target_host)
+        self.grid.obs.metrics.counter("replica.created").inc()
+        logger.info(
+            "replicated %r from %s to %s", logical_name, source_host,
+            target_host,
+        )
+        return entry
 
     def delete_replica(self, logical_name, host_name):
         """Remove the physical file and its catalog entry.
@@ -78,4 +91,6 @@ class ReplicaManager:
         fs = self.grid.host(host_name).filesystem
         if entry.physical_name in fs:
             fs.delete(entry.physical_name)
+        self.grid.obs.metrics.counter("replica.deleted").inc()
+        logger.info("deleted replica of %r at %s", logical_name, host_name)
         return entry

@@ -9,6 +9,7 @@ waiting on them.
 import heapq
 from itertools import count
 
+from repro.obs.core import observability_for
 from repro.sim.errors import EmptySchedule, SimulationError
 from repro.sim.events import PRIORITY_NORMAL, Event, Timeout
 from repro.sim.process import Process
@@ -29,15 +30,28 @@ class Simulator:
         Root seed for the simulator's :class:`StreamRegistry`; every
         stochastic model in the grid draws from named streams derived from
         this seed, making whole experiments reproducible.
+    observe:
+        ``True`` attaches a live :class:`~repro.obs.Observability` (its
+        span/event timestamps read this simulator's clock); ``False``
+        the shared disabled one; ``None`` (default) enables it only
+        inside an open ``repro.obs.capture()`` context.
     """
 
-    def __init__(self, initial_time=0.0, seed=0):
+    def __init__(self, initial_time=0.0, seed=0, observe=None):
         self._now = float(initial_time)
         self._queue = []
         self._eid = count()
         self.streams = StreamRegistry(seed)
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
+        #: The simulator's observability bundle (metrics/spans/events).
+        self.obs = observability_for(lambda: self._now, observe)
+        self._obs_on = self.obs.enabled
+        if self._obs_on:
+            metrics = self.obs.metrics
+            self._events_counter = metrics.counter("sim.events_processed")
+            self._queue_gauge = metrics.gauge("sim.queue_depth")
+            self._class_counters = {}
 
     def __repr__(self):
         return (
@@ -97,8 +111,23 @@ class Simulator:
         for callback in callbacks:
             callback(event)
         self.events_processed += 1
+        if self._obs_on:
+            self._record_step(event)
         if not event._ok and not getattr(event, "defused", True):
             raise event._value
+
+    def _record_step(self, event):
+        """Metrics for one processed event (only called when observing)."""
+        self._events_counter.inc()
+        self._queue_gauge.set(len(self._queue))
+        cls = type(event).__name__
+        counter = self._class_counters.get(cls)
+        if counter is None:
+            counter = self.obs.metrics.counter(
+                "sim.events_by_class", event_class=cls
+            )
+            self._class_counters[cls] = counter
+        counter.inc()
 
     def run(self, until=None):
         """Run until the queue drains or the clock passes ``until``.

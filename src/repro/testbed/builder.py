@@ -51,6 +51,11 @@ class Testbed:
     def sim(self):
         return self.grid.sim
 
+    @property
+    def obs(self):
+        """The grid's observability bundle (metrics/spans/events)."""
+        return self.grid.obs
+
     def host_names(self):
         return self.grid.host_names()
 
@@ -62,7 +67,7 @@ class Testbed:
 def build_testbed(sites=None, seed=0, monitoring=True,
                   sensor_period=10.0, dynamic=False,
                   catalog_host=None, selection_host=None,
-                  weights=None, use_cliques=False):
+                  weights=None, use_cliques=False, observe=None):
     """Construct the paper's three-cluster testbed.
 
     Parameters
@@ -91,13 +96,18 @@ def build_testbed(sites=None, seed=0, monitoring=True,
         host, token round-robin) instead of independent timers, so
         probes from the same source never collide.  Each pair is still
         measured once per ``sensor_period``.
+    observe:
+        Attach a live observability bundle (metrics, sim-time spans,
+        structured events) to the grid's simulator; reach it as
+        ``testbed.obs``.  Default: off, unless a ``repro.obs.capture()``
+        context is open.
     """
     from repro.testbed.sites import PAPER_SITES
 
     sites = list(sites) if sites is not None else list(PAPER_SITES)
     if not sites:
         raise ValueError("need at least one site")
-    grid = DataGrid(seed=seed)
+    grid = DataGrid(seed=seed, observe=observe)
 
     # -- topology ---------------------------------------------------------
     grid.add_router(BACKBONE)

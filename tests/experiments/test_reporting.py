@@ -73,6 +73,23 @@ class TestSparkline:
         assert sparkline([math.nan]) == ""
         assert len(sparkline([1.0, math.nan, 2.0])) == 2
 
+    def test_none_dropped(self):
+        assert sparkline([None, None]) == ""
+        assert len(sparkline([None, 1.0, 2.0])) == 2
+
+    def test_infinities_dropped(self):
+        assert sparkline([math.inf, -math.inf]) == ""
+        line = sparkline([1.0, math.inf, 2.0, -math.inf, 3.0])
+        assert len(line) == 3
+        assert line[-1] == "█"
+
+    def test_single_value(self):
+        assert sparkline([7.0]) == "▁"
+
+    def test_negative_values(self):
+        line = sparkline([-3.0, -2.0, -1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
 
 class TestBarChart:
     def test_bars_scale_to_peak(self):
@@ -98,6 +115,36 @@ class TestBarChart:
         assert bar_chart([], []) == ""
         with pytest.raises(ValueError):
             bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_equal_values_draw_full_bars(self):
+        chart = bar_chart(["a", "b"], [2.0, 2.0], width=10)
+        for line in chart.splitlines():
+            assert line.count("█") == 10
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in chart
+        assert "0" in chart
+
+    def test_nan_value_renders_barless(self):
+        chart = bar_chart(["bad", "good"], [math.nan, 4.0], width=10)
+        lines = chart.splitlines()
+        assert "█" not in lines[0]
+        assert "nan" in lines[0]
+        assert lines[1].count("█") == 10  # scale ignores the NaN
+
+    def test_inf_value_does_not_poison_scale(self):
+        chart = bar_chart(["inf", "one"], [math.inf, 1.0], width=10)
+        lines = chart.splitlines()
+        assert "█" not in lines[0]
+        assert "inf" in lines[0]
+        assert lines[1].count("█") == 10
+
+    def test_negative_values_have_no_bar(self):
+        chart = bar_chart(["neg", "pos"], [-5.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert "█" not in lines[0]
+        assert lines[1].count("█") == 10
 
 
 class TestExperimentResult:

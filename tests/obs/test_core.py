@@ -1,0 +1,109 @@
+"""Tests for the Observability bundle, capture(), and simulator wiring."""
+
+import json
+
+from repro.grid import DataGrid
+from repro.obs.core import (
+    NULL_OBS,
+    Observability,
+    capture,
+    observability_for,
+)
+from repro.sim import Simulator
+
+
+class TestObservability:
+    def test_live_bundle_shares_the_clock(self):
+        clock_value = [7.0]
+        obs = Observability(lambda: clock_value[0])
+        obs.emit("e")
+        span = obs.span("s")
+        clock_value[0] = 9.0
+        span.finish()
+        assert obs.events.events[0]["time"] == 7.0
+        assert obs.tracer.spans[0].end == 9.0
+
+    def test_disabled_bundle_is_inert(self):
+        obs = Observability(enabled=False)
+        assert obs.emit("e") is None
+        obs.span("s").finish()
+        obs.metrics.counter("c").inc()
+        assert obs.records() == []
+
+    def test_records_tag_types(self):
+        obs = Observability()
+        obs.emit("e")
+        obs.span("s").finish()
+        obs.metrics.counter("c").inc()
+        types = [r["type"] for r in obs.records()]
+        assert types == ["event", "span", "metric"]
+
+    def test_export_jsonl(self, tmp_path):
+        obs = Observability()
+        obs.emit("e", n=1)
+        path = tmp_path / "trace.jsonl"
+        assert obs.export_jsonl(path) == 1
+        record = json.loads(path.read_text())
+        assert record["type"] == "event"
+        assert record["kind"] == "e"
+
+
+class TestObservabilityFor:
+    def test_default_is_the_shared_disabled_singleton(self):
+        assert observability_for(lambda: 0.0) is NULL_OBS
+        assert observability_for(lambda: 0.0, observe=False) is NULL_OBS
+
+    def test_observe_true_builds_a_live_bundle(self):
+        obs = observability_for(lambda: 0.0, observe=True)
+        assert obs.enabled
+        assert obs is not NULL_OBS
+
+    def test_capture_enables_simulators_built_inside(self):
+        with capture() as cap:
+            inside = Simulator()
+        outside = Simulator()
+        assert inside.obs.enabled
+        assert cap.sessions == [inside.obs]
+        assert outside.obs is NULL_OBS
+
+    def test_capture_merges_sessions_with_index(self, tmp_path):
+        with capture() as cap:
+            a, b = Simulator(), Simulator()
+        a.obs.emit("from-a")
+        b.obs.emit("from-b")
+        records = cap.records()
+        events = [r for r in records if r["type"] == "event"]
+        assert [e["session"] for e in events] == [0, 1]
+        assert [e["kind"] for e in events] == ["from-a", "from-b"]
+        path = tmp_path / "merged.jsonl"
+        assert cap.export_jsonl(path) == len(records)
+
+    def test_explicit_false_wins_over_open_capture(self):
+        with capture() as cap:
+            sim = Simulator(observe=False)
+        assert sim.obs is NULL_OBS
+        assert cap.sessions == []
+
+
+class TestSimulatorWiring:
+    def test_kernel_counts_events_when_observing(self):
+        sim = Simulator(observe=True)
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.run(until=sim.process(proc()))
+        snapshot = sim.obs.metrics.snapshot()
+        assert snapshot["sim.events_processed"] == sim.events_processed
+        assert snapshot["sim.events_by_class{event_class=Timeout}"] == 2
+
+    def test_grid_and_default_are_off(self):
+        assert Simulator().obs is NULL_OBS
+        grid = DataGrid(seed=1)
+        assert grid.obs is grid.sim.obs
+        assert grid.obs is NULL_OBS
+
+    def test_grid_observe_flag_propagates(self):
+        grid = DataGrid(seed=1, observe=True)
+        assert grid.obs.enabled

@@ -1,0 +1,85 @@
+"""Tests for the structured event log and JSONL round trips."""
+
+import io
+
+from repro.obs.events import EventLog, read_jsonl
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestEmit:
+    def test_events_stamped_with_kind_and_time(self):
+        clock = FakeClock(5.0)
+        log = EventLog(clock)
+        event = log.emit("transfer.complete", server="hit0", bytes=42)
+        assert event == {
+            "kind": "transfer.complete", "time": 5.0,
+            "server": "hit0", "bytes": 42,
+        }
+        assert len(log) == 1
+        assert list(log) == [event]
+
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(FakeClock(), enabled=False)
+        assert log.emit("x", a=1) is None
+        assert len(log) == 0
+
+
+class TestQuery:
+    def make(self):
+        log = EventLog(FakeClock())
+        log.emit("a", host="h1")
+        log.emit("a", host="h2")
+        log.emit("b", host="h1")
+        return log
+
+    def test_by_kind(self):
+        assert len(self.make().query("a")) == 2
+
+    def test_by_field(self):
+        log = self.make()
+        assert len(log.query(host="h1")) == 2
+        assert len(log.query("a", host="h1")) == 1
+        assert log.query("a", host="h3") == []
+
+    def test_kinds_counts(self):
+        assert self.make().kinds() == {"a": 2, "b": 1}
+
+
+class TestJsonl:
+    def test_round_trip_via_path(self, tmp_path):
+        log = EventLog(FakeClock(1.0))
+        log.emit("a", n=1)
+        log.emit("b", text="x")
+        path = tmp_path / "events.jsonl"
+        assert log.to_jsonl(path) == 2
+        assert read_jsonl(path) == log.events
+
+    def test_write_to_file_object(self):
+        log = EventLog(FakeClock())
+        log.emit("a")
+        buffer = io.StringIO()
+        assert log.to_jsonl(buffer) == 1
+        assert '"kind": "a"' in buffer.getvalue()
+
+    def test_non_json_values_fall_back_to_repr(self, tmp_path):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        log = EventLog(FakeClock())
+        log.emit("a", obj=Weird())
+        path = tmp_path / "events.jsonl"
+        log.to_jsonl(path)
+        assert read_jsonl(path)[0]["obj"] == "<weird>"
+
+    def test_blank_lines_skipped_on_read(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "a"}\n\n{"kind": "b"}\n')
+        assert len(read_jsonl(path)) == 2

@@ -1,0 +1,144 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _NULL_INSTRUMENT,
+    exponential_buckets,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+    def test_qualified_name_sorts_labels(self):
+        c = Counter("hits", labels={"b": 2, "a": 1})
+        assert c.qualified_name == "hits{a=1,b=2}"
+        assert Counter("hits").qualified_name == "hits"
+
+    def test_as_dict(self):
+        c = Counter("hits", labels={"proto": "ftp"})
+        c.inc(4)
+        assert c.as_dict() == {
+            "kind": "counter", "name": "hits",
+            "labels": {"proto": "ftp"}, "value": 4.0,
+        }
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observation_statistics(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 105.0
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(26.25)
+        # buckets: <=1, <=2, <=4, overflow
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_quantiles(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram("x", bounds=(1.0,)).quantile(0.5) is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bounds_sorted_and_validated(self):
+        h = Histogram("lat", bounds=(4.0, 1.0, 2.0))
+        assert h.bounds == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(1.0, 1.0))
+
+    def test_default_bounds_are_seconds_ladder(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] == 0.001
+        assert len(DEFAULT_SECONDS_BUCKETS) == 21
+
+
+class TestExponentialBuckets:
+    def test_geometric_ladder(self):
+        assert exponential_buckets(1.0, 10.0, 3) == (1.0, 10.0, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1.0, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 2, 0)
+
+
+class TestMetricsRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", proto="ftp")
+        b = registry.counter("hits", proto="ftp")
+        assert a is b
+        assert registry.counter("hits", proto="gridftp") is not a
+
+    def test_same_name_different_kind_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        registry.gauge("x")
+        assert len(registry.instruments()) == 2
+
+    def test_disabled_registry_hands_out_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("hits")
+        assert c is _NULL_INSTRUMENT
+        assert c is registry.histogram("lat")
+        c.inc()
+        c.observe(3)
+        c.set(1)
+        assert c.value == 0.0
+        assert registry.instruments() == []
+
+    def test_instruments_filter_and_sort(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        registry.gauge("g")
+        counters = registry.instruments(kind="counter")
+        assert [i.name for i in counters] == ["a", "b"]
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(0.5)
+        assert registry.snapshot() == {
+            "hits": 3.0, "depth": 7.0, "lat": 1,
+        }

@@ -1,0 +1,51 @@
+"""Tests for the plain-text instrumentation report."""
+
+from repro.obs import Observability, render_report
+
+
+def make_bundle():
+    clock_value = [0.0]
+    obs = Observability(lambda: clock_value[0])
+    return obs, clock_value
+
+
+class TestRenderReport:
+    def test_sections_present_and_populated(self):
+        obs, clock = make_bundle()
+        obs.metrics.counter("hits", proto="ftp").inc(3)
+        obs.metrics.gauge("depth").set(5)
+        obs.metrics.histogram("lat").observe(0.1)
+        span = obs.span("work")
+        clock[0] = 2.0
+        span.finish()
+        obs.emit("done")
+
+        text = render_report(obs, title="test run")
+        assert "== test run ==" in text
+        assert "[metrics]" in text
+        assert "hits{proto=ftp}" in text
+        assert "[histograms]" in text
+        assert "lat" in text
+        assert "[spans]" in text
+        assert "work" in text
+        assert "[events]" in text
+        assert "done" in text
+
+    def test_span_aggregation(self):
+        obs, clock = make_bundle()
+        for end in (1.0, 3.0):
+            span = obs.span("work")
+            clock[0] = end
+            span.finish(end)
+            clock[0] = 0.0
+        text = render_report(obs)
+        line = next(l for l in text.splitlines() if "work" in l)
+        assert "2" in line  # count column
+
+    def test_empty_bundle_renders_placeholder(self):
+        obs, _ = make_bundle()
+        assert "nothing recorded" in render_report(obs)
+
+    def test_disabled_bundle_renders_without_error(self):
+        obs = Observability(enabled=False)
+        assert isinstance(render_report(obs), str)

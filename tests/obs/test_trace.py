@@ -1,0 +1,115 @@
+"""Tests for sim-time tracing spans."""
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpanLifecycle:
+    def test_start_and_finish_use_the_clock(self):
+        clock = FakeClock(10.0)
+        tracer = Tracer(clock)
+        span = tracer.start_span("work")
+        assert span.start == 10.0
+        assert not span.finished
+        assert span.duration is None
+        clock.now = 25.0
+        span.finish()
+        assert span.end == 25.0
+        assert span.duration == 15.0
+        assert tracer.finished("work") == [span]
+
+    def test_explicit_start_and_end(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.start_span("work", start=5.0)
+        span.finish(8.0)
+        assert (span.start, span.end) == (5.0, 8.0)
+
+    def test_double_finish_rejected(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.start_span("work").finish()
+        with pytest.raises(RuntimeError):
+            span.finish()
+
+    def test_end_before_start_rejected(self):
+        tracer = Tracer(FakeClock(10.0))
+        span = tracer.start_span("work")
+        with pytest.raises(ValueError):
+            span.finish(5.0)
+
+    def test_unfinished_span_not_recorded(self):
+        tracer = Tracer(FakeClock())
+        tracer.start_span("open")
+        assert tracer.finished() == []
+
+    def test_attributes_via_set_and_kwargs(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.start_span("work", a=1)
+        span.set(b=2).finish()
+        assert span.attributes == {"a": 1, "b": 2}
+
+    def test_context_manager_finishes_and_tags_errors(self):
+        clock = FakeClock(1.0)
+        tracer = Tracer(clock)
+        with tracer.span("ok"):
+            clock.now = 2.0
+        assert tracer.finished("ok")[0].duration == 1.0
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("boom")
+        assert tracer.finished("bad")[0].attributes["error"] == "RuntimeError"
+
+
+class TestParenting:
+    def test_child_links_to_parent(self):
+        clock = FakeClock(0.0)
+        tracer = Tracer(clock)
+        parent = tracer.start_span("parent")
+        child = parent.child("phase")
+        clock.now = 3.0
+        child.finish()
+        parent.finish()
+        assert child.parent_id == parent.span_id
+        assert tracer.children_of(parent) == [child]
+
+    def test_child_with_explicit_interval_closes_immediately(self):
+        tracer = Tracer(FakeClock(10.0))
+        parent = tracer.start_span("parent")
+        child = parent.child("phase", start=10.0, end=12.0)
+        assert child.finished
+        assert child.duration == 2.0
+
+    def test_as_dict_round_trip_fields(self):
+        tracer = Tracer(FakeClock(1.0))
+        span = tracer.start_span("s", k="v").finish(4.0)
+        d = span.as_dict()
+        assert d["name"] == "s"
+        assert d["duration"] == 3.0
+        assert d["attributes"] == {"k": "v"}
+        assert d["parent_id"] is None
+
+
+class TestDisabledTracer:
+    def test_hands_out_shared_null_span(self):
+        tracer = Tracer(FakeClock(), enabled=False)
+        span = tracer.start_span("work")
+        assert span is NULL_SPAN
+        assert span.child("phase") is span
+        assert span.set(a=1) is span
+        span.finish()
+        with span:
+            pass
+        assert tracer.finished() == []
+
+    def test_null_span_as_parent_means_no_parent(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.start_span("work", parent=NULL_SPAN)
+        assert span.parent_id is None

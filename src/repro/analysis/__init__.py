@@ -1,0 +1,45 @@
+"""Static analysis and runtime sanitizers guarding reproducibility.
+
+The paper's exhibits (Table 1, Figs. 3-5) are only credible because the
+simulation is *deterministic*: every transfer time, NWS forecast and
+Equation (1) score must come out identical run-to-run.  A stray
+``time.time()`` call, an unseeded ``random`` draw or a Mbps/MiB
+mix-up silently destroys that property without failing any functional
+test.  This package is the correctness net that lets refactoring and
+performance PRs move aggressively without breaking the figures:
+
+* :mod:`repro.analysis.gridlint` — a stdlib-``ast`` static checker with
+  codebase-specific rules (GL001-GL006): wall-clock use, rogue RNGs,
+  unordered-set iteration, inline unit arithmetic, mutable default
+  arguments and swallowed exceptions.  Run it with ``repro-lint`` or
+  ``python -m repro.analysis.gridlint src/``.
+* :mod:`repro.analysis.sanitizers` — runtime checks: a determinism
+  harness that runs a scenario twice from one seed and diffs event-trace
+  digests, a sim-time monotonicity watchdog hooked into the kernel, and
+  a resource-leak check for unclosed spans/transfers at simulation end.
+
+See ``docs/static_analysis.md`` for the rule catalog and rationale.
+"""
+
+from repro.analysis.gridlint import Finding, lint_paths
+from repro.analysis.sanitizers import (
+    DeterminismReport,
+    LeakReport,
+    SimTimeWatchdog,
+    attach_watchdog,
+    check_determinism,
+    check_leaks,
+    trace_digest,
+)
+
+__all__ = [
+    "DeterminismReport",
+    "Finding",
+    "LeakReport",
+    "SimTimeWatchdog",
+    "attach_watchdog",
+    "check_determinism",
+    "check_leaks",
+    "lint_paths",
+    "trace_digest",
+]

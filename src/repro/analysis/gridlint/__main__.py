@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.gridlint`` entry point."""
+
+import sys
+
+from repro.analysis.gridlint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,105 @@
+"""File walking, parsing and pragma application for gridlint."""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.gridlint.findings import Finding
+from repro.analysis.gridlint.pragmas import parse_pragmas
+from repro.analysis.gridlint.rules import FileContext, check_tree
+
+__all__ = ["collect_files", "lint_file", "lint_paths", "lint_source"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".venv", "venv", "build", "dist",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache",
+}
+
+
+def collect_files(paths):
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def _context_for(path):
+    normalized = path.replace(os.sep, "/")
+    return FileContext(
+        path,
+        is_rng_module=normalized.endswith("sim/random_streams.py"),
+        is_units_module=normalized.endswith("repro/units.py"),
+    )
+
+
+def lint_source(source, path="<string>", context=None, respect_pragmas=True):
+    """Lint python source text; returns a list of Findings."""
+    context = context or _context_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            path=path, line=error.lineno or 1, col=error.offset or 0,
+            code="GL000", message=f"syntax error: {error.msg}",
+        )]
+    findings = check_tree(tree, context)
+    if respect_pragmas and findings:
+        pragmas = parse_pragmas(source.splitlines())
+        if pragmas:
+            findings = [
+                f for f in findings
+                if not pragmas.suppresses(f.line, f.code)
+            ]
+    return sorted(findings)
+
+
+def lint_file(path, respect_pragmas=True):
+    """Lint one file from disk."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as error:
+        return [Finding(
+            path=str(path), line=1, col=0, code="GL000",
+            message=f"cannot read file: {error}",
+        )]
+    return lint_source(
+        source, path=str(path), context=_context_for(str(path)),
+        respect_pragmas=respect_pragmas,
+    )
+
+
+def lint_paths(paths, select=None, ignore=None, respect_pragmas=True):
+    """Lint files and directories; returns sorted Findings.
+
+    ``select``/``ignore`` are iterables of rule codes; ``select`` keeps
+    only those codes, ``ignore`` drops them (GL000 parse errors always
+    survive both).
+    """
+    select = set(select) if select else None
+    ignore = set(ignore or ())
+    findings = []
+    for path in collect_files(paths):
+        for finding in lint_file(path, respect_pragmas=respect_pragmas):
+            if finding.code == "GL000":
+                findings.append(finding)
+            elif select is not None and finding.code not in select:
+                continue
+            elif finding.code in ignore:
+                continue
+            else:
+                findings.append(finding)
+    return sorted(findings)

@@ -1,0 +1,28 @@
+"""The :class:`Finding` record produced by every gridlint rule."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Findings sort by location so reports are stable regardless of the
+    order rules ran in.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,47 @@
+"""Output formatters for gridlint findings: text, json, github."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["FORMATS", "render"]
+
+
+def _render_text(findings):
+    lines = [str(f) for f in findings]
+    total = len(findings)
+    lines.append(
+        "1 finding" if total == 1 else f"{total} findings"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings):
+    return json.dumps([f.as_dict() for f in findings], indent=2)
+
+
+def _render_github(findings):
+    """GitHub Actions workflow commands — annotate the PR diff."""
+    return "\n".join(
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title={f.code}::{f.message}"
+        for f in findings
+    )
+
+
+FORMATS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
+
+
+def render(findings, format="text"):
+    """Render findings in the named format (text | json | github)."""
+    try:
+        formatter = FORMATS[format]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {format!r}; choose from {sorted(FORMATS)}"
+        ) from None
+    return formatter(findings)

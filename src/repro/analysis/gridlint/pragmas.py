@@ -1,0 +1,81 @@
+"""``# gridlint: disable=...`` pragma parsing.
+
+Two scopes:
+
+* line pragma — a trailing comment on the offending line::
+
+      t0 = time.time()  # gridlint: disable=GL001 -- CLI stopwatch, not sim
+
+  suppresses the listed codes (comma-separated, or ``all``) for that
+  physical line only.  Everything after the code list is a free-form
+  justification; gridlint requires one in this codebase by convention.
+
+* file pragma — anywhere in the file, on a line of its own::
+
+      # gridlint: disable-file=GL002 -- this module IS the seeded RNG
+
+  suppresses the listed codes for the whole file.
+
+Findings are matched by the line number the AST reports for the
+violating node, so put line pragmas on the first physical line of a
+multi-line statement.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PragmaMap", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*gridlint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>all|GL\d{3}(?:\s*,\s*GL\d{3})*)",
+)
+
+
+class PragmaMap:
+    """Suppression lookup: (line, code) -> suppressed?"""
+
+    def __init__(self) -> None:
+        self.file_codes: set[str] = set()
+        self.file_all = False
+        self.line_codes: dict[int, set[str]] = {}
+        self.line_all: set[int] = set()
+
+    def suppresses(self, line: int, code: str) -> bool:
+        if self.file_all or code in self.file_codes:
+            return True
+        if line in self.line_all:
+            return True
+        return code in self.line_codes.get(line, ())
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.file_all or self.file_codes
+            or self.line_all or self.line_codes
+        )
+
+
+def parse_pragmas(source_lines: list[str]) -> PragmaMap:
+    """Scan raw source lines for gridlint pragmas."""
+    pragmas = PragmaMap()
+    for lineno, text in enumerate(source_lines, start=1):
+        if "gridlint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        file_scope = match.group("scope") == "disable-file"
+        if codes == "all":
+            if file_scope:
+                pragmas.file_all = True
+            else:
+                pragmas.line_all.add(lineno)
+            continue
+        parsed = {c.strip() for c in codes.split(",")}
+        if file_scope:
+            pragmas.file_codes |= parsed
+        else:
+            pragmas.line_codes.setdefault(lineno, set()).update(parsed)
+    return pragmas

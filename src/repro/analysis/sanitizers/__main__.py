@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.sanitizers`` — the determinism harness CLI."""
+
+import sys
+
+from repro.analysis.sanitizers.determinism import main
+
+sys.exit(main())

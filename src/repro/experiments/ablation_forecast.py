@@ -8,7 +8,6 @@ for a while and compares, per monitored bandwidth series, the adaptive
 battery's error against each fixed predictor.
 """
 
-import math
 
 from repro.experiments.base import ExperimentResult
 from repro.monitoring.nws.series import series_key

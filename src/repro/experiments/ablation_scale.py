@@ -13,7 +13,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.harness import register_replicas, run_selection_trace
 from repro.testbed.builder import build_testbed
 from repro.testbed.sites import SiteSpec
-from repro.units import GiB, mbit_per_s
+from repro.units import MiB, mbit_per_s
 
 __all__ = ["run_ablation_scale", "synthetic_sites"]
 
@@ -45,7 +45,7 @@ def synthetic_sites(n_sites, hosts_per_site=2):
             ),
             cores=1 + index % 2,
             frequency_ghz=(0.9, 2.0, 2.8)[index % 3],
-            memory_bytes=512 * 1024 * 1024,
+            memory_bytes=512 * MiB,
             disk_capacity=60e9,
             disk_bandwidth=(25e6, 55e6, 60e6)[index % 3],
             lan_capacity=mbit_per_s(1000),

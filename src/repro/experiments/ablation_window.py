@@ -18,7 +18,7 @@ from repro.experiments.base import ExperimentResult
 from repro.grid import DataGrid
 from repro.gridftp import GridFtpClient, GridFtpServer
 from repro.network.tcp import TCPParameters
-from repro.units import megabytes, mbit_per_s, to_mbit_per_s
+from repro.units import KiB, MiB, megabytes, mbit_per_s, to_mbit_per_s
 
 __all__ = ["run_ablation_window"]
 
@@ -51,7 +51,7 @@ def run_ablation_window(file_size_mb=128, seed=0):
     rows = []
     for loss_label, loss_rate in [("clean", 0.0), ("lossy", 1e-3)]:
         for window_label, window in [
-            ("64KiB", 64 * 1024), ("1MiB", 1024 * 1024)
+            ("64KiB", 64 * KiB), ("1MiB", MiB)
         ]:
             for streams in (1, 8):
                 record = _one_transfer(

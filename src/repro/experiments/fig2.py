@@ -9,7 +9,7 @@ auditable in one table.
 
 from repro.experiments.base import ExperimentResult
 from repro.testbed import build_testbed
-from repro.units import to_mbit_per_s
+from repro.units import to_mbit_per_s, to_megabytes
 
 __all__ = ["run_fig2"]
 
@@ -30,7 +30,7 @@ def run_fig2(seed=0):
             "hosts": len(hosts),
             "cores": example.cpu.cores,
             "cpu_ghz": example.cpu.frequency_ghz,
-            "memory_mb": example.memory_bytes / 2**20,
+            "memory_mb": to_megabytes(example.memory_bytes),
             "disk_gb": example.disk.capacity_bytes / 1e9,
             "lan_mbps": to_mbit_per_s(
                 grid.topology.link(example.name, spec.switch_name).capacity

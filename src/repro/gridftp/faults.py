@@ -8,7 +8,6 @@ an exponentially distributed delay the process is interrupted with a
 :class:`TransferFault` cause.
 """
 
-from repro.sim import Interrupt
 
 __all__ = ["TransferFault", "TransferFaultInjector"]
 

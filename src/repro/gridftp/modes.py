@@ -18,6 +18,8 @@ the wire for a given payload, and how much per-block CPU framing costs.
 
 __all__ = ["ExtendedBlockMode", "StreamMode", "MODE_E_HEADER_BYTES"]
 
+from repro.units import KiB
+
 #: MODE E block header: 8 flag bits + 64-bit offset + 64-bit length.
 MODE_E_HEADER_BYTES = 17
 
@@ -48,7 +50,7 @@ class ExtendedBlockMode:
     name = "extended-block"
     max_streams = None  # unbounded
 
-    def __init__(self, block_size=64 * 1024):
+    def __init__(self, block_size=64 * KiB):
         if block_size <= MODE_E_HEADER_BYTES:
             raise ValueError(
                 f"block_size must exceed the header ({MODE_E_HEADER_BYTES}B)"
@@ -56,7 +58,7 @@ class ExtendedBlockMode:
         self.block_size = float(block_size)
 
     def __repr__(self):
-        return f"<ExtendedBlockMode block={self.block_size / 1024:.0f}KiB>"
+        return f"<ExtendedBlockMode block={self.block_size / KiB:.0f}KiB>"
 
     def blocks_for(self, payload_bytes):
         """Number of blocks needed for ``payload_bytes`` of data."""

@@ -5,6 +5,8 @@ what moved, how, and where the time went — the raw material of every
 figure in the paper's evaluation.
 """
 
+from repro.units import to_megabytes
+
 __all__ = ["TransferRecord"]
 
 
@@ -34,7 +36,7 @@ class TransferRecord:
         return (
             f"<TransferRecord {self.protocol} {self.source}->"
             f"{self.destination} {self.filename!r} "
-            f"{self.payload_bytes / 2**20:.0f}MB in {self.elapsed:.2f}s>"
+            f"{to_megabytes(self.payload_bytes):.0f}MB in {self.elapsed:.2f}s>"
         )
 
     @property

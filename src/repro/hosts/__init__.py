@@ -15,7 +15,12 @@ genuinely time-varying.
 
 from repro.hosts.cpu import CPU
 from repro.hosts.disk import Disk
-from repro.hosts.filesystem import FileExistsInStoreError, FileNotInStoreError, FileSystem, InsufficientSpaceError
+from repro.hosts.filesystem import (
+    FileExistsInStoreError,
+    FileNotInStoreError,
+    FileSystem,
+    InsufficientSpaceError,
+)
 from repro.hosts.host import Host
 from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
 from repro.hosts.reslink import ResourceChannel

@@ -10,6 +10,7 @@ from repro.hosts.cpu import CPU
 from repro.hosts.disk import Disk
 from repro.hosts.filesystem import FileSystem
 from repro.network.tcp import TCPParameters
+from repro.units import MiB
 
 __all__ = ["Host"]
 
@@ -37,7 +38,7 @@ class Host:
 
     def __init__(self, sim, name, site, cores=1, frequency_ghz=2.0,
                  disk_bandwidth=50e6, disk_capacity=60e9,
-                 memory_bytes=512 * 1024 * 1024, tcp=None):
+                 memory_bytes=512 * MiB, tcp=None):
         self.sim = sim
         self.name = name
         self.site = site

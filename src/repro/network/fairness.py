@@ -113,12 +113,14 @@ def max_min_allocation(demands, link_capacity):
             tight = min(
                 active,
                 key=lambda f: min(
-                    [remaining[l] for l in active[f].links] +
+                    [remaining[link] for link in active[f].links] +
                     [active[f].cap - allocation[f]]
                 ),
             )
             frozen.add(tight)
-        for fid in frozen:
+        # Delete in the dict's own (insertion) order, not set order, so
+        # the surviving iteration order is identical run-to-run.
+        for fid in [f for f in active if f in frozen]:
             del active[fid]
 
     rates.update(allocation)

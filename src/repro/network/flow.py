@@ -159,7 +159,7 @@ class FlowNetwork:
             return cap
         demands = self._demands()
         probe_id = "__probe__"
-        demands.append(FlowDemand(probe_id, [l.key for l in path.links], cap))
+        demands.append(FlowDemand(probe_id, [link.key for link in path.links], cap))
         capacities = self._capacities(
             list(self._all_links()) + list(path.links)
         )
@@ -178,7 +178,7 @@ class FlowNetwork:
 
     def _demands(self):
         return [
-            FlowDemand(fid, [l.key for l in flow.links], flow.cap)
+            FlowDemand(fid, [link.key for link in flow.links], flow.cap)
             for fid, flow in self._flows.items()
         ]
 

@@ -27,7 +27,7 @@ class Path:
         self.links = tuple(links)
 
     def __repr__(self):
-        hops = " -> ".join([self.src] + [l.dst for l in self.links])
+        hops = " -> ".join([self.src] + [link.dst for link in self.links])
         return f"<Path {hops}>"
 
     def __iter__(self):

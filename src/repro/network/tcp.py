@@ -19,6 +19,8 @@ three-way handshake and the slow-start ramp to the operating window.
 
 import math
 
+from repro.units import KiB
+
 __all__ = ["TCPModel", "TCPParameters", "mathis_throughput"]
 
 #: Constant sqrt(3/2) from the Mathis model for periodic loss.
@@ -44,7 +46,7 @@ class TCPParameters:
     1460-byte MSS and a 64 KiB maximum window.
     """
 
-    def __init__(self, mss=1460.0, max_window=64 * 1024.0,
+    def __init__(self, mss=1460.0, max_window=64 * KiB,
                  initial_window=2 * 1460.0):
         if mss <= 0:
             raise ValueError("mss must be positive")
@@ -59,7 +61,7 @@ class TCPParameters:
     def __repr__(self):
         return (
             f"<TCPParameters mss={self.mss:.0f} "
-            f"window={self.max_window / 1024:.0f}KiB>"
+            f"window={self.max_window / KiB:.0f}KiB>"
         )
 
 

@@ -73,6 +73,7 @@ class Span:
                 f"start {self.start}"
             )
         self.end = end
+        self._tracer.open_spans.pop(self.span_id, None)
         self._tracer.spans.append(self)
         return self
 
@@ -141,6 +142,9 @@ class Tracer:
         self.enabled = bool(enabled)
         #: Finished spans, in finish order.
         self.spans = []
+        #: Still-open spans by id — the leak sanitizer checks this is
+        #: empty once a simulation ends.
+        self.open_spans = {}
         self._ids = count(1)
 
     def __repr__(self):
@@ -154,11 +158,13 @@ class Tracer:
         parent_id = parent.span_id if parent is not None else None
         if parent_id == NULL_SPAN.span_id:
             parent_id = None
-        return Span(
+        span = Span(
             self, name, next(self._ids), parent_id=parent_id,
             start=self.clock() if start is None else start,
             attributes=attributes,
         )
+        self.open_spans[span.span_id] = span
+        return span
 
     def span(self, name, parent=None, **attributes):
         """``with tracer.span("gridftp.transfer", ...)`` convenience."""

@@ -1,5 +1,7 @@
 """Logical files: names for replicated content."""
 
+from repro.units import to_megabytes
+
 __all__ = ["LogicalFile"]
 
 
@@ -23,7 +25,7 @@ class LogicalFile:
     def __repr__(self):
         return (
             f"<LogicalFile {self.name!r} "
-            f"{self.size_bytes / 2**20:.0f}MB>"
+            f"{to_megabytes(self.size_bytes):.0f}MB>"
         )
 
     def matches(self, **criteria):

@@ -1,5 +1,9 @@
 """Exception types used by the simulation kernel."""
 
+from __future__ import annotations
+
+from typing import Any
+
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
@@ -16,7 +20,7 @@ class StopProcess(Exception):
     call sites that want to stop a process from a helper function.
     """
 
-    def __init__(self, value=None):
+    def __init__(self, value: Any = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -28,10 +32,10 @@ class Interrupt(Exception):
     the interrupt happened (for example, a transfer abort reason).
     """
 
-    def __init__(self, cause=None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
 
     @property
-    def cause(self):
+    def cause(self) -> Any:
         """The cause passed to :meth:`Process.interrupt`."""
         return self.args[0]

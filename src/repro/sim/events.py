@@ -13,7 +13,14 @@ Events move through three states:
 events, used e.g. to wait for all parallel TCP streams of a transfer.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
 from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 _PENDING = object()
 
@@ -31,43 +38,43 @@ class Event:
     are waited on by yielding them from a process generator.
     """
 
-    def __init__(self, sim):
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.callbacks = []
-        self._value = _PENDING
-        self._ok = None
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "pending"
         if self.triggered:
             state = "ok" if self._ok else "failed"
         return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
 
     @property
-    def triggered(self):
+    def triggered(self) -> bool:
         """True once a value or exception has been set."""
         return self._value is not _PENDING
 
     @property
-    def processed(self):
+    def processed(self) -> bool:
         """True once the simulator has invoked the callbacks."""
         return self.callbacks is None
 
     @property
-    def ok(self):
+    def ok(self) -> bool | None:
         """True if the event succeeded.  Only valid once triggered."""
         if not self.triggered:
             raise SimulationError("event value not yet available")
         return self._ok
 
     @property
-    def value(self):
+    def value(self) -> Any:
         """The event's value (or exception instance if it failed)."""
         if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._value
 
-    def succeed(self, value=None, delay=0.0):
+    def succeed(self, value: Any = None, delay: float = 0.0) -> Event:
         """Trigger the event successfully with ``value``.
 
         ``delay`` postpones the trigger on the simulation clock; the
@@ -81,7 +88,8 @@ class Event:
         self.sim.schedule(self, delay=delay)
         return self
 
-    def fail(self, exception, delay=0.0):
+    def fail(self, exception: BaseException,
+             delay: float = 0.0) -> Event:
         """Trigger the event with an exception.
 
         Processes waiting on the event will have ``exception`` thrown into
@@ -98,7 +106,7 @@ class Event:
         self.sim.schedule(self, delay=delay)
         return self
 
-    def trigger(self, event):
+    def trigger(self, event: Event) -> Event:
         """Trigger this event with the state of another triggered event."""
         if event._ok:
             self.succeed(event._value)
@@ -110,9 +118,11 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
-    def __init__(self, sim, delay, value=None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+    def __init__(self, sim: Simulator, delay: float,
+                 value: Any = None) -> None:
+        if not delay >= 0:
+            # `not >=` rather than `<` so NaN delays are rejected too.
+            raise ValueError(f"negative or NaN delay {delay}")
         super().__init__(sim)
         self._delay = delay
         self._ok = True
@@ -120,10 +130,10 @@ class Timeout(Event):
         sim.schedule(self, delay=delay)
 
     @property
-    def delay(self):
+    def delay(self) -> float:
         return self._delay
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Timeout delay={self._delay:.6g}>"
 
 
@@ -134,10 +144,10 @@ class Condition(Event):
     processed sub-events, or fails as soon as any sub-event fails.
     """
 
-    def __init__(self, sim, events):
+    def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._events = list(events)
-        self._done = []
+        self._done: list[Event] = []
         for event in self._events:
             if event.sim is not sim:
                 raise SimulationError("events belong to different simulators")
@@ -150,10 +160,10 @@ class Condition(Event):
             else:
                 event.callbacks.append(self._on_event)
 
-    def _evaluate(self, count, total):
+    def _evaluate(self, count: int, total: int) -> bool:
         raise NotImplementedError
 
-    def _on_event(self, event):
+    def _on_event(self, event: Event) -> None:
         if self.triggered:
             return
         if not event._ok:
@@ -176,12 +186,12 @@ class AllOf(Condition):
     Its value is a dict mapping each sub-event to its value.
     """
 
-    def _evaluate(self, count, total):
+    def _evaluate(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(Condition):
     """Triggers as soon as any sub-event succeeds."""
 
-    def _evaluate(self, count, total):
+    def _evaluate(self, count: int, total: int) -> bool:
         return count >= 1

@@ -6,8 +6,11 @@ events; the simulator pops events in time order and resumes the processes
 waiting on them.
 """
 
+from __future__ import annotations
+
 import heapq
 from itertools import count
+from typing import Any, Callable, Generator
 
 from repro.obs.core import observability_for
 from repro.sim.errors import EmptySchedule, SimulationError
@@ -37,13 +40,17 @@ class Simulator:
         inside an open ``repro.obs.capture()`` context.
     """
 
-    def __init__(self, initial_time=0.0, seed=0, observe=None):
+    def __init__(self, initial_time: float = 0.0, seed: int = 0,
+                 observe: bool | None = None) -> None:
         self._now = float(initial_time)
-        self._queue = []
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self.streams = StreamRegistry(seed)
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
+        #: Sanitizer hooks called after every processed event with
+        #: ``(simulator, event)`` — see repro.analysis.sanitizers.
+        self._step_hooks: list[Callable[[Simulator, Event], None]] = []
         #: The simulator's observability bundle (metrics/spans/events).
         self.obs = observability_for(lambda: self._now, observe)
         self._obs_on = self.obs.enabled
@@ -51,48 +58,67 @@ class Simulator:
             metrics = self.obs.metrics
             self._events_counter = metrics.counter("sim.events_processed")
             self._queue_gauge = metrics.gauge("sim.queue_depth")
-            self._class_counters = {}
+            self._class_counters: dict[str, Any] = {}
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<Simulator t={self._now:.6g} queued={len(self._queue)} "
             f"processed={self.events_processed}>"
         )
 
     @property
-    def now(self):
+    def now(self) -> float:
         """Current simulated time."""
         return self._now
 
     # -- event factories -------------------------------------------------
 
-    def event(self):
+    def event(self) -> Event:
         """Create a fresh pending :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay, value=None):
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` triggering ``delay`` from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator):
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new :class:`Process` running ``generator``."""
         return Process(self, generator)
 
     # -- scheduling -------------------------------------------------------
 
-    def schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
+    def add_step_hook(
+        self, hook: Callable[[Simulator, Event], None]
+    ) -> Callable[[Simulator, Event], None]:
+        """Register ``hook(sim, event)`` to run after every step.
+
+        Used by the runtime sanitizers (sim-time watchdog); hooks must
+        not schedule events or mutate the clock.
+        """
+        self._step_hooks.append(hook)
+        return hook
+
+    def remove_step_hook(
+        self, hook: Callable[[Simulator, Event], None]
+    ) -> None:
+        """Unregister a hook added with :meth:`add_step_hook`."""
+        self._step_hooks.remove(hook)
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
         """Put a triggered event on the queue ``delay`` into the future."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+        if not delay >= 0:
+            # `not >=` rather than `<` so NaN delays are rejected too.
+            raise ValueError(f"negative or NaN delay {delay}")
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
-    def peek(self):
+    def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def step(self):
+    def step(self) -> None:
         """Process the single next event.
 
         Raises :class:`EmptySchedule` when the queue is empty, and
@@ -113,10 +139,13 @@ class Simulator:
         self.events_processed += 1
         if self._obs_on:
             self._record_step(event)
+        if self._step_hooks:
+            for hook in self._step_hooks:
+                hook(self, event)
         if not event._ok and not getattr(event, "defused", True):
             raise event._value
 
-    def _record_step(self, event):
+    def _record_step(self, event: Event) -> None:
         """Metrics for one processed event (only called when observing)."""
         self._events_counter.inc()
         self._queue_gauge.set(len(self._queue))
@@ -129,7 +158,7 @@ class Simulator:
             self._class_counters[cls] = counter
         counter.inc()
 
-    def run(self, until=None):
+    def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains or the clock passes ``until``.
 
         ``until`` may be:
@@ -158,7 +187,7 @@ class Simulator:
         self._now = horizon
         return None
 
-    def _run_until_event(self, event):
+    def _run_until_event(self, event: Event) -> Any:
         if event.processed:
             return self._event_outcome(event)
         done = []
@@ -173,7 +202,7 @@ class Simulator:
         return self._event_outcome(event)
 
     @staticmethod
-    def _event_outcome(event):
+    def _event_outcome(event: Event) -> Any:
         if event._ok:
             return event._value
         event.defused = True

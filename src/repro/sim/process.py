@@ -7,7 +7,13 @@ process object is itself an event that triggers when the generator
 returns, so processes can wait on each other.
 """
 
+from __future__ import annotations
+
 from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 from repro.sim.errors import Interrupt, SimulationError, StopProcess
 from repro.sim.events import PRIORITY_URGENT, Event
@@ -24,14 +30,15 @@ class Process(Event):
     transfers, restart sensors, etc.
     """
 
-    def __init__(self, sim, generator):
+    def __init__(self, sim: Simulator,
+                 generator: Generator[Event, Any, Any]) -> None:
         if not isinstance(generator, GeneratorType):
             raise TypeError(
                 f"process target must be a generator, got {generator!r}"
             )
         super().__init__(sim)
         self._generator = generator
-        self._waiting_on = None
+        self._waiting_on: Event | None = None
         # Bootstrap: resume the generator at the current instant, before
         # normal events scheduled at the same time.
         init = Event(sim)
@@ -40,21 +47,21 @@ class Process(Event):
         init.callbacks.append(self._resume)
         sim.schedule(init, priority=PRIORITY_URGENT)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", "process")
         return f"<Process {name} {'done' if self.triggered else 'active'}>"
 
     @property
-    def is_alive(self):
+    def is_alive(self) -> bool:
         """True while the generator has not finished."""
         return not self.triggered
 
     @property
-    def waiting_on(self):
+    def waiting_on(self) -> Event | None:
         """The event the process currently waits for (None if running)."""
         return self._waiting_on
 
-    def interrupt(self, cause=None):
+    def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its wait point."""
         if self.triggered:
             raise SimulationError(f"{self!r} has already finished")
@@ -67,7 +74,7 @@ class Process(Event):
 
     # -- internals --------------------------------------------------------
 
-    def _resume(self, trigger):
+    def _resume(self, trigger: Event) -> None:
         if self.triggered:
             # Stale wake-up: an interrupt was scheduled at the same
             # instant the process finished.  Drop it (and defuse a

@@ -9,14 +9,17 @@ independent PRNGs seeded from ``(root_seed, name)``, so
 * adding a new consumer of randomness never perturbs existing ones.
 """
 
+from __future__ import annotations
+
 import hashlib
 import math
 import random
+from typing import Any, MutableSequence, Sequence
 
 __all__ = ["RandomStream", "StreamRegistry"]
 
 
-def _derive_seed(root_seed, name):
+def _derive_seed(root_seed: int, name: str) -> int:
     digest = hashlib.sha256(f"{root_seed}/{name}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
 
@@ -28,27 +31,28 @@ class RandomStream:
     the grid models need (lognormal clamped, truncated normal, pareto).
     """
 
-    def __init__(self, root_seed, name):
+    def __init__(self, root_seed: int, name: str) -> None:
         self.name = name
         self._rng = random.Random(_derive_seed(root_seed, name))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<RandomStream {self.name!r}>"
 
-    def uniform(self, low, high):
+    def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)
 
-    def random(self):
+    def random(self) -> float:
         return self._rng.random()
 
-    def expovariate(self, rate):
+    def expovariate(self, rate: float) -> float:
         """Exponential inter-arrival sample with the given rate (1/mean)."""
         return self._rng.expovariate(rate)
 
-    def normal(self, mean, std):
+    def normal(self, mean: float, std: float) -> float:
         return self._rng.gauss(mean, std)
 
-    def truncated_normal(self, mean, std, low, high):
+    def truncated_normal(self, mean: float, std: float, low: float,
+                         high: float) -> float:
         """Normal sample clamped into [low, high].
 
         Clamping (rather than rejection) keeps the draw count per call
@@ -58,26 +62,27 @@ class RandomStream:
         value = self._rng.gauss(mean, std)
         return min(high, max(low, value))
 
-    def lognormal(self, mean, sigma):
+    def lognormal(self, mean: float, sigma: float) -> float:
         return self._rng.lognormvariate(mean, sigma)
 
-    def pareto(self, alpha, scale=1.0):
+    def pareto(self, alpha: float, scale: float = 1.0) -> float:
         """Pareto sample with shape ``alpha`` and minimum ``scale``."""
         return scale * self._rng.paretovariate(alpha)
 
-    def choice(self, sequence):
+    def choice(self, sequence: Sequence[Any]) -> Any:
         return self._rng.choice(sequence)
 
-    def shuffle(self, sequence):
+    def shuffle(self, sequence: MutableSequence[Any]) -> None:
         self._rng.shuffle(sequence)
 
-    def randint(self, low, high):
+    def randint(self, low: int, high: int) -> int:
         return self._rng.randint(low, high)
 
-    def sample(self, population, k):
+    def sample(self, population: Sequence[Any], k: int) -> list[Any]:
         return self._rng.sample(population, k)
 
-    def weighted_choice(self, items, weights):
+    def weighted_choice(self, items: Sequence[Any],
+                        weights: Sequence[float]) -> Any:
         """Pick one of ``items`` with probability proportional to weights."""
         if len(items) != len(weights):
             raise ValueError("items and weights must have equal length")
@@ -101,22 +106,22 @@ class StreamRegistry:
     picking unique names.
     """
 
-    def __init__(self, root_seed=0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
-        self._streams = {}
+        self._streams: dict[str, RandomStream] = {}
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<StreamRegistry seed={self.root_seed} "
             f"streams={sorted(self._streams)}>"
         )
 
-    def get(self, name):
+    def get(self, name: str) -> RandomStream:
         """Return the stream registered under ``name``, creating it if new."""
         if name not in self._streams:
             self._streams[name] = RandomStream(self.root_seed, name)
         return self._streams[name]
 
-    def names(self):
+    def names(self) -> list[str]:
         """Names of all streams created so far."""
         return sorted(self._streams)

@@ -11,9 +11,15 @@ Three classic primitives, modelled on SimPy's:
   grid services).
 """
 
+from __future__ import annotations
+
 from collections import deque
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 __all__ = ["Container", "Resource", "Store"]
 
@@ -28,14 +34,15 @@ class Request(Event):
             ... hold the slot ...
     """
 
-    def __init__(self, resource):
+    def __init__(self, resource: Resource) -> None:
         super().__init__(resource.sim)
         self.resource = resource
 
-    def __enter__(self):
+    def __enter__(self) -> Request:
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback):
+    def __exit__(self, exc_type: Any, exc_value: Any,
+                 traceback: Any) -> bool:
         self.resource.release(self)
         return False
 
@@ -43,26 +50,26 @@ class Request(Event):
 class Resource:
     """``capacity`` slots with FIFO queueing."""
 
-    def __init__(self, sim, capacity=1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
-        self.users = []
-        self.queue = deque()
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<Resource {len(self.users)}/{self.capacity} used, "
             f"{len(self.queue)} queued>"
         )
 
     @property
-    def count(self):
+    def count(self) -> int:
         """Number of slots currently held."""
         return len(self.users)
 
-    def request(self):
+    def request(self) -> Request:
         """Ask for a slot; the returned event triggers once granted."""
         req = Request(self)
         if len(self.users) < self.capacity:
@@ -72,7 +79,7 @@ class Resource:
             self.queue.append(req)
         return req
 
-    def release(self, request):
+    def release(self, request: Request) -> None:
         """Give back a slot (no-op if the request never got one)."""
         if request in self.users:
             self.users.remove(request)
@@ -91,7 +98,8 @@ class Resource:
 class Container:
     """A continuous quantity with blocking put/get."""
 
-    def __init__(self, sim, capacity=float("inf"), init=0.0):
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if not 0 <= init <= capacity:
@@ -99,17 +107,17 @@ class Container:
         self.sim = sim
         self.capacity = capacity
         self._level = init
-        self._puts = deque()
-        self._gets = deque()
+        self._puts: deque[tuple[Event, float]] = deque()
+        self._gets: deque[tuple[Event, float]] = deque()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Container {self._level:.6g}/{self.capacity:.6g}>"
 
     @property
-    def level(self):
+    def level(self) -> float:
         return self._level
 
-    def put(self, amount):
+    def put(self, amount: float) -> Event:
         """Add ``amount``; blocks while it would overflow capacity."""
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -118,7 +126,7 @@ class Container:
         self._settle()
         return event
 
-    def get(self, amount):
+    def get(self, amount: float) -> Event:
         """Remove ``amount``; blocks until that much is available."""
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -127,7 +135,7 @@ class Container:
         self._settle()
         return event
 
-    def _settle(self):
+    def _settle(self) -> None:
         progressed = True
         while progressed:
             progressed = False
@@ -150,33 +158,34 @@ class Container:
 class Store:
     """FIFO of arbitrary items with blocking put/get."""
 
-    def __init__(self, sim, capacity=float("inf")):
+    def __init__(self, sim: Simulator,
+                 capacity: float = float("inf")) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
-        self.items = deque()
-        self._puts = deque()
-        self._gets = deque()
+        self.items: deque[Any] = deque()
+        self._puts: deque[tuple[Event, Any]] = deque()
+        self._gets: deque[Event] = deque()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Store {len(self.items)} items>"
 
-    def put(self, item):
+    def put(self, item: Any) -> Event:
         """Append ``item``; blocks while the store is full."""
         event = Event(self.sim)
         self._puts.append((event, item))
         self._settle()
         return event
 
-    def get(self):
+    def get(self) -> Event:
         """Pop the oldest item; blocks while the store is empty."""
         event = Event(self.sim)
         self._gets.append(event)
         self._settle()
         return event
 
-    def _settle(self):
+    def _settle(self) -> None:
         progressed = True
         while progressed:
             progressed = False

@@ -15,7 +15,7 @@ are the calibration knobs of the reproduction and are documented per
 field below.
 """
 
-from repro.units import GiB, mbit_per_s, gbit_per_s
+from repro.units import GiB, MiB, mbit_per_s, gbit_per_s
 
 __all__ = ["HIT", "LIZEN", "PAPER_SITES", "SiteSpec"]
 
@@ -72,7 +72,7 @@ HIT = SiteSpec(
     host_names=("hit0", "hit1", "hit2", "hit3"),
     cores=1,                      # P4 2.8 GHz
     frequency_ghz=2.8,
-    memory_bytes=512 * 1024 * 1024,
+    memory_bytes=512 * MiB,
     disk_capacity=80e9,           # 80 GB HD
     disk_bandwidth=60e6,
     lan_capacity=gbit_per_s(1),
@@ -90,7 +90,7 @@ LIZEN = SiteSpec(
     host_names=("lz01", "lz02", "lz03", "lz04"),
     cores=1,                      # Celeron 900 MHz
     frequency_ghz=0.9,
-    memory_bytes=256 * 1024 * 1024,
+    memory_bytes=256 * MiB,
     disk_capacity=10e9,           # 10 GB HD
     disk_bandwidth=25e6,
     lan_capacity=mbit_per_s(100),

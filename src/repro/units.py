@@ -20,31 +20,31 @@ GiB = 1024.0 * MiB
 _BITS_PER_BYTE = 8.0
 
 
-def mbit_per_s(mbps):
+def mbit_per_s(mbps: float) -> float:
     """Convert a link speed in Mbps (SI megabits/s) to bytes/s."""
     return mbps * 1e6 / _BITS_PER_BYTE
 
 
-def gbit_per_s(gbps):
+def gbit_per_s(gbps: float) -> float:
     """Convert a link speed in Gbps to bytes/s."""
     return gbps * 1e9 / _BITS_PER_BYTE
 
 
-def to_mbit_per_s(bytes_per_s):
+def to_mbit_per_s(bytes_per_s: float) -> float:
     """Convert bytes/s back to Mbps for reporting."""
     return bytes_per_s * _BITS_PER_BYTE / 1e6
 
 
-def megabytes(n):
+def megabytes(n: float) -> float:
     """File size of ``n`` MB (2**20 bytes) in bytes."""
     return n * MiB
 
 
-def to_megabytes(nbytes):
+def to_megabytes(nbytes: float) -> float:
     """Bytes to MB (2**20) for reporting."""
     return nbytes / MiB
 
 
-def milliseconds(ms):
+def milliseconds(ms: float) -> float:
     """Convert milliseconds to seconds."""
     return ms / 1e3

@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads that GL001 must flag."""
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp():
+    started = time.time()
+    tick = time.perf_counter()
+    mono = monotonic()
+    today = datetime.now()
+    return started, tick, mono, today

@@ -1,0 +1,15 @@
+"""Fixture: sim-time reads GL001 must accept."""
+
+
+def stamp(sim):
+    started = sim.now
+    duration = time_between(started, sim.now)
+    return started, duration
+
+
+def time_between(a, b):
+    return b - a
+
+
+def sleep_like(sim, seconds):
+    return sim.timeout(seconds)

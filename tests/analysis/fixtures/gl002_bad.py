@@ -1,0 +1,7 @@
+"""Fixture: rogue RNG use that GL002 must flag."""
+import random
+
+
+def jitter():
+    rng = random.Random(42)
+    return random.random() + rng.random()

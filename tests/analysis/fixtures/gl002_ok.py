@@ -1,0 +1,6 @@
+"""Fixture: randomness drawn from the seeded named streams."""
+
+
+def jitter(sim):
+    stream = sim.streams.get("background.cpu")
+    return stream.uniform(0.0, 1.0)

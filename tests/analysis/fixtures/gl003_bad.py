@@ -1,0 +1,17 @@
+"""Fixture: unordered iteration that GL003 must flag."""
+
+
+def schedule_all(sim, names):
+    pending = {n for n in names}
+    for name in pending:
+        sim.schedule(name)
+    for host in {"alpha1", "hit0"}:
+        sim.schedule(host)
+    ranked = [h for h in set(names)]
+    for key in table().keys():
+        sim.schedule(key)
+    return ranked
+
+
+def table():
+    return {}

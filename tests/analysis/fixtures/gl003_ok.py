@@ -1,0 +1,17 @@
+"""Fixture: deterministic iteration GL003 must accept."""
+
+
+def schedule_all(sim, names):
+    pending = {n for n in names}
+    for name in sorted(pending):
+        sim.schedule(name)
+    for host in ("alpha1", "hit0"):
+        sim.schedule(host)
+    for key in table():
+        sim.schedule(key)
+    membership = {"alpha1", "hit0"}
+    return "alpha1" in membership
+
+
+def table():
+    return {}

@@ -1,0 +1,10 @@
+"""Fixture: inline unit arithmetic that GL004 must flag."""
+
+
+def conversions(mbps, nbytes):
+    rate = mbps * 1e6 / 8
+    back = nbytes * 8 / 1e6
+    memory = 512 * 1024 * 1024
+    window = 2 ** 20
+    shifted = 1 << 20
+    return rate, back, memory, window, shifted

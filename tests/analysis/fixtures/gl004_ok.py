@@ -1,0 +1,10 @@
+"""Fixture: unit conversions through repro.units helpers."""
+from repro.units import MiB, mbit_per_s, to_mbit_per_s
+
+
+def conversions(mbps, nbytes):
+    rate = mbit_per_s(mbps)
+    back = to_mbit_per_s(nbytes)
+    memory = 512 * MiB
+    plain = 3 * 7 / 2
+    return rate, back, memory, plain

@@ -1,0 +1,14 @@
+"""Fixture: mutable defaults that GL005 must flag."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, tags=set()):
+    return table.get(key, tags)
+
+
+def build(names=list()):
+    return names

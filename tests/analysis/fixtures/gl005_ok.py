@@ -1,0 +1,11 @@
+"""Fixture: safe defaults GL005 must accept."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table=None, default=0, name="x"):
+    return (table or {}).get(key, default), name

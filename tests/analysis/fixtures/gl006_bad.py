@@ -1,0 +1,22 @@
+"""Fixture: exception swallowing that GL006 must flag."""
+
+
+def careless(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def silent(fn):
+    try:
+        return fn()
+    except Exception:
+        pass
+
+
+def muzzled(fn):
+    try:
+        return fn()
+    except SimulationError:
+        pass

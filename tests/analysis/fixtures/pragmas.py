@@ -1,0 +1,11 @@
+"""Fixture: every violation carries a justifying pragma."""
+# gridlint: disable-file=GL005 -- fixture exercising file-scope pragmas
+import time  # measured off-sim on purpose
+
+
+def wall():
+    return time.time()  # gridlint: disable=GL001 -- CLI stopwatch, not sim
+
+
+def collect(item, bucket=[]):
+    return bucket + [item]

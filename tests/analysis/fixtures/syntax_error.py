@@ -1,0 +1,3 @@
+"""Fixture: unparsable source must yield GL000."""
+def broken(:
+    pass

@@ -1,0 +1,80 @@
+"""Determinism harness: same seed ⇒ same digest, wall-clock ⇒ flagged."""
+
+import time
+
+import pytest
+
+from repro.analysis.sanitizers import check_determinism, trace_digest
+from repro.analysis.sanitizers.determinism import main as determinism_main
+from repro.sim import Simulator
+
+
+def seeded_scenario():
+    """A well-behaved scenario: everything derives from the root seed."""
+    sim = Simulator(seed=42)
+    jitter = sim.streams.get("arrivals")
+    for index in range(20):
+        sim.timeout(jitter.expovariate(1.0))
+        sim.obs.events.emit("arrival", index=index)
+    sim.run()
+    return sim.now
+
+
+def wall_clock_scenario():
+    """A buggy scenario: leaks host time into the event stream."""
+    sim = Simulator(seed=42)
+    sim.timeout(1.0)
+    sim.obs.events.emit("started", stamp=time.perf_counter_ns())
+    sim.run()
+    return sim.now
+
+
+def test_seeded_scenario_is_deterministic():
+    report = check_determinism(seeded_scenario, name="seeded")
+    assert report.ok
+    assert len(set(report.digests)) == 1
+    assert report.record_counts[0] > 0
+    assert "deterministic over 2 runs" in report.describe()
+
+
+def test_wall_clock_dependency_is_flagged():
+    report = check_determinism(wall_clock_scenario, name="leaky")
+    assert not report.ok
+    assert report.digests[0] != report.digests[1]
+    assert report.divergence is not None
+    assert "stamp" in (report.divergence.record_a or "")
+    assert "NONDETERMINISTIC" in report.describe()
+
+
+def test_more_than_two_runs():
+    report = check_determinism(seeded_scenario, runs=4, name="seeded")
+    assert report.runs == 4
+    assert report.ok
+
+
+def test_fewer_than_two_runs_is_rejected():
+    with pytest.raises(ValueError, match="at least 2 runs"):
+        check_determinism(seeded_scenario, runs=1)
+
+
+def test_trace_digest_is_order_sensitive():
+    records = [{"kind": "a", "time": 0.0}, {"kind": "b", "time": 1.0}]
+    assert trace_digest(records) != trace_digest(list(reversed(records)))
+
+
+def test_trace_digest_scrubs_memory_addresses():
+    first = [{"repr": "<Host alpha at 0x7f00deadbeef>"}]
+    second = [{"repr": "<Host alpha at 0x7f11cafef00d>"}]
+    assert trace_digest(first) == trace_digest(second)
+
+
+def test_cli_reports_deterministic_experiment(capsys):
+    exit_code = determinism_main(["fig3", "--quick"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "fig3: deterministic" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        determinism_main(["nonsense"])

@@ -1,0 +1,21 @@
+"""Same-seed digest sweep over the headline exhibits (quick mode).
+
+The full fourteen-experiment sweep runs in CI's sanitize job via
+``python -m repro.analysis.sanitizers``; here we pin the two exhibits
+the acceptance criteria name so a regression fails fast in tier 1.
+"""
+
+import pytest
+
+from repro.analysis.sanitizers import check_determinism
+from repro.experiments.runner import EXPERIMENTS
+
+
+@pytest.mark.parametrize("experiment_id", ["fig3", "table1"])
+def test_quick_experiment_is_deterministic(experiment_id):
+    runner = EXPERIMENTS[experiment_id]
+    report = check_determinism(
+        lambda: runner(True, 0), name=experiment_id
+    )
+    assert report.ok, report.describe()
+    assert report.record_counts[0] > 0

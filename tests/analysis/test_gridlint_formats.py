@@ -1,0 +1,108 @@
+"""Output formats (text/json/github), the CLI, and exit codes."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.gridlint import Finding, lint_paths, main, render
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+SAMPLE = [
+    Finding(path="src/x.py", line=3, col=4, code="GL001",
+            message="wall-clock call"),
+    Finding(path="src/y.py", line=9, col=0, code="GL005",
+            message="mutable default"),
+]
+
+
+def test_text_format_lists_findings_and_total():
+    out = render(SAMPLE, format="text")
+    assert "src/x.py:3:4: GL001 wall-clock call" in out
+    assert out.endswith("2 findings")
+
+
+def test_text_format_singular_total():
+    assert render(SAMPLE[:1], format="text").endswith("1 finding")
+
+
+def test_json_format_round_trips():
+    decoded = json.loads(render(SAMPLE, format="json"))
+    assert decoded == [
+        {"path": "src/x.py", "line": 3, "col": 4, "code": "GL001",
+         "message": "wall-clock call"},
+        {"path": "src/y.py", "line": 9, "col": 0, "code": "GL005",
+         "message": "mutable default"},
+    ]
+
+
+def test_github_format_emits_error_commands():
+    lines = render(SAMPLE, format="github").splitlines()
+    assert lines[0] == (
+        "::error file=src/x.py,line=3,col=4,title=GL001::wall-clock call"
+    )
+    assert len(lines) == 2
+
+
+def test_unknown_format_raises():
+    with pytest.raises(ValueError, match="unknown format"):
+        render(SAMPLE, format="yaml")
+
+
+def test_select_and_ignore_filters():
+    path = os.path.join(FIXTURES, "gl004_bad.py")
+    assert {f.code for f in lint_paths([path])} == {"GL004"}
+    assert lint_paths([path], ignore={"GL004"}) == []
+    assert lint_paths([path], select={"GL001"}) == []
+
+
+def test_cli_clean_file_exits_zero(capsys):
+    assert main([os.path.join(FIXTURES, "gl001_ok.py")]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_cli_violation_exits_one_with_location(capsys):
+    path = os.path.join(FIXTURES, "gl002_bad.py")
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "GL002" in out
+    assert "gl002_bad.py:2:" in out
+
+
+def test_cli_json_format(capsys):
+    path = os.path.join(FIXTURES, "gl005_bad.py")
+    assert main(["--format", "json", path]) == 1
+    decoded = json.loads(capsys.readouterr().out)
+    assert all(f["code"] == "GL005" for f in decoded)
+
+
+def test_cli_github_format(capsys):
+    path = os.path.join(FIXTURES, "gl006_bad.py")
+    assert main(["--format", "github", path]) == 1
+    assert "::error file=" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006"):
+        assert code in out
+
+
+def test_cli_rejects_unknown_codes():
+    with pytest.raises(SystemExit):
+        main(["--select", "GL999", "x.py"])
+
+
+def test_cli_requires_paths():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_directory_walk_skips_caches(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("import random\n")
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert lint_paths([str(tmp_path)]) == []

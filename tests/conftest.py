@@ -6,6 +6,45 @@ from repro.grid import DataGrid
 from repro.units import mbit_per_s
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="arm the sim-time watchdog on every simulator the tests "
+             "build and fail tests that break clock discipline",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: opt a test out of the --sanitize watchdog "
+        "(for tests that break sim-time invariants on purpose)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sim_time_sanitizer(request):
+    """Under ``--sanitize``, watch every simulator a test constructs."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    if request.node.get_closest_marker("no_sanitize") is not None:
+        yield
+        return
+    from repro.analysis.sanitizers import install_global_watchdog
+
+    guard = install_global_watchdog()
+    try:
+        yield
+    finally:
+        guard.uninstall()
+    violations = guard.violations()
+    assert not violations, (
+        "sim-time watchdog violations:\n"
+        + "\n".join(str(v) for v in violations)
+    )
+
+
 def build_two_host_grid(seed=0, capacity=mbit_per_s(100), latency=0.005,
                         loss_rate=0.0, disk_bandwidth=500e6):
     """Two hosts joined by one duplex link.

@@ -101,4 +101,21 @@ def check_leaks(target):
                 ),
             ))
 
+    if sim is not None and getattr(sim, "_queue", None) is not None:
+        # Guard timers (fault injectors, attempt timeouts, chaos
+        # reverts) tag their timeout events with ``guard_tag``.  One
+        # still queued and not cancelled at sweep time is a guard that
+        # was never disarmed — it silently holds the horizon open.
+        for entry in sim._queue:
+            event = entry[3]
+            tag = getattr(event, "guard_tag", None)
+            if tag is not None and not event.cancelled:
+                leaks.append(Leak(
+                    kind="armed-guard", name=tag,
+                    detail=(
+                        f"guard timer scheduled for t={entry[0]:.6g} "
+                        "was never disarmed"
+                    ),
+                ))
+
     return LeakReport(leaks)

@@ -1,0 +1,32 @@
+"""Chaos engineering for the simulated data grid.
+
+Declarative, seeded failure campaigns (:mod:`repro.chaos.spec`) applied
+by a deterministic engine (:mod:`repro.chaos.engine`) through a
+registry of reversible actions (:mod:`repro.chaos.actions`), plus three
+canned campaigns over the paper's testbed
+(:mod:`repro.chaos.campaigns`).  See ``docs/chaos.md``.
+"""
+
+from repro.chaos.actions import ACTIONS, ChaosContext, chaos_action
+from repro.chaos.campaigns import (
+    CAMPAIGNS,
+    flaky_wan_link,
+    hot_spot_server,
+    monitor_blackout,
+)
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.spec import Campaign, EventSpec, Schedule
+
+__all__ = [
+    "ACTIONS",
+    "CAMPAIGNS",
+    "Campaign",
+    "ChaosContext",
+    "ChaosEngine",
+    "EventSpec",
+    "Schedule",
+    "chaos_action",
+    "flaky_wan_link",
+    "hot_spot_server",
+    "monitor_blackout",
+]

@@ -1,0 +1,231 @@
+"""The chaos action registry: how each failure is applied and undone.
+
+Every action is a function ``action(ctx, target, **params)`` returning a
+zero-argument *revert* callable (or ``None`` for irreversible actions).
+``ctx`` is a :class:`ChaosContext` giving access to the grid and, when
+supplied, the monitoring stack of an assembled testbed.
+
+Reverts restore exactly the state the action saved — a brownout revert
+puts back the background utilisation it found, not zero, so chaos
+composes with the testbed's own load generators.
+"""
+
+__all__ = ["ACTIONS", "ChaosContext", "chaos_action"]
+
+#: Registry of action name -> callable.
+ACTIONS = {}
+
+
+def chaos_action(name):
+    """Decorator registering an action under ``name``."""
+    def register(function):
+        if name in ACTIONS:
+            raise ValueError(f"duplicate chaos action {name!r}")
+        ACTIONS[name] = function
+        return function
+    return register
+
+
+class ChaosContext:
+    """What actions may touch: the grid, and optionally the testbed.
+
+    ``testbed`` (a :class:`repro.testbed.builder.Testbed`) is required
+    only by monitoring-layer actions (sensor blackout, MDS blackout,
+    NWS freeze); network and host actions need just the grid.
+    """
+
+    def __init__(self, grid, testbed=None):
+        self.grid = grid
+        self.testbed = testbed
+
+    def _duplex(self, target):
+        """Both directed links of an ``(a, b)`` endpoint pair."""
+        if not (isinstance(target, (tuple, list)) and len(target) == 2):
+            raise ValueError(
+                f"link action target must be an (a, b) pair, got {target!r}"
+            )
+        a, b = target
+        topology = self.grid.topology
+        links = []
+        for src, dst in ((a, b), (b, a)):
+            if topology.has_link(src, dst):
+                links.append(topology.link(src, dst))
+        if not links:
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        return links
+
+    def _adjacent_links(self, host_name):
+        """Every directed link touching ``host_name``."""
+        return [
+            link for link in self.grid.topology.links()
+            if host_name in (link.src, link.dst)
+        ]
+
+    def _require_testbed(self, action):
+        if self.testbed is None:
+            raise ValueError(
+                f"chaos action {action!r} needs a testbed-aware context"
+            )
+        return self.testbed
+
+
+# -- network layer ---------------------------------------------------------
+
+@chaos_action("link_down")
+def link_down(ctx, target):
+    """Fail both directions of the link between two nodes."""
+    links = ctx._duplex(target)
+    previously_up = [link for link in links if link.is_up]
+    for link in previously_up:
+        link.set_down()
+    ctx.grid.network.rebalance()
+
+    def revert():
+        for link in previously_up:
+            link.set_up()
+        ctx.grid.network.rebalance()
+    return revert
+
+
+@chaos_action("bandwidth_brownout")
+def bandwidth_brownout(ctx, target, utilisation=0.85):
+    """Soak both directions of a link in background cross-traffic."""
+    if not 0.0 <= utilisation < 1.0:
+        raise ValueError("brownout utilisation must be in [0, 1)")
+    links = ctx._duplex(target)
+    saved = []
+    for link in links:
+        before = link.background_utilisation
+        applied = max(before, utilisation)
+        link.background_utilisation = applied
+        saved.append((link, before, applied))
+    ctx.grid.network.rebalance()
+
+    def revert():
+        # Restore only if nothing else rewrote the level since —
+        # overlapping occurrences must not resurrect stale values.
+        for link, before, applied in saved:
+            if link.background_utilisation == applied:
+                link.background_utilisation = before
+        ctx.grid.network.rebalance()
+    return revert
+
+
+# -- host layer ------------------------------------------------------------
+
+@chaos_action("host_crash")
+def host_crash(ctx, target):
+    """Crash a host and sever its network attachment.
+
+    The host model itself cannot refuse traffic mid-flow, so the crash
+    also fails every adjacent link: in-flight transfers stall (and trip
+    their attempt timeouts) exactly as when a real machine drops off
+    the switch.  New control connections are refused by the host's
+    ``is_up`` check.  Reboot restores only the links the crash downed.
+    """
+    host = ctx.grid.host(target)
+    adjacent = ctx._adjacent_links(target)
+    downed = [link for link in adjacent if link.is_up]
+    if host.is_up:
+        host.crash()
+    for link in downed:
+        link.set_down()
+    ctx.grid.network.rebalance()
+
+    def revert():
+        if not host.is_up:
+            host.reboot()
+        for link in downed:
+            link.set_up()
+        ctx.grid.network.rebalance()
+    return revert
+
+
+@chaos_action("disk_slowdown")
+def disk_slowdown(ctx, target, utilisation=0.9):
+    """Saturate a host's disk with background I/O."""
+    disk = ctx.grid.host(target).disk
+    saved = disk.background_utilisation
+    applied = max(saved, utilisation)
+    disk.set_background_utilisation(applied)
+
+    def revert():
+        if disk.background_utilisation == applied:
+            disk.set_background_utilisation(saved)
+    return revert
+
+
+@chaos_action("cpu_spike")
+def cpu_spike(ctx, target, cores_busy=None):
+    """Pin a host's CPU with background load (default: all cores)."""
+    cpu = ctx.grid.host(target).cpu
+    saved = cpu.background_busy_cores
+    level = float(cpu.cores) if cores_busy is None else float(cores_busy)
+    applied = max(saved, level)
+    cpu.set_background_busy(applied)
+
+    def revert():
+        if cpu.background_busy_cores == applied:
+            cpu.set_background_busy(saved)
+    return revert
+
+
+# -- monitoring layer ------------------------------------------------------
+
+@chaos_action("sensor_blackout")
+def sensor_blackout(ctx, target="*"):
+    """Pause NWS sensors: readings stop, forecasts age in place.
+
+    ``target`` selects sensors by source host name (``"*"`` pauses the
+    whole fleet).  Paused sensors draw no randomness, so the blackout
+    does not shift any seeded stream.
+    """
+    testbed = ctx._require_testbed("sensor_blackout")
+    matching = [
+        sensor for sensor in testbed.sensors
+        if target == "*" or sensor.source == target
+    ]
+    if not matching:
+        raise KeyError(f"no sensors match target {target!r}")
+    paused = [sensor for sensor in matching if not sensor.paused]
+    for sensor in paused:
+        sensor.pause()
+
+    def revert():
+        for sensor in paused:
+            sensor.resume()
+    return revert
+
+
+@chaos_action("mds_blackout")
+def mds_blackout(ctx, target=None):
+    """Take the GIIS down: CPU-factor queries are refused."""
+    testbed = ctx._require_testbed("mds_blackout")
+    giis = testbed.giis
+    was_up = giis.is_available
+    if was_up:
+        giis.set_down()
+
+    def revert():
+        if was_up:
+            giis.set_up()
+    return revert
+
+
+@chaos_action("nws_freeze")
+def nws_freeze(ctx, target=None):
+    """Freeze the NWS memory: arriving measurements are dropped.
+
+    Unlike a sensor blackout this hits every series at once — the
+    stale-reading window of the monitor-blackout campaign.
+    """
+    testbed = ctx._require_testbed("nws_freeze")
+    memory = testbed.nws_memory
+    was_live = not memory.is_frozen
+    if was_live:
+        memory.freeze()
+
+    def revert():
+        if was_live:
+            memory.thaw()
+    return revert

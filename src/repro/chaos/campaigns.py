@@ -1,0 +1,147 @@
+"""Canned chaos campaigns over the paper's testbed.
+
+Three ready-made campaigns exercise the three failure surfaces the
+degradation layer exists for, each against the Table 1 topology
+(client ``alpha1`` at THU choosing between ``alpha4``, ``hit0`` and
+``lz02``):
+
+* :func:`flaky_wan_link` — the WAN uplink of a replica site flaps and
+  browns out: transfers stall mid-chunk, restart markers and backoff
+  carry them through;
+* :func:`hot_spot_server` — the paper's winning replica host is
+  periodically pinned (CPU) and saturated (disk): cost-model selection
+  should route around the hot spot while static policies keep hitting
+  it;
+* :func:`monitor_blackout` — sensors pause, the NWS memory freezes and
+  the GIIS goes dark: selection must keep answering from stale and
+  default factors without a single unhandled exception.
+
+Each factory returns a pure-data :class:`~repro.chaos.spec.Campaign`;
+feed it to a :class:`~repro.chaos.engine.ChaosEngine`.
+"""
+
+from repro.chaos.spec import Campaign, EventSpec, Schedule
+from repro.testbed.builder import BACKBONE
+
+__all__ = [
+    "CAMPAIGNS",
+    "flaky_wan_link",
+    "hot_spot_server",
+    "monitor_blackout",
+]
+
+
+def _uplink(site):
+    """The (switch, backbone) endpoint pair of a site's WAN link."""
+    return (f"{site.lower()}-switch", BACKBONE)
+
+
+def flaky_wan_link(site="HIT", horizon=600.0, outage=20.0,
+                   brownout=0.85):
+    """WAN outages and brownouts on one site's uplink.
+
+    A first outage fires deterministically early (so even short
+    workloads meet it); further outages arrive as a Poisson process.
+    Between outages, periodic brownouts soak the link in cross-traffic.
+    All times scale with the horizon so quick runs see the same shape.
+    """
+    link = _uplink(site)
+    return Campaign(
+        f"flaky-wan-{site.lower()}",
+        [
+            EventSpec(
+                "first-outage", "link_down",
+                Schedule.at(0.05 * horizon),
+                target=link, duration=outage,
+            ),
+            EventSpec(
+                "outage", "link_down",
+                Schedule.poisson(
+                    rate=5.0 / horizon, start=0.15 * horizon
+                ),
+                target=link, duration=outage,
+            ),
+            EventSpec(
+                "brownout", "bandwidth_brownout",
+                Schedule.periodic(
+                    start=0.1 * horizon, period=0.25 * horizon,
+                    jitter=0.2,
+                ),
+                target=link, duration=0.075 * horizon,
+                params={"utilisation": brownout},
+            ),
+        ],
+        horizon=horizon,
+    )
+
+
+def hot_spot_server(host="alpha4", horizon=600.0):
+    """Recurring CPU pinning and disk saturation on one replica host.
+
+    Default target is ``alpha4`` — the candidate the paper's Table 1
+    crowns — so a load-blind policy keeps choosing a server that chaos
+    has turned into the worst one.
+    """
+    return Campaign(
+        f"hot-spot-{host}",
+        [
+            EventSpec(
+                "cpu-pin", "cpu_spike",
+                Schedule.periodic(
+                    start=0.05 * horizon, period=0.25 * horizon,
+                    jitter=0.2,
+                ),
+                target=host, duration=0.125 * horizon,
+            ),
+            EventSpec(
+                "disk-saturate", "disk_slowdown",
+                Schedule.periodic(
+                    start=0.12 * horizon, period=0.3 * horizon,
+                    jitter=0.2,
+                ),
+                target=host, duration=0.1 * horizon,
+                params={"utilisation": 0.95},
+            ),
+        ],
+        horizon=horizon,
+    )
+
+
+def monitor_blackout(horizon=600.0, start=None, window=None):
+    """Every monitoring source goes dark for one long window.
+
+    Sensors pause, the NWS memory drops what little still arrives, and
+    the GIIS refuses queries for most of the window.  No transfer may
+    fail: selection degrades to stale/default factors and carries on.
+    """
+    if start is None:
+        start = 0.1 * horizon
+    if window is None:
+        window = 0.5 * horizon
+    return Campaign(
+        "monitor-blackout",
+        [
+            EventSpec(
+                "sensors-dark", "sensor_blackout",
+                Schedule.at(start), target="*", duration=window,
+            ),
+            EventSpec(
+                "memory-frozen", "nws_freeze",
+                Schedule.at(start), duration=window,
+            ),
+            EventSpec(
+                "giis-down", "mds_blackout",
+                Schedule.at(start + 0.1 * window),
+                duration=0.8 * window,
+            ),
+        ],
+        horizon=horizon,
+    )
+
+
+#: Campaign factories by id (the fig_chaos experiment iterates these).
+CAMPAIGNS = {
+    "flaky_wan_link": flaky_wan_link,
+    "hot_spot_server": hot_spot_server,
+    "monitor_blackout": monitor_blackout,
+}

@@ -1,0 +1,237 @@
+"""The chaos campaign engine: seeded failure schedules over sim time.
+
+The engine resolves a :class:`~repro.chaos.spec.Campaign` into a
+concrete timeline (all randomness from the simulator's seeded stream
+registry under ``chaos/<campaign>/<event>``), then drives it as a
+simulation process: at each fire time the named action is applied, and
+— when the template has a duration — a revert timer is armed to undo
+it.
+
+Everything the engine does is observable and reproducible:
+
+* every injection and revert is appended to :attr:`ChaosEngine.trace`
+  and emitted as a ``chaos.inject`` / ``chaos.revert`` event through
+  the obs layer;
+* :meth:`ChaosEngine.trace_digest` hashes the trace with the PR-3
+  determinism canonicaliser, so same-seed runs can be diffed by digest;
+* every timer the engine arms carries a ``guard_tag``, so an engine
+  that is abandoned without :meth:`stop` shows up in the
+  :func:`~repro.analysis.sanitizers.leaks.check_leaks` sweep as an
+  ``armed-guard`` leak.
+
+Call :meth:`stop` when the workload is done: it halts the driver,
+cancels outstanding timers, and reverts every condition still in
+force (including ``duration=None`` conditions that only stop() undoes).
+"""
+
+import logging
+
+from repro.analysis.sanitizers.determinism import trace_digest
+from repro.chaos.actions import ACTIONS, ChaosContext
+from repro.sim import Interrupt
+
+__all__ = ["ChaosEngine"]
+
+logger = logging.getLogger("repro.chaos.engine")
+
+
+class ChaosEngine:
+    """Schedules and applies one campaign against one grid.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.grid.DataGrid` under test.
+    campaign:
+        A :class:`~repro.chaos.spec.Campaign`.
+    testbed:
+        Optional :class:`~repro.testbed.builder.Testbed`; required only
+        when the campaign uses monitoring-layer actions.
+    """
+
+    def __init__(self, grid, campaign, testbed=None):
+        unknown = [
+            spec.action for spec in campaign.events
+            if spec.action not in ACTIONS
+        ]
+        if unknown:
+            raise ValueError(
+                f"campaign {campaign.name!r} names unknown action(s): "
+                f"{sorted(set(unknown))}"
+            )
+        self.grid = grid
+        self.sim = grid.sim
+        self.campaign = campaign
+        self.ctx = ChaosContext(grid, testbed)
+        #: Resolved (time, spec, occurrence) timeline; filled by start().
+        self.timeline = []
+        #: Chronological record of every inject/revert, as dicts.
+        self.trace = []
+        self.injections = 0
+        self.reverts = 0
+        self.process = None
+        #: Sim time at start(); schedule times are relative to it.
+        self.started_at = None
+        self._active = {}
+        self._next_token = 0
+        self._revert_processes = []
+        self._pending_timers = []
+        self._started = False
+
+    def __repr__(self):
+        state = "running" if self.is_running else "idle"
+        return (
+            f"<ChaosEngine {self.campaign.name!r} {state}, "
+            f"{self.injections} injected>"
+        )
+
+    @property
+    def is_running(self):
+        return self.process is not None and self.process.is_alive
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Resolve the timeline and launch the driver process."""
+        if self._started:
+            raise RuntimeError("chaos engine already started")
+        self._started = True
+        self.started_at = self.sim.now
+        entries = []
+        for index, spec in enumerate(self.campaign.events):
+            stream = self.sim.streams.get(
+                f"chaos/{self.campaign.name}/{spec.name}"
+            )
+            for occurrence, time in enumerate(
+                spec.schedule.resolve(stream, self.campaign.horizon)
+            ):
+                entries.append((time, index, occurrence, spec))
+        entries.sort(key=lambda entry: entry[:3])
+        self.timeline = [
+            (time, spec, occurrence)
+            for time, index, occurrence, spec in entries
+        ]
+        logger.debug(
+            "campaign %s resolved to %d occurrences",
+            self.campaign.name, len(self.timeline),
+        )
+        self.process = self.sim.process(self._driver())
+        return self
+
+    def stop(self):
+        """Halt the campaign and revert every outstanding condition.
+
+        Safe to call whether or not the simulator will run again:
+        pending timers are cancelled directly, so nothing the engine
+        armed can hold the event queue open or trip the leak sweep.
+        """
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(cause="chaos-stop")
+        for proc in self._revert_processes:
+            if proc.is_alive:
+                proc.interrupt(cause="chaos-stop")
+        for timer in self._pending_timers:
+            if not timer.processed and not timer.cancelled:
+                timer.cancel()
+        self._pending_timers.clear()
+        for token in sorted(self._active):
+            self._revert(token)
+
+    # -- internals ---------------------------------------------------------
+
+    def _timer(self, delay, tag):
+        timer = self.sim.timeout(delay)
+        timer.guard_tag = tag
+        self._pending_timers.append(timer)
+        return timer
+
+    def _retire(self, timer):
+        if timer in self._pending_timers:
+            self._pending_timers.remove(timer)
+
+    def _driver(self):
+        tag = f"chaos-driver:{self.campaign.name}"
+        for time, spec, occurrence in self.timeline:
+            delay = self.started_at + time - self.sim.now
+            if delay > 0:
+                timer = self._timer(delay, tag)
+                try:
+                    yield timer
+                except Interrupt:
+                    if not timer.processed and not timer.cancelled:
+                        timer.cancel()
+                    return
+                finally:
+                    self._retire(timer)
+            self._fire(spec, occurrence)
+
+    def _fire(self, spec, occurrence):
+        action = ACTIONS[spec.action]
+        revert = action(self.ctx, spec.target, **spec.params)
+        self._record("inject", spec, occurrence)
+        self.injections += 1
+        if revert is None:
+            return
+        token = self._next_token
+        self._next_token += 1
+        self._active[token] = (spec, occurrence, revert)
+        if spec.duration is not None:
+            self._revert_processes.append(
+                self.sim.process(self._revert_later(token, spec))
+            )
+
+    def _revert_later(self, token, spec):
+        timer = self._timer(
+            spec.duration, f"chaos-revert:{spec.name}"
+        )
+        try:
+            yield timer
+        except Interrupt:
+            if not timer.processed and not timer.cancelled:
+                timer.cancel()
+        finally:
+            self._retire(timer)
+        self._revert(token)
+
+    def _revert(self, token):
+        entry = self._active.pop(token, None)
+        if entry is None:
+            return
+        spec, occurrence, revert = entry
+        revert()
+        self._record("revert", spec, occurrence)
+        self.reverts += 1
+
+    def _record(self, phase, spec, occurrence):
+        record = {
+            "time": self.sim.now,
+            "campaign": self.campaign.name,
+            "event": spec.name,
+            "occurrence": occurrence,
+            "action": spec.action,
+            "target": spec.target,
+            "phase": phase,
+        }
+        self.trace.append(record)
+        obs = self.grid.obs
+        if obs.enabled:
+            obs.events.emit(f"chaos.{phase}", **record)
+            obs.metrics.counter(
+                f"chaos.{phase}s", action=spec.action
+            ).inc()
+        logger.debug(
+            "%s %s/%s #%d (%s on %r) at t=%.6g", phase,
+            self.campaign.name, spec.name, occurrence, spec.action,
+            spec.target, self.sim.now,
+        )
+
+    # -- reproducibility ---------------------------------------------------
+
+    def trace_digest(self):
+        """SHA-256 digest of the canonicalised inject/revert trace.
+
+        Two same-seed runs of the same campaign over the same testbed
+        must produce identical digests — the determinism harness and
+        the chaos conformance tests assert exactly that.
+        """
+        return trace_digest(self.trace)

@@ -1,0 +1,214 @@
+"""Declarative chaos campaigns: what fails, where, and on what clock.
+
+A :class:`Campaign` is a named bundle of :class:`EventSpec` templates.
+Each template names an action from the chaos action registry, a target
+(a host, a link endpoint pair, a sensor source, or nothing), an optional
+duration after which the action is reverted, and a :class:`Schedule`
+that says *when* occurrences fire.
+
+Schedules are declarative so they can be resolved reproducibly: any
+randomness (periodic jitter, Poisson gaps) is drawn from a seeded
+stream the engine fetches from the simulator's stream registry under
+``chaos/<campaign>/<event>`` — two runs with the same root seed resolve
+byte-identical timelines.
+"""
+
+__all__ = ["Campaign", "EventSpec", "Schedule"]
+
+
+class Schedule:
+    """When a chaos event template fires within the campaign horizon.
+
+    Build one with the classmethods; :meth:`resolve` turns it into a
+    concrete sorted list of fire times given a stream and a horizon.
+    """
+
+    KINDS = ("at", "periodic", "poisson")
+
+    def __init__(self, kind, **params):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown schedule kind {kind!r}; expected one of "
+                f"{self.KINDS}"
+            )
+        self.kind = kind
+        self.params = dict(params)
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.params.items())
+        )
+        return f"<Schedule {self.kind} {inner}>"
+
+    @classmethod
+    def at(cls, *times):
+        """Fire at explicit simulation times (deterministic, no draws)."""
+        if not times:
+            raise ValueError("need at least one fire time")
+        clean = sorted(float(t) for t in times)
+        if clean[0] < 0:
+            raise ValueError("fire times must be non-negative")
+        return cls("at", times=tuple(clean))
+
+    @classmethod
+    def periodic(cls, start, period, count=None, jitter=0.0):
+        """Fire every ``period`` seconds from ``start``.
+
+        ``jitter`` is a fraction of the period: each occurrence is
+        displaced by a uniform draw in ``[-jitter, +jitter] * period``.
+        ``count`` bounds occurrences (None = until the horizon).
+        """
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= jitter < 0.5:
+            raise ValueError("jitter must be in [0, 0.5)")
+        if count is not None and count < 1:
+            raise ValueError("count must be at least 1")
+        return cls(
+            "periodic", start=float(start), period=float(period),
+            count=count, jitter=float(jitter),
+        )
+
+    @classmethod
+    def poisson(cls, rate, start=0.0, count=None):
+        """Fire as a Poisson process of ``rate`` events/second from
+        ``start`` until the horizon (or ``count`` occurrences)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if count is not None and count < 1:
+            raise ValueError("count must be at least 1")
+        return cls(
+            "poisson", rate=float(rate), start=float(start), count=count
+        )
+
+    def resolve(self, stream, horizon):
+        """Concrete sorted fire times in ``[0, horizon)``.
+
+        All randomness comes from ``stream``; a given (seed, horizon)
+        pair always resolves the same timeline.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.kind == "at":
+            return [t for t in self.params["times"] if t < horizon]
+        if self.kind == "periodic":
+            start = self.params["start"]
+            period = self.params["period"]
+            count = self.params["count"]
+            jitter = self.params["jitter"]
+            times = []
+            tick = start
+            while tick < horizon and (count is None or len(times) < count):
+                fire = tick
+                if jitter > 0.0:
+                    fire += stream.uniform(-jitter, jitter) * period
+                if 0.0 <= fire < horizon:
+                    times.append(fire)
+                tick += period
+            return sorted(times)
+        # poisson
+        rate = self.params["rate"]
+        count = self.params["count"]
+        times = []
+        clock = self.params["start"]
+        while count is None or len(times) < count:
+            clock += stream.expovariate(rate)
+            if clock >= horizon:
+                break
+            times.append(clock)
+        return times
+
+
+class EventSpec:
+    """One named failure template inside a campaign.
+
+    Parameters
+    ----------
+    name:
+        Template name, unique within the campaign; also selects the
+        seeded stream (``chaos/<campaign>/<name>``) used to resolve the
+        schedule.
+    action:
+        Key into the chaos action registry (``repro.chaos.actions``).
+    target:
+        Whatever the action expects: a host name, an ``(a, b)`` node
+        pair for link actions, a sensor source, or None for grid-wide
+        actions (MDS blackout, NWS freeze).
+    schedule:
+        A :class:`Schedule` for the occurrence times.
+    duration:
+        Seconds after which each occurrence is reverted; None means the
+        condition holds until the engine stops.
+    params:
+        Extra keyword arguments forwarded to the action (for example
+        ``utilisation`` for a brownout level).
+    """
+
+    def __init__(self, name, action, schedule, target=None, duration=None,
+                 params=None):
+        if not name:
+            raise ValueError("event spec needs a name")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive (or None)")
+        self.name = name
+        self.action = action
+        self.schedule = schedule
+        self.target = target
+        self.duration = None if duration is None else float(duration)
+        self.params = dict(params or {})
+
+    def __repr__(self):
+        return (
+            f"<EventSpec {self.name}: {self.action} on {self.target!r} "
+            f"{self.schedule!r}>"
+        )
+
+
+class Campaign:
+    """A named, seeded set of chaos event templates.
+
+    The campaign itself is pure data — handing the same campaign to two
+    engines over same-seed simulators produces identical timelines.
+    """
+
+    def __init__(self, name, events, horizon=3600.0):
+        if not name:
+            raise ValueError("campaign needs a name")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        events = tuple(events)
+        seen = set()
+        for spec in events:
+            if spec.name in seen:
+                raise ValueError(
+                    f"duplicate event spec name {spec.name!r} in "
+                    f"campaign {name!r}"
+                )
+            seen.add(spec.name)
+        self.name = name
+        self.events = events
+        self.horizon = float(horizon)
+
+    def __repr__(self):
+        return (
+            f"<Campaign {self.name!r}: {len(self.events)} templates, "
+            f"horizon={self.horizon:g}s>"
+        )
+
+    def describe(self):
+        """Human-readable multi-line summary."""
+        lines = [f"campaign {self.name} (horizon {self.horizon:g}s)"]
+        for spec in self.events:
+            duration = (
+                "until stop" if spec.duration is None
+                else f"{spec.duration:g}s"
+            )
+            lines.append(
+                f"  {spec.name}: {spec.action} on {spec.target!r} "
+                f"for {duration}, {spec.schedule!r}"
+            )
+        return "\n".join(lines)

@@ -26,7 +26,12 @@ from repro.core.baselines import (
     RoundRobinSelector,
 )
 from repro.core.cost_model import CostModel, ReplicaScore
-from repro.core.server import ReplicaSelectionServer, SelectionDecision
+from repro.core.degradation import DegradationPolicy, LastKnownGood
+from repro.core.server import (
+    NoLiveReplicaError,
+    ReplicaSelectionServer,
+    SelectionDecision,
+)
 from repro.core.weights import SelectionWeights
 
 __all__ = [
@@ -35,7 +40,10 @@ __all__ = [
     "CostModel",
     "CostModelSelector",
     "DataGridApplication",
+    "DegradationPolicy",
+    "LastKnownGood",
     "LeastLoadedSelector",
+    "NoLiveReplicaError",
     "OracleSelector",
     "ProximitySelector",
     "RandomSelector",

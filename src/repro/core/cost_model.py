@@ -8,6 +8,7 @@ user or application acquiring the replica effectively or not".
 """
 
 import logging
+import math
 
 from repro.core.weights import SelectionWeights
 from repro.obs.core import NULL_OBS
@@ -61,16 +62,25 @@ class CostModel:
     paper's Table 1 and the Fig. 5 cost monitor.
     """
 
-    def __init__(self, weights=None, obs=None):
+    def __init__(self, weights=None, obs=None, clamp_invalid=False):
         self.weights = weights or SelectionWeights.paper_default()
         self.obs = obs if obs is not None else NULL_OBS
+        #: When True, non-finite or out-of-range factors are clamped to
+        #: a pessimistic 0.0 / the nearest bound instead of raising —
+        #: selection under chaos must rank with whatever it has.
+        self.clamp_invalid = bool(clamp_invalid)
+        #: Count of factor values clamped (diagnostics).
+        self.values_clamped = 0
 
     def __repr__(self):
         return f"<CostModel {self.weights!r}>"
 
     def score_factors(self, factors):
         """Apply Equation (1) to one candidate's factors."""
-        self._validate(factors)
+        if self.clamp_invalid:
+            self._clamp(factors)
+        else:
+            self._validate(factors)
         return ReplicaScore(factors, self.weights)
 
     def rank(self, factors_list):
@@ -125,3 +135,25 @@ class CostModel:
                     f"{label} must be a fraction in [0, 1], got {value} "
                     f"for candidate {factors.candidate!r}"
                 )
+
+    def _clamp(self, factors):
+        """Force every factor into [0, 1]; NaN/inf become 0.0.
+
+        Mutates ``factors`` in place so the clamped value is what the
+        selection event reports — what was scored is what is shown.
+        """
+        for label in ("bandwidth_fraction", "cpu_idle", "io_idle"):
+            value = getattr(factors, label)
+            if math.isfinite(value):
+                clean = min(1.0, max(0.0, value))
+            else:
+                clean = 0.0
+            if clean != value:
+                setattr(factors, label, clean)
+                self.values_clamped += 1
+                if self.obs.enabled:
+                    self.obs.events.emit(
+                        "costmodel.clamped", factor=label,
+                        candidate=factors.candidate, raw=repr(value),
+                        clamped=clean,
+                    )

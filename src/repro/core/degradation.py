@@ -1,0 +1,130 @@
+"""Degradation policies: what selection does when its inputs go dark.
+
+The cost model's three inputs come from three independent monitoring
+systems (NWS forecasts, MDS queries, remote iostat), and every one of
+them can be missing or stale — sensors black out, the GIIS reboots, a
+candidate host crashes mid-probe.  The paper's pipeline assumed all
+three always answer; this module makes the failure behaviour explicit:
+
+* a reading older than ``max_age`` is *stale*: it is still used, but
+  discounted by an exponential age penalty (half-life
+  ``penalty_halflife``), so a site whose monitors went silent drifts
+  towards "assume the worst" instead of being trusted forever;
+* a factor with no reading at all (cold start during a blackout)
+  falls back to a configurable pessimistic default;
+* non-finite values (NaN/inf from a corrupt probe) are replaced by the
+  same default — selection never crashes on bad telemetry.
+
+Every fallback decision is observable: consumers emit
+``degradation.fallback`` events through the obs layer and count them on
+:attr:`InformationService.fallbacks`.
+"""
+
+import math
+
+__all__ = ["DegradationPolicy", "LastKnownGood"]
+
+
+class DegradationPolicy:
+    """How to score a factor whose monitoring input is stale or absent.
+
+    Parameters
+    ----------
+    max_age:
+        Readings younger than this (seconds) are fresh: used verbatim.
+    penalty_halflife:
+        Every ``penalty_halflife`` seconds *beyond* ``max_age`` halves
+        the factor — stale optimism decays smoothly to pessimism.
+    default_bandwidth_fraction / default_cpu_idle / default_io_idle:
+        Pessimistic assumptions when nothing is known at all.  The
+        bandwidth default sits above the selection server's
+        unreachable threshold so an unmonitored-but-alive site stays a
+        candidate of last resort.
+    """
+
+    def __init__(self, max_age=60.0, penalty_halflife=120.0,
+                 default_bandwidth_fraction=0.05, default_cpu_idle=0.5,
+                 default_io_idle=0.5):
+        if max_age < 0:
+            raise ValueError("max_age must be non-negative")
+        if penalty_halflife <= 0:
+            raise ValueError("penalty_halflife must be positive")
+        for label, value in [
+            ("default_bandwidth_fraction", default_bandwidth_fraction),
+            ("default_cpu_idle", default_cpu_idle),
+            ("default_io_idle", default_io_idle),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {value}")
+        self.max_age = float(max_age)
+        self.penalty_halflife = float(penalty_halflife)
+        self.default_bandwidth_fraction = float(default_bandwidth_fraction)
+        self.default_cpu_idle = float(default_cpu_idle)
+        self.default_io_idle = float(default_io_idle)
+
+    def __repr__(self):
+        return (
+            f"<DegradationPolicy max_age={self.max_age:g}s "
+            f"halflife={self.penalty_halflife:g}s>"
+        )
+
+    def default_for(self, factor):
+        """The pessimistic default for one factor name."""
+        return {
+            "bandwidth_fraction": self.default_bandwidth_fraction,
+            "cpu_idle": self.default_cpu_idle,
+            "io_idle": self.default_io_idle,
+        }[factor]
+
+    def is_stale(self, age):
+        """True when a reading of this age should be discounted."""
+        return age > self.max_age
+
+    def decay(self, age):
+        """Multiplicative discount in (0, 1] for a reading of ``age``."""
+        if age <= self.max_age:
+            return 1.0
+        excess = age - self.max_age
+        return 0.5 ** (excess / self.penalty_halflife)
+
+    def apply(self, value, age):
+        """A reading discounted by its age (fresh readings unchanged)."""
+        return value * self.decay(age)
+
+    def sanitize(self, factor, value):
+        """Replace a non-finite or out-of-range fraction.
+
+        Returns ``(clean_value, was_dirty)``: NaN/inf become the
+        pessimistic default; finite values are clamped into [0, 1].
+        """
+        if value is None or not math.isfinite(value):
+            return self.default_for(factor), True
+        if 0.0 <= value <= 1.0:
+            return value, False
+        return min(1.0, max(0.0, value)), True
+
+
+class LastKnownGood:
+    """Per-key cache of the most recent healthy reading and its time.
+
+    The information service records every successful factor fetch here;
+    when a later fetch fails (MDS down, host crashed) the cached value
+    is served instead, discounted by its age under the policy.
+    """
+
+    def __init__(self):
+        self._entries = {}
+
+    def __repr__(self):
+        return f"<LastKnownGood {len(self._entries)} entries>"
+
+    def __len__(self):
+        return len(self._entries)
+
+    def record(self, key, time, value):
+        """Store the latest healthy ``value`` observed at ``time``."""
+        self._entries[key] = (float(time), value)
+
+    def lookup(self, key):
+        """``(time, value)`` of the last healthy reading, or ``None``."""
+        return self._entries.get(key)

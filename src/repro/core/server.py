@@ -13,9 +13,17 @@ import logging
 from repro.core.cost_model import CostModel
 from repro.gridftp.gridftp import GridFtpClient
 
-__all__ = ["ReplicaSelectionServer", "SelectionDecision"]
+__all__ = [
+    "NoLiveReplicaError",
+    "ReplicaSelectionServer",
+    "SelectionDecision",
+]
 
 logger = logging.getLogger("repro.core.server")
+
+
+class NoLiveReplicaError(Exception):
+    """Every candidate replica's host is down — nothing to select."""
 
 
 class SelectionDecision:
@@ -73,7 +81,12 @@ class ReplicaSelectionServer:
         self.host_name = host_name
         self.catalog = catalog
         self.information = information
-        self.cost_model = CostModel(weights, obs=grid.obs)
+        # clamp_invalid: the information service already sanitizes its
+        # factors, but the server must never crash on a bad probe even
+        # if a custom information source leaks NaN through.
+        self.cost_model = CostModel(
+            weights, obs=grid.obs, clamp_invalid=True
+        )
         self.exclude_unreachable = bool(exclude_unreachable)
         #: All decisions made, in order (diagnostics / experiments).
         self.decisions = []
@@ -93,6 +106,36 @@ class ReplicaSelectionServer:
             candidates=len(candidate_names),
         )
         started_at = self.grid.sim.now
+        # A crashed host can never serve a transfer: drop it before
+        # spending round trips on its factors.  If *every* candidate is
+        # down there is nothing to rank — that is an error the caller
+        # must see, not a silent bad pick.
+        live_names, crashed = [], []
+        for name in candidate_names:
+            host = self.grid.hosts.get(name)
+            if host is not None and not host.is_up:
+                crashed.append(name)
+            else:
+                live_names.append(name)
+        if crashed:
+            span.set(crashed_dropped=len(crashed))
+            if obs.enabled:
+                obs.events.emit(
+                    "selection.crashed_excluded", client=client_name,
+                    excluded=sorted(crashed),
+                )
+            logger.debug(
+                "excluded crashed candidate(s) %s for %s",
+                crashed, client_name,
+            )
+        if not live_names:
+            span.set(error="no-live-replica")
+            span.finish()
+            raise NoLiveReplicaError(
+                f"all {len(candidate_names)} candidate replica hosts "
+                f"are down: {sorted(crashed)}"
+            )
+        candidate_names = live_names
         # Client hands the candidate list to the selection server.
         if client_name != self.host_name:
             yield self.grid.sim.timeout(

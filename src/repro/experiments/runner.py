@@ -31,6 +31,7 @@ from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig_chaos import run_fig_chaos
 from repro.experiments.table1 import run_table1
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
@@ -113,6 +114,15 @@ def _abl_staleness(quick, seed):
     return run_ablation_staleness(**kwargs)
 
 
+def _fig_chaos(quick, seed):
+    if quick:
+        return run_fig_chaos(
+            rounds=3, gap=30.0, file_size_mb=16, warmup=60.0,
+            horizon=300.0, seed=seed,
+        )
+    return run_fig_chaos(seed=seed)
+
+
 def _abl_coalloc(quick, seed):
     return run_ablation_coalloc(
         file_size_mb=64 if quick else 256,
@@ -128,6 +138,7 @@ EXPERIMENTS = {
     "fig4": _fig4,
     "table1": _table1,
     "fig5": _fig5,
+    "fig_chaos": _fig_chaos,
     "abl_weights": _abl_weights,
     "abl_selectors": _abl_selectors,
     "abl_scale": _abl_scale,

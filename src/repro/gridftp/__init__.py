@@ -23,19 +23,26 @@ from repro.gridftp.coallocation import (
     brute_force_coallocation_get,
     conservative_coallocation_get,
 )
+from repro.gridftp.backoff import BackoffPolicy
 from repro.gridftp.control import ControlChannel
 from repro.gridftp.errors import (
     AuthenticationError,
+    HostUnavailableError,
     RemoteFileNotFoundError,
     TransferError,
 )
 from repro.gridftp.ftp import FtpClient, FtpServer
 from repro.gridftp.gridftp import GridFtpClient, GridFtpServer
-from repro.gridftp.faults import TransferFault, TransferFaultInjector
+from repro.gridftp.faults import (
+    InterruptGuard,
+    TransferFault,
+    TransferFaultInjector,
+)
 from repro.gridftp.gsi import GSIConfig
 from repro.gridftp.modes import ExtendedBlockMode, StreamMode
 from repro.gridftp.record import TransferRecord
 from repro.gridftp.reliable import (
+    AttemptTimeout,
     ReliableFileTransfer,
     ReliableTransferResult,
     TooManyAttemptsError,
@@ -44,9 +51,13 @@ from repro.gridftp.striped import striped_get
 from repro.gridftp.url_copy import GridUrl, globus_url_copy
 
 __all__ = [
+    "AttemptTimeout",
     "AuthenticationError",
+    "BackoffPolicy",
     "CoallocationResult",
     "ControlChannel",
+    "HostUnavailableError",
+    "InterruptGuard",
     "brute_force_coallocation_get",
     "conservative_coallocation_get",
     "ExtendedBlockMode",

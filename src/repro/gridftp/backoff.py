@@ -1,0 +1,86 @@
+"""Retry backoff schedules for reliable transfers.
+
+Fixed retry delays resonate badly with correlated failures: every
+client that faulted on the same link outage retries in lockstep and
+faults again.  The standard cure — exponential backoff capped at a
+ceiling, with multiplicative jitter to de-synchronise retriers — is
+modelled here as a small value object so schedules can be tested as
+data (monotone, capped, jitter within bounds) independently of the
+transfer machinery that consumes them.
+
+Jitter draws come from a caller-supplied named
+:class:`~repro.sim.random_streams.RandomStream`, keeping retry timing
+inside the seeded determinism envelope.
+"""
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Exponential backoff: ``base * multiplier**(attempt-1)``, capped.
+
+    Parameters
+    ----------
+    base:
+        Delay before the first retry, seconds.
+    multiplier:
+        Growth factor per failed attempt (``1.0`` = constant backoff,
+        the pre-chaos behaviour).
+    cap:
+        Ceiling on the un-jittered delay, seconds.
+    jitter:
+        Multiplicative jitter fraction: the delay is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]``.  Zero
+        disables jitter (and the stream is never consulted).
+    """
+
+    def __init__(self, base=1.0, multiplier=2.0, cap=60.0, jitter=0.25):
+        if base < 0:
+            raise ValueError("base must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (delays never shrink)")
+        if cap < base:
+            raise ValueError("cap must be >= base")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base = float(base)
+        self.multiplier = float(multiplier)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+
+    def __repr__(self):
+        return (
+            f"<BackoffPolicy base={self.base:g}s x{self.multiplier:g} "
+            f"cap={self.cap:g}s jitter={self.jitter:g}>"
+        )
+
+    @classmethod
+    def constant(cls, delay):
+        """A fixed, jitter-free delay — the legacy ``retry_backoff``."""
+        return cls(base=delay, multiplier=1.0, cap=max(delay, 0.0),
+                   jitter=0.0)
+
+    def raw_delay(self, attempt):
+        """Un-jittered delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        return min(self.cap, self.base * self.multiplier ** (attempt - 1))
+
+    def delay(self, attempt, stream=None):
+        """Jittered delay before retry number ``attempt`` (1-based).
+
+        ``stream`` is required when the policy has jitter; the draw
+        count per call is constant (one draw, or none when jitter is
+        off), so consumers stay aligned across runs.
+        """
+        raw = self.raw_delay(attempt)
+        if self.jitter == 0.0:
+            return raw
+        if stream is None:
+            raise ValueError("a RandomStream is required for jitter")
+        factor = stream.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return raw * factor
+
+    def schedule(self, attempts):
+        """The first ``attempts`` un-jittered delays, in order."""
+        return [self.raw_delay(n) for n in range(1, attempts + 1)]

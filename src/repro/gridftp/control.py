@@ -7,6 +7,8 @@ the control channel is modelled as a generator-friendly object that
 charges the right amount of simulated time per exchange.
 """
 
+from repro.gridftp.errors import HostUnavailableError
+
 __all__ = ["ControlChannel"]
 
 #: Server-side processing time per command, seconds (directory lookups,
@@ -45,8 +47,19 @@ class ControlChannel:
         Usage from a process::
 
             channel = yield from ControlChannel.open(grid, "c", "s")
+
+        Connecting to a crashed host raises
+        :class:`~repro.gridftp.errors.HostUnavailableError` after one
+        round trip (the SYN goes unanswered and the client learns
+        nothing faster than its own timeout).
         """
         channel = cls(grid, client_name, server_name)
+        server_host = grid.hosts.get(server_name)
+        if server_host is not None and not server_host.is_up:
+            yield grid.sim.timeout(channel.path.rtt)
+            raise HostUnavailableError(
+                f"host {server_name!r} is down: connection refused"
+            )
         yield grid.sim.timeout(
             grid.tcp_model.connection_setup_time(channel.path)
         )

@@ -19,3 +19,7 @@ class InvalidRangeError(TransferError):
 
 class ServerBusyError(TransferError):
     """The server refused a connection (connection limit reached)."""
+
+
+class HostUnavailableError(TransferError):
+    """The remote host is down (crashed); the connection was refused."""

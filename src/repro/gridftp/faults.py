@@ -6,10 +6,19 @@ markers and the Globus Reliable File Transfer service exists.  The
 injector arms a one-shot fault against a running transfer process: after
 an exponentially distributed delay the process is interrupted with a
 :class:`TransferFault` cause.
+
+:class:`InterruptGuard` is the underlying mechanism, shared with the
+reliable transfer's per-attempt timeout and the chaos engine's timed
+reverts: a watchdog that interrupts its victim when a timer fires, and
+— crucially — *disarms cleanly* when the victim finishes first.  The
+armed timer event is cancelled so it never lingers in the kernel queue
+holding the simulation horizon open (the leak sweep flags any guard
+timer still armed at simulation end).
 """
 
+from repro.sim import Interrupt
 
-__all__ = ["TransferFault", "TransferFaultInjector"]
+__all__ = ["InterruptGuard", "TransferFault", "TransferFaultInjector"]
 
 
 class TransferFault(Exception):
@@ -18,6 +27,72 @@ class TransferFault(Exception):
     def __init__(self, description):
         super().__init__(description)
         self.description = description
+
+
+class InterruptGuard:
+    """One armed one-shot interrupt with clean disarm.
+
+    After ``delay`` simulated seconds the guarded ``victim`` process is
+    interrupted with ``cause_factory()`` as the cause.  If the victim
+    finishes first the guard disarms itself: the watchdog process is
+    interrupted away from its timer and the pending timer event is
+    cancelled out of the kernel queue.
+
+    ``tag`` labels the armed timer for the sanitizer leak sweep
+    (:func:`repro.analysis.sanitizers.check_leaks` reports any tagged
+    timer still armed when the simulation stops).
+    """
+
+    def __init__(self, sim, victim, delay, cause_factory,
+                 tag="interrupt-guard", on_fire=None):
+        self.sim = sim
+        self.victim = victim
+        self.tag = tag
+        self.fired = False
+        self._on_fire = on_fire
+        self._timer = sim.timeout(delay)
+        self._timer.guard_tag = tag
+        self._watchdog = sim.process(self._watch(cause_factory))
+        if victim.callbacks is not None:
+            victim.callbacks.append(self._on_victim_done)
+
+    def __repr__(self):
+        state = "fired" if self.fired else (
+            "armed" if self.armed else "disarmed"
+        )
+        return f"<InterruptGuard {self.tag} {state}>"
+
+    @property
+    def armed(self):
+        """True while the timer is live and the victim unharmed."""
+        return (
+            not self.fired
+            and not self._timer.cancelled
+            and self._watchdog.is_alive
+        )
+
+    def _watch(self, cause_factory):
+        try:
+            yield self._timer
+        except Interrupt:
+            return  # disarmed: the victim finished first
+        if self.victim.is_alive:
+            self.fired = True
+            self.victim.interrupt(cause=cause_factory())
+            if self._on_fire is not None:
+                self._on_fire(self)
+
+    def _on_victim_done(self, _event):
+        self.disarm()
+
+    def disarm(self):
+        """Stand down: withdraw the timer and retire the watchdog."""
+        if self.fired:
+            return
+        if not self._timer.processed and not self._timer.cancelled:
+            self._timer.cancel()
+        if self._watchdog.is_alive:
+            self._watchdog.interrupt(cause="disarmed")
 
 
 class TransferFaultInjector:
@@ -43,18 +118,19 @@ class TransferFaultInjector:
     def guard(self, process):
         """Arm one fault against ``process``.
 
-        Returns the watchdog process.  If the guarded process outlives
-        the fault delay it is interrupted; if it finishes first nothing
-        happens.
+        Returns the :class:`InterruptGuard`.  If the guarded process
+        outlives the fault delay it is interrupted; if it finishes
+        first the guard disarms and its timer is withdrawn from the
+        kernel queue (so a long fault delay never keeps the simulation
+        running past the transfer it was armed against).
         """
         delay = self.stream.expovariate(1.0 / self.mtbf)
 
-        def watchdog():
-            yield self.grid.sim.timeout(delay)
-            if process.is_alive:
-                process.interrupt(
-                    cause=TransferFault(self.fault_description)
-                )
-                self.faults_injected += 1
+        def count(_guard):
+            self.faults_injected += 1
 
-        return self.grid.sim.process(watchdog())
+        return InterruptGuard(
+            self.grid.sim, process, delay,
+            lambda: TransferFault(self.fault_description),
+            tag="transfer-fault", on_fire=count,
+        )

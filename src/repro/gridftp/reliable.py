@@ -6,16 +6,29 @@ transfers from the last marker instead of from byte zero.  Modelled
 here at marker granularity: the file moves as a sequence of
 partial-transfer chunks (one chunk per marker interval), and on a fault
 only the in-flight chunk's progress is lost.
+
+Chaos hardening (see ``docs/chaos.md``):
+
+* retries follow an exponential :class:`~repro.gridftp.backoff.BackoffPolicy`
+  with seeded jitter, so retriers hammered by the same outage
+  de-synchronise instead of faulting in lockstep;
+* each chunk attempt runs under an optional *per-attempt timeout* — a
+  stalled attempt (link down mid-flow, server crashed under us) is
+  abandoned and retried instead of hanging forever;
+* a refused connection (crashed server host) counts as a fault and is
+  retried on the same schedule, so a rebooting server is ridden out.
 """
 
 import logging
 
-from repro.gridftp.errors import TransferError
+from repro.gridftp.backoff import BackoffPolicy
+from repro.gridftp.errors import HostUnavailableError, TransferError
+from repro.gridftp.faults import InterruptGuard
 from repro.sim import Interrupt
 from repro.units import MiB
 
-__all__ = ["ReliableFileTransfer", "ReliableTransferResult",
-           "TooManyAttemptsError"]
+__all__ = ["AttemptTimeout", "ReliableFileTransfer",
+           "ReliableTransferResult", "TooManyAttemptsError"]
 
 logger = logging.getLogger("repro.gridftp.reliable")
 
@@ -24,11 +37,20 @@ class TooManyAttemptsError(TransferError):
     """The transfer kept faulting past the attempt budget."""
 
 
+class AttemptTimeout(Exception):
+    """Cause attached when a chunk attempt exceeds its time budget."""
+
+    def __init__(self, seconds):
+        super().__init__(f"attempt exceeded {seconds:g}s budget")
+        self.seconds = seconds
+
+
 class ReliableTransferResult:
     """Outcome of a reliable (restartable) transfer."""
 
     def __init__(self, filename, payload_bytes, attempts, faults,
-                 bytes_retransmitted, started_at, finished_at, records):
+                 bytes_retransmitted, started_at, finished_at, records,
+                 timeouts=0, refused=0):
         self.filename = filename
         self.payload_bytes = float(payload_bytes)
         self.attempts = int(attempts)
@@ -38,6 +60,10 @@ class ReliableTransferResult:
         self.finished_at = float(finished_at)
         #: TransferRecords of the successful chunk fetches.
         self.records = list(records)
+        #: Faults that were stalled attempts cut off by the timeout.
+        self.timeouts = int(timeouts)
+        #: Faults that were refused connections (server host down).
+        self.refused = int(refused)
 
     def __repr__(self):
         return (
@@ -64,7 +90,15 @@ class ReliableFileTransfer:
     max_attempts:
         Failed chunk attempts tolerated before giving up.
     retry_backoff:
-        Seconds to wait after a fault before retrying.
+        Legacy shorthand: seconds of *constant* backoff after a fault.
+        Ignored when ``backoff`` is given.
+    backoff:
+        A :class:`~repro.gridftp.backoff.BackoffPolicy`; jitter draws
+        come from the grid's seeded ``rft/backoff`` stream.
+    attempt_timeout:
+        Per-chunk-attempt time budget, seconds; a stalled attempt is
+        interrupted and retried.  ``None`` (default) disables the
+        watchdog.
     fault_injector:
         Optional :class:`TransferFaultInjector` armed on every chunk
         (for tests/experiments; production faults would come from the
@@ -72,26 +106,37 @@ class ReliableFileTransfer:
     """
 
     def __init__(self, client, marker_interval_bytes=64 * MiB,
-                 max_attempts=10, retry_backoff=5.0,
-                 fault_injector=None):
+                 max_attempts=10, retry_backoff=5.0, backoff=None,
+                 attempt_timeout=None, fault_injector=None):
         if marker_interval_bytes <= 0:
             raise ValueError("marker_interval_bytes must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if attempt_timeout is not None and attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
         self.client = client
         self.grid = client.grid
         self.marker_interval_bytes = float(marker_interval_bytes)
         self.max_attempts = int(max_attempts)
-        self.retry_backoff = float(retry_backoff)
+        self.backoff = backoff or BackoffPolicy.constant(retry_backoff)
+        self.attempt_timeout = (
+            None if attempt_timeout is None else float(attempt_timeout)
+        )
         self.fault_injector = fault_injector
+        self._jitter_stream = self.grid.sim.streams.get("rft/backoff")
 
     def __repr__(self):
         return (
             f"<ReliableFileTransfer markers every "
             f"{self.marker_interval_bytes / MiB:.0f}MiB>"
         )
+
+    @property
+    def retry_backoff(self):
+        """Base retry delay of the active backoff policy, seconds."""
+        return self.backoff.base
 
     def get(self, server_name, remote_name, local_name=None,
             parallelism=None):
@@ -111,6 +156,8 @@ class ReliableFileTransfer:
         offset = 0.0
         attempts = 0
         faults = 0
+        timeouts = 0
+        refused = 0
         retransmitted = 0.0
         records = []
         while offset < payload or (payload == 0 and not records):
@@ -129,24 +176,47 @@ class ReliableFileTransfer:
             )
             if self.fault_injector is not None:
                 self.fault_injector.guard(fetch)
+            timeout_guard = None
+            if self.attempt_timeout is not None:
+                budget = self.attempt_timeout
+                timeout_guard = InterruptGuard(
+                    sim, fetch, budget,
+                    lambda budget=budget: AttemptTimeout(budget),
+                    tag="rft-attempt-timeout",
+                )
+            fault_kind = None
             try:
                 record = yield fetch
-            except Interrupt:
+            except Interrupt as interrupt:
+                fault_kind = (
+                    "timeout"
+                    if isinstance(interrupt.cause, AttemptTimeout)
+                    else "fault"
+                )
+            except HostUnavailableError:
+                fault_kind = "refused"
+            finally:
+                if timeout_guard is not None:
+                    timeout_guard.disarm()
+            if fault_kind is not None:
                 # The chunk died; its progress is lost back to the
                 # last marker.  Back off and retry.
                 faults += 1
+                timeouts += fault_kind == "timeout"
+                refused += fault_kind == "refused"
                 retransmitted += chunk
-                chunk_span.set(error="fault").finish()
-                obs.metrics.counter("rft.faults").inc()
+                chunk_span.set(error=fault_kind).finish()
+                obs.metrics.counter("rft.faults", kind=fault_kind).inc()
                 obs.events.emit(
                     "transfer.fault", server=server_name,
                     filename=remote_name, offset=offset,
                     chunk_bytes=chunk, fault_number=faults,
+                    fault_kind=fault_kind,
                 )
                 logger.warning(
-                    "fault fetching %r chunk at offset %.0f from %s "
+                    "%s fetching %r chunk at offset %.0f from %s "
                     "(fault %d of %d tolerated)",
-                    remote_name, offset, server_name, faults,
+                    fault_kind, remote_name, offset, server_name, faults,
                     self.max_attempts,
                 )
                 if faults >= self.max_attempts:
@@ -161,12 +231,13 @@ class ReliableFileTransfer:
                         f"{faults} failed attempts at offset "
                         f"{offset:.0f}"
                     ) from None
+                delay = self.backoff.delay(faults, self._jitter_stream)
                 obs.metrics.counter("rft.retries").inc()
                 logger.warning(
                     "retrying %r at offset %.0f after %.1fs backoff",
-                    remote_name, offset, self.retry_backoff,
+                    remote_name, offset, delay,
                 )
-                yield sim.timeout(self.retry_backoff)
+                yield sim.timeout(delay)
                 continue
             chunk_span.finish()
             obs.metrics.counter("rft.chunks").inc()
@@ -199,4 +270,6 @@ class ReliableFileTransfer:
             started_at=started_at,
             finished_at=sim.now,
             records=records,
+            timeouts=timeouts,
+            refused=refused,
         )

@@ -47,9 +47,38 @@ class Host:
         self.disk = Disk(sim, name, disk_bandwidth, disk_capacity)
         self.filesystem = FileSystem(disk_capacity)
         self.tcp = tcp or TCPParameters()
+        self._up = True
+        #: (time, is_up) transition log of crashes and reboots.
+        self.uptime_history = []
 
     def __repr__(self):
-        return f"<Host {self.name} @ {self.site}>"
+        state = "" if self._up else " DOWN"
+        return f"<Host {self.name} @ {self.site}{state}>"
+
+    # -- availability ----------------------------------------------------------
+
+    @property
+    def is_up(self):
+        """False while the machine is crashed (refuses connections)."""
+        return self._up
+
+    def crash(self):
+        """Take the machine down: new connections to it are refused.
+
+        The filesystem survives (disks persist across crashes); callers
+        that also want in-flight traffic to stall should fail the host's
+        network links — the chaos engine's ``host_crash`` action does
+        both.
+        """
+        if self._up:
+            self._up = False
+            self.uptime_history.append((self.sim.now, False))
+
+    def reboot(self):
+        """Bring a crashed machine back up."""
+        if not self._up:
+            self._up = True
+            self.uptime_history.append((self.sim.now, True))
 
     # -- observables the monitors read ---------------------------------------
 

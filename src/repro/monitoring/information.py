@@ -12,8 +12,18 @@ is that server: it answers
 
 Query methods are generators so they charge simulated time where the
 real system would block on the network.
+
+Every factor degrades explicitly instead of crashing when its source
+goes dark (see :mod:`repro.core.degradation` and ``docs/chaos.md``):
+stale NWS forecasts are discounted by age, an MDS blackout falls back
+to the last known good entry, iostat against a crashed host falls back
+likewise, and NaN/absent probes are replaced by pessimistic defaults.
+Each fallback emits a ``degradation.fallback`` event and bumps
+:attr:`InformationService.fallbacks`.
 """
 
+from repro.core.degradation import DegradationPolicy, LastKnownGood
+from repro.monitoring.mds import MdsUnavailableError
 from repro.monitoring.nws.series import series_key
 from repro.monitoring.sysstat.iostat import IoStat
 
@@ -24,22 +34,26 @@ class SiteFactors:
     """The three cost-model inputs for one candidate replica site."""
 
     __slots__ = ("source", "candidate", "bandwidth_fraction", "cpu_idle",
-                 "io_idle", "forecaster")
+                 "io_idle", "forecaster", "degraded")
 
     def __init__(self, source, candidate, bandwidth_fraction, cpu_idle,
-                 io_idle, forecaster=None):
+                 io_idle, forecaster=None, degraded=()):
         self.source = source
         self.candidate = candidate
         self.bandwidth_fraction = float(bandwidth_fraction)
         self.cpu_idle = float(cpu_idle)
         self.io_idle = float(io_idle)
         self.forecaster = forecaster
+        #: Names of factors served under a degradation policy (stale,
+        #: last-known-good or default) rather than from a live source.
+        self.degraded = tuple(degraded)
 
     def __repr__(self):
+        flags = f" degraded={','.join(self.degraded)}" if self.degraded else ""
         return (
             f"<SiteFactors {self.source}->{self.candidate} "
             f"BW_P={self.bandwidth_fraction:.3f} "
-            f"CPU_P={self.cpu_idle:.3f} IO_P={self.io_idle:.3f}>"
+            f"CPU_P={self.cpu_idle:.3f} IO_P={self.io_idle:.3f}{flags}>"
         )
 
     def as_dict(self):
@@ -50,6 +64,7 @@ class SiteFactors:
             "cpu_idle": self.cpu_idle,
             "io_idle": self.io_idle,
             "forecaster": self.forecaster,
+            "degraded": list(self.degraded),
         }
 
 
@@ -58,16 +73,56 @@ class InformationService:
 
     service_name = "information"
 
-    def __init__(self, grid, host_name, nws_memory, giis):
+    def __init__(self, grid, host_name, nws_memory, giis, policy=None):
         self.grid = grid
         self.host_name = host_name
         self.nws_memory = nws_memory
         self.giis = giis
+        self.policy = policy or DegradationPolicy()
         self._iostats = {}
+        self._last_good = LastKnownGood()
+        #: Count of factor queries answered by a degradation fallback.
+        self.fallbacks = 0
         grid.register_service(host_name, self.service_name, self)
 
     def __repr__(self):
         return f"<InformationService on {self.host_name}>"
+
+    # -- degradation plumbing -------------------------------------------------
+
+    def _degrade(self, factor, candidate, reason, value, age=None):
+        """Record and report one fallback decision; returns the value."""
+        self.fallbacks += 1
+        obs = self.grid.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "degradation.fallbacks", factor=factor
+            ).inc()
+            obs.events.emit(
+                "degradation.fallback", factor=factor,
+                candidate=candidate, reason=reason, value=value,
+                age=age,
+            )
+        return value
+
+    def _last_good_or_default(self, factor, candidate, reason):
+        """Serve the aged last-known-good reading, or the default."""
+        cached = self._last_good.lookup((factor, candidate))
+        if cached is None:
+            return self._degrade(
+                factor, candidate, f"{reason}:no-history",
+                self.policy.default_for(factor),
+            )
+        then, value = cached
+        age = self.grid.sim.now - then
+        degraded = max(
+            self.policy.default_for(factor),
+            self.policy.apply(value, age),
+        )
+        return self._degrade(
+            factor, candidate, f"{reason}:last-known-good", degraded,
+            age=age,
+        )
 
     # -- individual factors ---------------------------------------------------
 
@@ -95,6 +150,11 @@ class InformationService:
         the highest theoretical bandwidth", so the denominator is the
         narrowest *raw* link capacity on the route — not the TCP-capped
         attainable rate.  Loopback paths score a full 1.0.
+
+        A forecast whose newest underlying reading is older than the
+        policy's ``max_age`` (sensors blacked out, memory frozen) is
+        discounted by the age penalty, floored at the pessimistic
+        default — stale optimism is not trusted forever.
         """
         path = self.grid.path(src, dst)
         if path.is_loopback:
@@ -103,32 +163,111 @@ class InformationService:
         best = path.raw_capacity
         if best <= 0:
             return 0.0, name
-        return min(1.0, max(0.0, forecast / best)), name
+        clean, dirty = self.policy.sanitize(
+            "bandwidth_fraction", forecast / best
+        )
+        if dirty:
+            return self._degrade(
+                "bandwidth_fraction", src, "non-finite-forecast", clean
+            ), f"sanitized({name})"
+        latest = self.nws_memory.latest(series_key("bandwidth", src, dst))
+        if latest is not None:
+            age = self.grid.sim.now - latest[0]
+            if self.policy.is_stale(age):
+                degraded = max(
+                    self.policy.default_for("bandwidth_fraction"),
+                    self.policy.apply(clean, age),
+                )
+                return self._degrade(
+                    "bandwidth_fraction", src, "stale-forecast",
+                    degraded, age=age,
+                ), f"stale({name})"
+        self._last_good.record(
+            ("bandwidth_fraction", src), self.grid.sim.now, clean
+        )
+        return clean, name
 
     def cpu_idle(self, host_name):
-        """``CPU_P`` via MDS; a generator returning the idle fraction."""
-        entry = yield from self.giis.query(host_name)
-        return entry["cpu.idle_fraction"]
+        """``CPU_P`` via MDS; a generator returning the idle fraction.
+
+        During an MDS blackout the last known good entry is served
+        (discounted by age), or the pessimistic default when the host
+        has never been seen.
+        """
+        try:
+            entry = yield from self.giis.query(host_name)
+        except MdsUnavailableError:
+            return self._last_good_or_default(
+                "cpu_idle", host_name, "mds-down"
+            )
+        clean, dirty = self.policy.sanitize(
+            "cpu_idle", entry.get("cpu.idle_fraction")
+        )
+        if dirty:
+            return self._degrade(
+                "cpu_idle", host_name, "non-finite-entry", clean
+            )
+        self._last_good.record(
+            ("cpu_idle", host_name), self.grid.sim.now, clean
+        )
+        return clean
 
     def io_idle(self, host_name):
-        """``IO_P`` via remote iostat; a generator (one round trip)."""
+        """``IO_P`` via remote iostat; a generator (one round trip).
+
+        A crashed candidate host cannot answer iostat: the last known
+        good reading is served (discounted by age) or the pessimistic
+        default.
+        """
         if host_name != self.host_name:
             rtt = self.grid.path(self.host_name, host_name).rtt
             yield self.grid.sim.timeout(rtt)
+        host = self.grid.host(host_name)
+        if not host.is_up:
+            return self._last_good_or_default(
+                "io_idle", host_name, "host-down"
+            )
         if host_name not in self._iostats:
-            self._iostats[host_name] = IoStat(self.grid.host(host_name))
-        return self._iostats[host_name].instantaneous_idle()
+            self._iostats[host_name] = IoStat(host)
+        clean, dirty = self.policy.sanitize(
+            "io_idle", self._iostats[host_name].instantaneous_idle()
+        )
+        if dirty:
+            return self._degrade(
+                "io_idle", host_name, "non-finite-probe", clean
+            )
+        self._last_good.record(
+            ("io_idle", host_name), self.grid.sim.now, clean
+        )
+        return clean
 
     # -- aggregate query --------------------------------------------------------
 
     def site_factors(self, client_name, candidate_name):
         """All three factors for one candidate; a generator returning
-        :class:`SiteFactors`."""
+        :class:`SiteFactors`.  Never raises on missing or stale inputs —
+        each factor degrades per the policy instead."""
+        before = self.fallbacks
         bw_fraction, forecaster = self.bandwidth_fraction(
             candidate_name, client_name
         )
+        bw_degraded = self.fallbacks > before
+
+        before = self.fallbacks
         cpu = yield from self.cpu_idle(candidate_name)
+        cpu_degraded = self.fallbacks > before
+
+        before = self.fallbacks
         io = yield from self.io_idle(candidate_name)
+        io_degraded = self.fallbacks > before
+
+        degraded = []
+        if bw_degraded:
+            degraded.append("bandwidth_fraction")
+        if cpu_degraded:
+            degraded.append("cpu_idle")
+        if io_degraded:
+            degraded.append("io_idle")
         return SiteFactors(
             source=client_name,
             candidate=candidate_name,
@@ -136,4 +275,5 @@ class InformationService:
             cpu_idle=cpu,
             io_idle=io,
             forecaster=forecaster,
+            degraded=degraded,
         )

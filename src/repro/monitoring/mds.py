@@ -8,7 +8,11 @@ query is a generator that charges a network round trip on cache misses
 and nothing on hits, matching MDS's caching behaviour.
 """
 
-__all__ = ["GIIS", "GRIS"]
+__all__ = ["GIIS", "GRIS", "MdsUnavailableError"]
+
+
+class MdsUnavailableError(Exception):
+    """The GIIS is down (blackout); queries cannot be answered."""
 
 
 class GRIS:
@@ -54,12 +58,29 @@ class GIIS:
         self._cache = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self._available = True
+        #: Queries refused while the index was blacked out.
+        self.refused_queries = 0
 
     def __repr__(self):
+        state = "" if self._available else " DOWN"
         return (
-            f"<GIIS on {self.host_name}, {len(self._providers)} providers, "
-            f"ttl={self.ttl:g}s>"
+            f"<GIIS on {self.host_name}{state}, "
+            f"{len(self._providers)} providers, ttl={self.ttl:g}s>"
         )
+
+    @property
+    def is_available(self):
+        """False while the index service is blacked out."""
+        return self._available
+
+    def set_down(self):
+        """Black out the index: queries raise :class:`MdsUnavailableError`."""
+        self._available = False
+
+    def set_up(self):
+        """Restore a blacked-out index (its cache survives)."""
+        self._available = True
 
     def register(self, gris):
         """Register a GRIS provider."""
@@ -75,8 +96,15 @@ class GIIS:
         """Fetch a host's entry; a generator returning the info dict.
 
         Cache hits are free; misses cost a round trip from the GIIS host
-        to the GRIS host (the LDAP search), as in MDS2.
+        to the GRIS host (the LDAP search), as in MDS2.  While the index
+        is blacked out every query raises :class:`MdsUnavailableError`
+        (consumers degrade to their last known good entries).
         """
+        if not self._available:
+            self.refused_queries += 1
+            raise MdsUnavailableError(
+                f"GIIS on {self.host_name} is down"
+            )
         if host_name not in self._providers:
             raise KeyError(f"no GRIS registered for {host_name!r}")
         now = self.grid.sim.now

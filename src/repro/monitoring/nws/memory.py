@@ -30,12 +30,37 @@ class NwsMemory:
         self._batteries = {}
         self._obs_on = sim.obs.enabled
         self._error_histograms = {}
+        self._frozen = False
+        #: Measurements dropped while the memory was frozen.
+        self.measurements_dropped = 0
 
     def __repr__(self):
-        return f"<NwsMemory {self.name} {len(self._series)} series>"
+        state = " FROZEN" if self._frozen else ""
+        return f"<NwsMemory {self.name}{state} {len(self._series)} series>"
+
+    @property
+    def is_frozen(self):
+        """True while a stale-reading window is in force."""
+        return self._frozen
+
+    def freeze(self):
+        """Drop all arriving measurements: every series goes stale.
+
+        Models the chaos engine's stale-reading window — sensors keep
+        probing (and consuming their noise streams) but nothing reaches
+        the memory, so forecasts age in place.
+        """
+        self._frozen = True
+
+    def thaw(self):
+        """End a stale-reading window; storage resumes."""
+        self._frozen = False
 
     def store(self, measurement):
-        """Ingest one :class:`Measurement`."""
+        """Ingest one :class:`Measurement` (dropped while frozen)."""
+        if self._frozen:
+            self.measurements_dropped += 1
+            return
         key = measurement.key
         if key not in self._series:
             self._series[key] = SampleSeries(

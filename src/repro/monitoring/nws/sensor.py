@@ -49,6 +49,11 @@ class Sensor:
         )
         #: Number of measurements taken.
         self.measurements_taken = 0
+        #: While True the sensor ticks but records nothing (a chaos
+        #: blackout window; forecasts go stale downstream).
+        self.paused = False
+        #: Ticks skipped while paused.
+        self.measurements_skipped = 0
         self._measurement_counter = sim.obs.metrics.counter(
             "nws.measurements", resource=self.resource
         )
@@ -105,10 +110,26 @@ class Sensor:
         yield self.sim.timeout(self.stream.uniform(0.0, self.period))
         try:
             while True:
-                self.measure_once()
+                if self.paused:
+                    self.measurements_skipped += 1
+                else:
+                    self.measure_once()
                 yield self.sim.timeout(self.period)
         except Interrupt:
             return
+
+    def pause(self):
+        """Black out the sensor: it keeps ticking but records nothing.
+
+        The measurement-noise stream is *not* drawn while paused, so a
+        blackout window consumes no randomness and downstream streams
+        stay aligned with the campaign's seeded schedule.
+        """
+        self.paused = True
+
+    def resume(self):
+        """End a blackout; the next tick records normally."""
+        self.paused = False
 
     def stop(self):
         if self.process is not None and self.process.is_alive:

@@ -43,6 +43,9 @@ class Event:
         self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = _PENDING
         self._ok: bool | None = None
+        #: Lazily-deleted queue entries: the kernel discards cancelled
+        #: events without advancing the clock or running callbacks.
+        self.cancelled = False
 
     def __repr__(self) -> str:
         state = "pending"
@@ -113,6 +116,19 @@ class Event:
         else:
             self.fail(event._value)
         return self
+
+    def cancel(self) -> None:
+        """Withdraw a queued event before it is processed.
+
+        The kernel drops cancelled events when they reach the head of
+        the queue — the clock does not advance to them and their
+        callbacks never run.  Only cancel events no process is still
+        waiting on (disarmed guard timers, withdrawn chaos reverts);
+        cancelling an event with live waiters would strand them.
+        """
+        if self.processed:
+            raise SimulationError(f"{self!r} was already processed")
+        self.cancelled = True
 
 
 class Timeout(Event):

@@ -115,7 +115,13 @@ class Simulator:
         )
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Cancelled entries at the head of the queue are discarded on the
+        way — a disarmed guard timer never holds the horizon open.
+        """
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)[3].callbacks = None
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
@@ -124,12 +130,19 @@ class Simulator:
         Raises :class:`EmptySchedule` when the queue is empty, and
         re-raises any event failure that no process consumed (an
         "undefused" failure), so programming errors surface instead of
-        vanishing.
+        vanishing.  Cancelled events are dropped silently: the clock
+        does not advance to them and their callbacks never run.
         """
-        try:
-            when, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no more events scheduled") from None
+        while True:
+            try:
+                when, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule("no more events scheduled") from None
+            if not event.cancelled:
+                break
+            # Mark the withdrawn event processed so leak sweeps and
+            # `processed` checks see a settled state.
+            event.callbacks = None
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -169,9 +182,13 @@ class Simulator:
         * an :class:`Event` — run until it has been processed, returning
           its value (or raising its exception).
         """
+        queue = self._queue
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                if queue[0][3].cancelled:
+                    heapq.heappop(queue)[3].callbacks = None
+                else:
+                    self.step()
             return None
 
         if isinstance(until, Event):
@@ -182,8 +199,14 @@ class Simulator:
             raise ValueError(
                 f"until={horizon} lies in the past (now={self._now})"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)[3].callbacks = None
+            elif head[0] <= horizon:
+                self.step()
+            else:
+                break
         self._now = horizon
         return None
 

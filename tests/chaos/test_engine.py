@@ -1,0 +1,187 @@
+"""Chaos spec and engine mechanics: schedules, reverts, cleanup."""
+
+import pytest
+
+from repro.analysis.sanitizers import check_leaks
+from repro.chaos import ACTIONS, Campaign, ChaosEngine, EventSpec, Schedule
+from repro.sim import Simulator
+
+from tests.conftest import build_two_host_grid
+
+
+def stream(seed=0, name="test/schedule"):
+    return Simulator(seed=seed).streams.get(name)
+
+
+class TestSchedule:
+    def test_at_sorts_and_respects_horizon(self):
+        schedule = Schedule.at(30.0, 10.0, 99.0)
+        assert schedule.resolve(stream(), 50.0) == [10.0, 30.0]
+
+    def test_at_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            Schedule.at()
+        with pytest.raises(ValueError):
+            Schedule.at(-1.0)
+
+    def test_periodic_without_jitter_is_exact(self):
+        schedule = Schedule.periodic(start=5.0, period=10.0)
+        assert schedule.resolve(stream(), 36.0) == [5.0, 15.0, 25.0, 35.0]
+
+    def test_periodic_count_bounds_occurrences(self):
+        schedule = Schedule.periodic(start=0.0, period=1.0, count=3)
+        assert schedule.resolve(stream(), 100.0) == [0.0, 1.0, 2.0]
+
+    def test_periodic_jitter_stays_near_ticks(self):
+        schedule = Schedule.periodic(start=50.0, period=100.0, jitter=0.2)
+        times = schedule.resolve(stream(), 1000.0)
+        assert len(times) >= 8
+        for index, fire in enumerate(times):
+            tick = 50.0 + index * 100.0
+            assert abs(fire - tick) <= 20.0 + 1e-9
+
+    def test_poisson_is_deterministic_per_stream(self):
+        schedule = Schedule.poisson(rate=0.05, start=10.0)
+        first = schedule.resolve(stream(seed=7), 500.0)
+        second = schedule.resolve(stream(seed=7), 500.0)
+        assert first == second
+        assert first  # a 0.05/s process over 490s fires w.h.p.
+        assert all(10.0 < t < 500.0 for t in first)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule("sometimes")
+
+
+class TestCampaignValidation:
+    def test_duplicate_event_names_rejected(self):
+        spec = EventSpec("dup", "link_down", Schedule.at(1.0),
+                         target=("a", "b"))
+        with pytest.raises(ValueError, match="duplicate"):
+            Campaign("c", [spec, spec])
+
+    def test_unknown_action_rejected_at_engine_construction(self):
+        grid = build_two_host_grid()
+        campaign = Campaign("c", [
+            EventSpec("boom", "meteor_strike", Schedule.at(1.0))
+        ])
+        with pytest.raises(ValueError, match="meteor_strike"):
+            ChaosEngine(grid, campaign)
+
+    def test_registry_has_all_documented_actions(self):
+        expected = {
+            "link_down", "bandwidth_brownout", "host_crash",
+            "disk_slowdown", "cpu_spike", "sensor_blackout",
+            "mds_blackout", "nws_freeze",
+        }
+        assert expected <= set(ACTIONS)
+
+
+def link_campaign(duration=10.0, at=5.0):
+    return Campaign("one-outage", [
+        EventSpec("outage", "link_down", Schedule.at(at),
+                  target=("src", "dst"), duration=duration),
+    ], horizon=100.0)
+
+
+class TestEngine:
+    def test_inject_and_revert_restore_link_state(self):
+        grid = build_two_host_grid()
+        link = grid.topology.link("src", "dst")
+        engine = ChaosEngine(grid, link_campaign()).start()
+        grid.sim.run(until=7.0)
+        assert not link.is_up
+        assert not grid.topology.link("dst", "src").is_up
+        grid.sim.run(until=20.0)
+        assert link.is_up
+        assert [r["phase"] for r in engine.trace] == ["inject", "revert"]
+        assert engine.injections == 1 and engine.reverts == 1
+
+    def test_schedule_is_relative_to_start_time(self):
+        grid = build_two_host_grid()
+        grid.sim.run(until=50.0)
+        engine = ChaosEngine(grid, link_campaign(at=5.0)).start()
+        grid.sim.run(until=57.0)
+        assert not grid.topology.link("src", "dst").is_up
+        assert engine.trace[0]["time"] == pytest.approx(55.0)
+
+    def test_brownout_revert_restores_prior_level(self):
+        grid = build_two_host_grid()
+        link = grid.topology.link("src", "dst")
+        link.background_utilisation = 0.25
+        campaign = Campaign("brown", [
+            EventSpec("soak", "bandwidth_brownout", Schedule.at(1.0),
+                      target=("src", "dst"), duration=5.0,
+                      params={"utilisation": 0.9}),
+        ], horizon=50.0)
+        ChaosEngine(grid, campaign).start()
+        grid.sim.run(until=2.0)
+        assert link.background_utilisation == pytest.approx(0.9)
+        grid.sim.run(until=10.0)
+        assert link.background_utilisation == pytest.approx(0.25)
+
+    def test_stop_reverts_open_ended_condition(self):
+        grid = build_two_host_grid()
+        campaign = Campaign("cut", [
+            EventSpec("cut", "link_down", Schedule.at(1.0),
+                      target=("src", "dst"), duration=None),
+        ], horizon=50.0)
+        engine = ChaosEngine(grid, campaign).start()
+        grid.sim.run(until=5.0)
+        assert not grid.topology.link("src", "dst").is_up
+        engine.stop()
+        assert grid.topology.link("src", "dst").is_up
+        assert engine.reverts == 1
+
+    def test_host_crash_downs_adjacent_links_and_reboots(self):
+        grid = build_two_host_grid()
+        campaign = Campaign("crash", [
+            EventSpec("crash", "host_crash", Schedule.at(2.0),
+                      target="dst", duration=6.0),
+        ], horizon=50.0)
+        ChaosEngine(grid, campaign).start()
+        grid.sim.run(until=3.0)
+        assert not grid.host("dst").is_up
+        assert not grid.topology.link("src", "dst").is_up
+        grid.sim.run(until=10.0)
+        assert grid.host("dst").is_up
+        assert grid.topology.link("src", "dst").is_up
+
+    def test_abandoned_engine_is_an_armed_guard_leak(self):
+        grid = build_two_host_grid()
+        engine = ChaosEngine(grid, link_campaign(duration=60.0)).start()
+        grid.sim.run(until=7.0)  # injected; revert timer still armed
+        report = check_leaks(grid)
+        assert any(leak.kind == "armed-guard" for leak in report.leaks)
+        engine.stop()
+        assert check_leaks(grid).ok
+
+    def test_stop_cancels_timers_so_run_drains(self):
+        grid = build_two_host_grid()
+        campaign = Campaign("late", [
+            EventSpec("outage", "link_down", Schedule.at(90.0),
+                      target=("src", "dst"), duration=5.0),
+        ], horizon=100.0)
+        engine = ChaosEngine(grid, campaign).start()
+        grid.sim.run(until=1.0)
+        engine.stop()
+        grid.sim.run()
+        # The driver's pending 90s timer was cancelled: the clock must
+        # not have been dragged to the abandoned fire time.
+        assert grid.sim.now < 90.0
+        assert engine.injections == 0
+
+    def test_start_twice_rejected(self):
+        grid = build_two_host_grid()
+        engine = ChaosEngine(grid, link_campaign()).start()
+        with pytest.raises(RuntimeError):
+            engine.start()
+
+    def test_monitoring_action_needs_testbed_context(self):
+        grid = build_two_host_grid()
+        campaign = Campaign("dark", [
+            EventSpec("dark", "mds_blackout", Schedule.at(1.0)),
+        ], horizon=10.0)
+        ChaosEngine(grid, campaign).start()
+        with pytest.raises(ValueError, match="testbed"):
+            grid.sim.run(until=2.0)

@@ -1,0 +1,178 @@
+"""Scenario conformance suite: invariants that must hold under chaos.
+
+Table-driven: each :class:`ScenarioSpec` is a campaign over the
+two-host grid plus the invariants the reliable-transfer layer must
+uphold while that campaign runs:
+
+* every transfer either completes or raises ``TooManyAttemptsError`` —
+  no third outcome, no unhandled exception;
+* retransmitted bytes never exceed faults x marker interval (restart
+  markers bound the damage);
+* a transfer is never *routed* to a crashed host (selection-side
+  invariant, tested against the paper testbed below).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import Campaign, ChaosEngine, EventSpec, Schedule
+from repro.core.server import NoLiveReplicaError
+from repro.experiments.harness import register_replicas
+from repro.gridftp import (
+    BackoffPolicy,
+    GridFtpClient,
+    GridFtpServer,
+    ReliableFileTransfer,
+    TooManyAttemptsError,
+)
+from repro.testbed import build_testbed
+from repro.units import MiB, megabytes, mbit_per_s
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One campaign plus the outcome the transfer layer must deliver."""
+
+    name: str
+    events: tuple
+    outcome: str                 # "complete" | "too-many-attempts"
+    file_mb: int = 64
+    marker_mb: int = 8
+    max_attempts: int = 20
+    attempt_timeout: float = 5.0
+    min_faults: int = 0
+    min_refused: int = 0
+    min_timeouts: int = 0
+
+
+SCENARIOS = (
+    ScenarioSpec(
+        name="outage-mid-transfer",
+        events=(
+            EventSpec("outage", "link_down", Schedule.at(1.0),
+                      target=("src", "dst"), duration=20.0),
+        ),
+        outcome="complete", min_faults=1, min_timeouts=1,
+    ),
+    ScenarioSpec(
+        name="server-crash-and-reboot",
+        events=(
+            EventSpec("crash", "host_crash", Schedule.at(1.0),
+                      target="src", duration=30.0),
+        ),
+        outcome="complete", min_faults=1, min_refused=1,
+    ),
+    ScenarioSpec(
+        name="repeated-brownouts",
+        events=(
+            EventSpec("soak", "bandwidth_brownout",
+                      Schedule.periodic(start=0.5, period=10.0),
+                      target=("src", "dst"), duration=6.0,
+                      params={"utilisation": 0.95}),
+        ),
+        outcome="complete",
+    ),
+    ScenarioSpec(
+        name="permanent-partition",
+        events=(
+            EventSpec("cut", "link_down", Schedule.at(1.0),
+                      target=("src", "dst"), duration=None),
+        ),
+        outcome="too-many-attempts", max_attempts=4, min_faults=4,
+    ),
+)
+
+
+@pytest.mark.parametrize(
+    "spec", SCENARIOS, ids=[spec.name for spec in SCENARIOS]
+)
+def test_scenario_invariants(spec):
+    grid = build_two_host_grid(
+        seed=3, capacity=mbit_per_s(100), latency=0.0005
+    )
+    GridFtpServer(grid, "src")
+    grid.host("src").filesystem.create("file-a", megabytes(spec.file_mb))
+    campaign = Campaign(spec.name, spec.events, horizon=600.0)
+    engine = ChaosEngine(grid, campaign).start()
+    rft = ReliableFileTransfer(
+        GridFtpClient(grid, "dst"),
+        marker_interval_bytes=spec.marker_mb * MiB,
+        max_attempts=spec.max_attempts,
+        backoff=BackoffPolicy(base=1.0, multiplier=2.0, cap=8.0,
+                              jitter=0.25),
+        attempt_timeout=spec.attempt_timeout,
+    )
+
+    outcome, result = "complete", None
+    try:
+        result = run_process(grid, rft.get("src", "file-a", "incoming"))
+    except TooManyAttemptsError:
+        outcome = "too-many-attempts"
+    finally:
+        engine.stop()
+
+    assert outcome == spec.outcome
+    if result is not None:
+        # Completed: the payload landed in full, and restart markers
+        # bounded the retransmission to one chunk per fault.
+        assert "incoming" in grid.host("dst").filesystem
+        assert result.faults >= spec.min_faults
+        assert result.refused >= spec.min_refused
+        assert result.timeouts >= spec.min_timeouts
+        assert (
+            result.bytes_retransmitted
+            <= result.faults * spec.marker_mb * MiB
+        )
+        assert result.attempts == result.faults + len(result.records)
+
+
+REPLICA_HOSTS = ("alpha4", "hit0", "lz02")
+
+
+class TestNeverRoutedToCrashedHost:
+    def build(self):
+        testbed = build_testbed(seed=0)
+        register_replicas(testbed, "file-a", REPLICA_HOSTS, 16)
+        testbed.warm_up(60.0)
+        return testbed
+
+    def test_crashed_candidate_is_excluded(self):
+        testbed = self.build()
+        grid = testbed.grid
+        campaign = Campaign("crash-winner", [
+            EventSpec("crash", "host_crash", Schedule.at(1.0),
+                      target="alpha4", duration=None),
+        ], horizon=100.0)
+        engine = ChaosEngine(grid, campaign, testbed=testbed).start()
+        grid.sim.run(until=grid.sim.now + 5.0)
+        for _ in range(3):
+            decision = run_process(
+                grid,
+                testbed.selection_server.select("alpha1", "file-a"),
+            )
+            assert decision.chosen != "alpha4"
+            assert "alpha4" not in decision.ranking()
+        engine.stop()
+
+    def test_all_candidates_crashed_raises(self):
+        testbed = self.build()
+        grid = testbed.grid
+        events = [
+            EventSpec(f"crash-{host}", "host_crash", Schedule.at(1.0),
+                      target=host, duration=None)
+            for host in REPLICA_HOSTS
+        ]
+        engine = ChaosEngine(
+            grid, Campaign("crash-all", events, horizon=100.0),
+            testbed=testbed,
+        ).start()
+        grid.sim.run(until=grid.sim.now + 5.0)
+        with pytest.raises(NoLiveReplicaError):
+            run_process(
+                grid,
+                testbed.selection_server.select("alpha1", "file-a"),
+            )
+        engine.stop()

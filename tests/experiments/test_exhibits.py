@@ -15,6 +15,7 @@ from repro.experiments import (
     run_fig3,
     run_fig4,
     run_fig5,
+    run_fig_chaos,
     run_table1,
 )
 
@@ -169,6 +170,39 @@ class TestAblations:
         # ...but striping does, roughly linearly.
         assert striped2 < single * 0.7
         assert striped3 < striped2
+
+
+class TestFigChaos:
+    @pytest.fixture(scope="class")
+    def fig_chaos(self):
+        return run_fig_chaos(
+            rounds=2, gap=20.0, file_size_mb=16, warmup=60.0,
+            horizon=200.0, seed=0,
+        )
+
+    def test_one_row_per_campaign_policy_pair(self, fig_chaos):
+        pairs = {(r["campaign"], r["policy"]) for r in fig_chaos.rows}
+        assert len(pairs) == len(fig_chaos.rows) == 9
+
+    def test_monitor_blackout_completes_everything(self, fig_chaos):
+        """The acceptance gate: degradation policies carry every fetch
+        through a total monitoring outage."""
+        for row in fig_chaos.rows:
+            if row["campaign"] == "monitor_blackout":
+                assert row["failed"] == 0
+                assert row["completed"] == 2
+
+    def test_blackout_forces_degraded_factors(self, fig_chaos):
+        blackout_cost_model = next(
+            r for r in fig_chaos.rows
+            if r["campaign"] == "monitor_blackout"
+            and r["policy"] == "cost-model"
+        )
+        assert blackout_cost_model["degraded_factors"] > 0
+
+    def test_every_cell_saw_chaos(self, fig_chaos):
+        for row in fig_chaos.rows:
+            assert row["chaos_injections"] >= 1
 
 
 class TestRunner:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.gridftp import (
+    BackoffPolicy,
     GridFtpClient,
     GridFtpServer,
     ReliableFileTransfer,
@@ -68,6 +69,28 @@ class TestFaultInjector:
         grid = build_two_host_grid()
         with pytest.raises(ValueError):
             TransferFaultInjector(grid, 0.0)
+
+    def test_guard_disarms_cleanly_when_victim_finishes_first(self):
+        # Regression: the watchdog used to sleep out its full fault
+        # delay even after the guarded process finished, leaving a
+        # pending timer that dragged the clock to the abandoned fire
+        # time (1e9/2 here on average) and held the queue open.
+        grid = build_two_host_grid(seed=2)
+        injector = TransferFaultInjector(grid, mean_time_between_faults=1e9)
+
+        def quick():
+            yield grid.sim.timeout(0.001)
+
+        proc = grid.sim.process(quick())
+        guard = injector.guard(proc)
+        grid.run()
+        assert injector.faults_injected == 0
+        assert not guard.armed
+        assert grid.sim.now == pytest.approx(0.001)
+        # Nothing half-armed left behind for the leak sweep either.
+        from repro.analysis.sanitizers import check_leaks
+
+        assert check_leaks(grid).ok
 
 
 class TestReliableTransfer:
@@ -137,3 +160,84 @@ class TestReliableTransfer:
             ReliableFileTransfer(client, max_attempts=0)
         with pytest.raises(ValueError):
             ReliableFileTransfer(client, retry_backoff=-1.0)
+        with pytest.raises(ValueError):
+            ReliableFileTransfer(client, attempt_timeout=0.0)
+
+
+class TestBackoffAndTimeout:
+    def test_exponential_backoff_spaces_retries_out(self):
+        grid = build_two_host_grid(
+            seed=6, capacity=mbit_per_s(100), latency=0.0005
+        )
+        GridFtpServer(grid, "src")
+        grid.host("src").filesystem.create("file-a", megabytes(64))
+        constant = ReliableFileTransfer(
+            GridFtpClient(grid, "dst"), marker_interval_bytes=8 * MiB,
+            max_attempts=100, retry_backoff=1.0,
+            fault_injector=TransferFaultInjector(grid, 3.0),
+        )
+        first = run_process(grid, constant.get("src", "file-a", "one"))
+
+        exponential = ReliableFileTransfer(
+            GridFtpClient(grid, "dst"), marker_interval_bytes=8 * MiB,
+            max_attempts=100,
+            backoff=BackoffPolicy(base=1.0, multiplier=2.0, cap=30.0,
+                                  jitter=0.0),
+            fault_injector=TransferFaultInjector(grid, 3.0),
+        )
+        second = run_process(grid, exponential.get("src", "file-a", "two"))
+        assert first.faults > 1 and second.faults > 1
+        # Same fault process, but geometric delays stretch the retries.
+        assert second.elapsed > first.elapsed
+
+    def test_legacy_retry_backoff_maps_to_constant_policy(self):
+        grid, rft, _ = reliable_setup()
+        assert rft.retry_backoff == 1.0
+        assert rft.backoff.schedule(3) == [1.0, 1.0, 1.0]
+
+    def test_attempt_timeout_rescues_stalled_transfer(self):
+        grid = build_two_host_grid(
+            seed=7, capacity=mbit_per_s(100), latency=0.0005
+        )
+        GridFtpServer(grid, "src")
+        grid.host("src").filesystem.create("file-a", megabytes(16))
+        link = grid.topology.link("src", "dst")
+
+        def saboteur():
+            # Cut the path mid-transfer, restore it much later: only a
+            # transfer with an attempt watchdog can make progress.
+            yield grid.sim.timeout(0.4)
+            link.set_down()
+            grid.topology.link("dst", "src").set_down()
+            grid.network.rebalance()
+            yield grid.sim.timeout(20.0)
+            link.set_up()
+            grid.topology.link("dst", "src").set_up()
+            grid.network.rebalance()
+
+        grid.sim.process(saboteur())
+        rft = ReliableFileTransfer(
+            GridFtpClient(grid, "dst"), marker_interval_bytes=4 * MiB,
+            max_attempts=20, retry_backoff=1.0, attempt_timeout=3.0,
+        )
+        result = run_process(grid, rft.get("src", "file-a"))
+        assert result.timeouts >= 1
+        assert result.faults == result.timeouts
+        assert grid.host("dst").filesystem.size_of("file-a") == megabytes(16)
+
+    def test_no_timeout_guard_leaks_after_success(self):
+        grid = build_two_host_grid(
+            seed=8, capacity=mbit_per_s(100), latency=0.0005
+        )
+        GridFtpServer(grid, "src")
+        grid.host("src").filesystem.create("file-a", megabytes(32))
+        rft = ReliableFileTransfer(
+            GridFtpClient(grid, "dst"), marker_interval_bytes=8 * MiB,
+            max_attempts=5, attempt_timeout=3600.0,
+        )
+        run_process(grid, rft.get("src", "file-a"))
+        from repro.analysis.sanitizers import check_leaks
+
+        assert check_leaks(grid).ok
+        # The hour-long watchdogs were disarmed, not slept out.
+        assert grid.sim.now < 60.0

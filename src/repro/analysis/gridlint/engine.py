@@ -42,6 +42,7 @@ def _context_for(path):
         path,
         is_rng_module=normalized.endswith("sim/random_streams.py"),
         is_units_module=normalized.endswith("repro/units.py"),
+        in_gridftp_package="repro/gridftp/" in normalized,
     )
 
 

@@ -1,4 +1,4 @@
-"""The gridlint rule catalog (GL001-GL006) as one AST pass.
+"""The gridlint rule catalog (GL001-GL007) as one AST pass.
 
 Each rule exists because a specific failure mode would silently corrupt
 the paper reproduction (see ``docs/static_analysis.md`` for the full
@@ -16,6 +16,9 @@ rationale):
 * GL005 — mutable default arguments alias state across calls.
 * GL006 — bare ``except:`` / swallowed broad exceptions hide
   :class:`~repro.sim.errors.SimulationError` programming errors.
+* GL007 — direct :func:`repro.gridftp.datachannel.run_data_transfer`
+  use outside :mod:`repro.gridftp` bypasses the block-checksum
+  verification the client layer performs on every read.
 """
 
 from __future__ import annotations
@@ -40,6 +43,9 @@ RULES = {
              "default to None and create inside the function",
     "GL006": "bare except / swallowed broad exception — narrow the type "
              "or handle the error; SimulationError must not vanish",
+    "GL007": "direct datachannel transfer outside repro.gridftp — raw "
+             "reads bypass block-checksum verification; go through "
+             "GridFtpClient / ReliableFileTransfer",
 }
 
 #: Dotted call targets that read the host's clock.
@@ -56,16 +62,22 @@ _WALL_CLOCK = {
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 _SIM_EXCEPTIONS = {"SimulationError", "SimError"}
 
+#: The raw data-channel module GL007 fences off.
+_DATACHANNEL = "repro.gridftp.datachannel"
+
 
 class FileContext:
     """Per-file rule switches derived from the path by the engine."""
 
-    def __init__(self, path, is_rng_module=False, is_units_module=False):
+    def __init__(self, path, is_rng_module=False, is_units_module=False,
+                 in_gridftp_package=False):
         self.path = str(path)
         #: ``sim/random_streams.py`` is the one legal home of `random`.
         self.is_rng_module = bool(is_rng_module)
         #: ``repro/units.py`` defines the conversions GL004 points at.
         self.is_units_module = bool(is_units_module)
+        #: ``repro/gridftp/`` owns the data channel and may call it raw.
+        self.in_gridftp_package = bool(in_gridftp_package)
 
 
 def check_tree(tree, context):
@@ -113,21 +125,44 @@ class _RuleVisitor(ast.NodeVisitor):
             )
             if self._is_random_module(alias.name):
                 self._flag_random(node)
+            if self._is_datachannel_module(alias.name):
+                self._flag_datachannel(node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
         module = node.module or ""
+        from_datachannel = self._is_datachannel_module(module)
         for alias in node.names:
             self._imports[alias.asname or alias.name] = (
                 f"{module}.{alias.name}" if module else alias.name
             )
+            if not from_datachannel and self._is_datachannel_module(
+                f"{module}.{alias.name}"
+            ):
+                from_datachannel = True
         if self._is_random_module(module):
             self._flag_random(node)
+        if from_datachannel:
+            self._flag_datachannel(node)
         self.generic_visit(node)
 
     @staticmethod
     def _is_random_module(name):
         return name == "random" or name.startswith("random.")
+
+    @staticmethod
+    def _is_datachannel_module(name):
+        return name == _DATACHANNEL or name.startswith(_DATACHANNEL + ".")
+
+    def _flag_datachannel(self, node):
+        if self.context.in_gridftp_package:
+            return
+        self._report(
+            node, "GL007",
+            "direct use of repro.gridftp.datachannel; raw transfers "
+            "skip block-checksum verification — go through "
+            "GridFtpClient.get / ReliableFileTransfer",
+        )
 
     def _flag_random(self, node):
         if self.context.is_rng_module:
@@ -166,6 +201,17 @@ class _RuleVisitor(ast.NodeVisitor):
                 node, "GL002",
                 f"call into the `random` module (`{target}`); use the "
                 "simulator's seeded streams instead",
+            )
+        elif (
+            target is not None
+            and target.startswith(_DATACHANNEL + ".")
+            and not self.context.in_gridftp_package
+        ):
+            self._report(
+                node, "GL007",
+                f"raw data-channel call `{target}()` bypasses block "
+                "verification; go through GridFtpClient / "
+                "ReliableFileTransfer",
             )
         self.generic_visit(node)
 

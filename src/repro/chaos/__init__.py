@@ -13,6 +13,7 @@ from repro.chaos.campaigns import (
     flaky_wan_link,
     hot_spot_server,
     monitor_blackout,
+    replica_corruption,
 )
 from repro.chaos.engine import ChaosEngine
 from repro.chaos.spec import Campaign, EventSpec, Schedule
@@ -29,4 +30,5 @@ __all__ = [
     "flaky_wan_link",
     "hot_spot_server",
     "monitor_blackout",
+    "replica_corruption",
 ]

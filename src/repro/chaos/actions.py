@@ -32,11 +32,18 @@ class ChaosContext:
     ``testbed`` (a :class:`repro.testbed.builder.Testbed`) is required
     only by monitoring-layer actions (sensor blackout, MDS blackout,
     NWS freeze); network and host actions need just the grid.
+    ``health`` (a :class:`repro.integrity.health.ReplicaHealthRegistry`)
+    lets host actions report outage windows, so ``retry_after`` hints
+    reflect chaos the engine itself scheduled.
     """
 
-    def __init__(self, grid, testbed=None):
+    def __init__(self, grid, testbed=None, health=None):
         self.grid = grid
         self.testbed = testbed
+        self.health = health
+        #: Duration of the occurrence being fired (set by the engine
+        #: just before invoking the action; None for one-shot events).
+        self.current_duration = None
 
     def _duplex(self, target):
         """Both directed links of an ``(a, b)`` endpoint pair."""
@@ -131,6 +138,10 @@ def host_crash(ctx, target):
     for link in downed:
         link.set_down()
     ctx.grid.network.rebalance()
+    if ctx.health is not None:
+        ctx.health.note_host_down(
+            target, expected_duration=ctx.current_duration
+        )
 
     def revert():
         if not host.is_up:
@@ -138,6 +149,8 @@ def host_crash(ctx, target):
         for link in downed:
             link.set_up()
         ctx.grid.network.rebalance()
+        if ctx.health is not None:
+            ctx.health.note_host_up(target)
     return revert
 
 
@@ -168,6 +181,67 @@ def cpu_spike(ctx, target, cores_busy=None):
         if cpu.background_busy_cores == applied:
             cpu.set_background_busy(saved)
     return revert
+
+
+# -- storage integrity layer ------------------------------------------------
+
+def _stored_file(ctx, target, action):
+    """Resolve a ``(host, file)`` corruption target to its StoredFile."""
+    if not (isinstance(target, (tuple, list)) and len(target) == 2):
+        raise ValueError(
+            f"{action} target must be a (host, file) pair, got {target!r}"
+        )
+    host_name, file_name = target
+    fs = ctx.grid.host(host_name).filesystem
+    if file_name not in fs:
+        raise KeyError(f"{host_name} holds no file {file_name!r}")
+    return fs.stored(file_name)
+
+
+@chaos_action("bit_rot")
+def bit_rot(ctx, target, offset=None, length=1.0):
+    """Rot ``length`` bytes of a stored replica starting at ``offset``.
+
+    ``target`` is a ``(host, file)`` pair.  ``offset=None`` rots the
+    middle of the file.  Irreversible — only a repair from a verified
+    source heals it; a single rotten byte fails its whole manifest
+    block, exactly like a flipped bit under a real block checksum.
+    """
+    stored = _stored_file(ctx, target, "bit_rot")
+    if offset is None:
+        offset = stored.size_bytes / 2
+    stored.corrupt_range(offset, offset + float(length))
+    return None
+
+
+@chaos_action("silent_truncation")
+def silent_truncation(ctx, target, keep_fraction=0.5):
+    """Silently truncate a replica: bytes past the kept prefix are
+    garbage while the directory entry still advertises the full size.
+
+    ``target`` is a ``(host, file)`` pair.  Irreversible.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in [0, 1]")
+    stored = _stored_file(ctx, target, "silent_truncation")
+    stored.truncate_valid(stored.size_bytes * float(keep_fraction))
+    return None
+
+
+@chaos_action("stale_replica_version")
+def stale_replica_version(ctx, target, versions_behind=1):
+    """Roll a replica back to an earlier content generation.
+
+    Models a replica that missed an update: its bytes are internally
+    consistent but belong to version ``current - versions_behind``, so
+    every block fails verification against the published manifest.
+    ``target`` is a ``(host, file)`` pair.  Irreversible.
+    """
+    if versions_behind < 1:
+        raise ValueError("versions_behind must be >= 1")
+    stored = _stored_file(ctx, target, "stale_replica_version")
+    stored.version -= int(versions_behind)
+    return None
 
 
 # -- monitoring layer ------------------------------------------------------

@@ -14,7 +14,10 @@ degradation layer exists for, each against the Table 1 topology
   it;
 * :func:`monitor_blackout` — sensors pause, the NWS memory freezes and
   the GIIS goes dark: selection must keep answering from stale and
-  default factors without a single unhandled exception.
+  default factors without a single unhandled exception;
+* :func:`replica_corruption` — replicas silently rot, truncate and
+  drift to stale versions: the integrity layer must catch every bad
+  block in the data channel, fail over, quarantine and repair.
 
 Each factory returns a pure-data :class:`~repro.chaos.spec.Campaign`;
 feed it to a :class:`~repro.chaos.engine.ChaosEngine`.
@@ -28,6 +31,7 @@ __all__ = [
     "flaky_wan_link",
     "hot_spot_server",
     "monitor_blackout",
+    "replica_corruption",
 ]
 
 
@@ -136,6 +140,60 @@ def monitor_blackout(horizon=600.0, start=None, window=None):
             ),
         ],
         horizon=horizon,
+    )
+
+
+def replica_corruption(logical_name, replica_hosts, horizon=600.0,
+                       crash_host=None):
+    """Storage-integrity chaos against one logical file's replica set.
+
+    The first replica's copy rots early and keeps rotting at fresh
+    offsets, the second silently truncates, the third drifts to a stale
+    content generation mid-run; optionally one replica host also
+    crashes and reboots, exercising the health registry's outage
+    windows.  All damage is irreversible by design — only the repair
+    service heals it, which is exactly what the fig_integrity
+    experiment measures.
+    """
+    hosts = list(replica_hosts)
+    if len(hosts) < 3:
+        raise ValueError("replica_corruption needs >= 3 replica hosts")
+    events = [
+        EventSpec(
+            "rot-early", "bit_rot",
+            Schedule.at(0.05 * horizon),
+            target=(hosts[0], logical_name),
+            params={"offset": None, "length": 1.0},
+        ),
+        EventSpec(
+            "rot-recurring", "bit_rot",
+            Schedule.poisson(rate=4.0 / horizon, start=0.2 * horizon),
+            target=(hosts[0], logical_name),
+            params={"offset": 0.0, "length": 1.0},
+        ),
+        EventSpec(
+            "truncate", "silent_truncation",
+            Schedule.at(0.3 * horizon),
+            target=(hosts[1], logical_name),
+            params={"keep_fraction": 0.5},
+        ),
+        EventSpec(
+            "go-stale", "stale_replica_version",
+            Schedule.at(0.55 * horizon),
+            target=(hosts[2], logical_name),
+            params={"versions_behind": 1},
+        ),
+    ]
+    if crash_host is not None:
+        events.append(
+            EventSpec(
+                "replica-crash", "host_crash",
+                Schedule.at(0.7 * horizon),
+                target=crash_host, duration=0.1 * horizon,
+            )
+        )
+    return Campaign(
+        f"replica-corruption-{logical_name}", events, horizon=horizon
     )
 
 

@@ -47,9 +47,13 @@ class ChaosEngine:
     testbed:
         Optional :class:`~repro.testbed.builder.Testbed`; required only
         when the campaign uses monitoring-layer actions.
+    health:
+        Optional :class:`~repro.integrity.health.ReplicaHealthRegistry`;
+        host-layer actions report outage windows to it so clients get
+        honest ``retry_after`` hints.
     """
 
-    def __init__(self, grid, campaign, testbed=None):
+    def __init__(self, grid, campaign, testbed=None, health=None):
         unknown = [
             spec.action for spec in campaign.events
             if spec.action not in ACTIONS
@@ -62,7 +66,7 @@ class ChaosEngine:
         self.grid = grid
         self.sim = grid.sim
         self.campaign = campaign
-        self.ctx = ChaosContext(grid, testbed)
+        self.ctx = ChaosContext(grid, testbed, health=health)
         #: Resolved (time, spec, occurrence) timeline; filled by start().
         self.timeline = []
         #: Chronological record of every inject/revert, as dicts.
@@ -167,7 +171,11 @@ class ChaosEngine:
 
     def _fire(self, spec, occurrence):
         action = ACTIONS[spec.action]
-        revert = action(self.ctx, spec.target, **spec.params)
+        self.ctx.current_duration = spec.duration
+        try:
+            revert = action(self.ctx, spec.target, **spec.params)
+        finally:
+            self.ctx.current_duration = None
         self._record("inject", spec, occurrence)
         self.injections += 1
         if revert is None:

@@ -23,7 +23,19 @@ logger = logging.getLogger("repro.core.server")
 
 
 class NoLiveReplicaError(Exception):
-    """Every candidate replica's host is down — nothing to select."""
+    """Every candidate replica is down or quarantined — nothing to select.
+
+    ``retry_after`` is a machine-readable hint: seconds until the
+    shortest known quarantine/outage window among the candidates ends
+    (``None`` when no window is known).  Retry loops should wait that
+    long instead of guessing with generic exponential backoff.
+    """
+
+    def __init__(self, message, retry_after=None):
+        super().__init__(message)
+        self.retry_after = (
+            None if retry_after is None else float(retry_after)
+        )
 
 
 class SelectionDecision:
@@ -76,11 +88,15 @@ class ReplicaSelectionServer:
     unreachable_threshold = 1e-3
 
     def __init__(self, grid, host_name, catalog, information,
-                 weights=None, exclude_unreachable=True):
+                 weights=None, exclude_unreachable=True, health=None):
         self.grid = grid
         self.host_name = host_name
         self.catalog = catalog
         self.information = information
+        #: Optional ReplicaHealthRegistry; quarantined replicas are
+        #: excluded from selection and feed NoLiveReplicaError's
+        #: retry_after hint.
+        self.health = health
         # clamp_invalid: the information service already sanitizes its
         # factors, but the server must never crash on a bad probe even
         # if a custom information source leaks NaN through.
@@ -95,7 +111,8 @@ class ReplicaSelectionServer:
     def __repr__(self):
         return f"<ReplicaSelectionServer on {self.host_name}>"
 
-    def score_candidates(self, client_name, candidate_names):
+    def score_candidates(self, client_name, candidate_names,
+                         logical_name=None):
         """Score an explicit candidate list; a generator returning the
         :class:`SelectionDecision`."""
         if not candidate_names:
@@ -106,15 +123,20 @@ class ReplicaSelectionServer:
             candidates=len(candidate_names),
         )
         started_at = self.grid.sim.now
-        # A crashed host can never serve a transfer: drop it before
-        # spending round trips on its factors.  If *every* candidate is
-        # down there is nothing to rank — that is an error the caller
-        # must see, not a silent bad pick.
-        live_names, crashed = [], []
+        # A crashed host can never serve a transfer, and a quarantined
+        # replica must not serve one: drop both before spending round
+        # trips on their factors.  If *every* candidate is excluded
+        # there is nothing to rank — that is an error the caller must
+        # see, not a silent bad pick.
+        all_names = list(candidate_names)
+        live_names, crashed, quarantined = [], [], []
         for name in candidate_names:
             host = self.grid.hosts.get(name)
             if host is not None and not host.is_up:
                 crashed.append(name)
+            elif (self.health is not None and logical_name is not None
+                    and self.health.is_quarantined(logical_name, name)):
+                quarantined.append(name)
             else:
                 live_names.append(name)
         if crashed:
@@ -128,12 +150,29 @@ class ReplicaSelectionServer:
                 "excluded crashed candidate(s) %s for %s",
                 crashed, client_name,
             )
+        if quarantined:
+            span.set(quarantined_dropped=len(quarantined))
+            if obs.enabled:
+                obs.events.emit(
+                    "selection.quarantined_excluded", client=client_name,
+                    logical_name=logical_name,
+                    excluded=sorted(quarantined),
+                )
+            logger.debug(
+                "excluded quarantined candidate(s) %s for %s",
+                quarantined, client_name,
+            )
         if not live_names:
+            hint = None
+            if self.health is not None:
+                hint = self.health.retry_after(logical_name, all_names)
             span.set(error="no-live-replica")
             span.finish()
             raise NoLiveReplicaError(
-                f"all {len(candidate_names)} candidate replica hosts "
-                f"are down: {sorted(crashed)}"
+                f"all {len(all_names)} candidate replica hosts are "
+                f"unavailable (down: {sorted(crashed)}, quarantined: "
+                f"{sorted(quarantined)})",
+                retry_after=hint,
             )
         candidate_names = live_names
         # Client hands the candidate list to the selection server.
@@ -194,7 +233,8 @@ class ReplicaSelectionServer:
             client_name, logical_name
         )
         decision = yield from self.score_candidates(
-            client_name, [entry.host_name for entry in entries]
+            client_name, [entry.host_name for entry in entries],
+            logical_name=logical_name,
         )
         decision.logical_name = logical_name
         return decision

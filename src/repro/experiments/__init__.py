@@ -16,6 +16,7 @@ regenerates everything from the command line.
 | ablation_scale        | §5 future work — larger, dynamic grids       |
 | ablation_striped      | §5 future work — striped transfers           |
 | fig_chaos             | selection policies under chaos campaigns     |
+| fig_integrity         | transfer integrity under replica corruption  |
 """
 
 from repro.experiments.base import ExperimentResult
@@ -25,6 +26,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig_chaos import run_fig_chaos
+from repro.experiments.fig_integrity import run_fig_integrity
 from repro.experiments.table1 import run_table1
 from repro.experiments.ablation_coalloc import run_ablation_coalloc
 from repro.experiments.ablation_forecast import run_ablation_forecast
@@ -51,5 +53,6 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig_chaos",
+    "run_fig_integrity",
     "run_table1",
 ]

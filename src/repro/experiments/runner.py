@@ -32,6 +32,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig_chaos import run_fig_chaos
+from repro.experiments.fig_integrity import run_fig_integrity
 from repro.experiments.table1 import run_table1
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
@@ -123,6 +124,15 @@ def _fig_chaos(quick, seed):
     return run_fig_chaos(seed=seed)
 
 
+def _fig_integrity(quick, seed):
+    if quick:
+        return run_fig_integrity(
+            rounds=3, gap=20.0, file_size_mb=32, warmup=60.0,
+            horizon=300.0, repair_period=30.0, seed=seed,
+        )
+    return run_fig_integrity(seed=seed)
+
+
 def _abl_coalloc(quick, seed):
     return run_ablation_coalloc(
         file_size_mb=64 if quick else 256,
@@ -139,6 +149,7 @@ EXPERIMENTS = {
     "table1": _table1,
     "fig5": _fig5,
     "fig_chaos": _fig_chaos,
+    "fig_integrity": _fig_integrity,
     "abl_weights": _abl_weights,
     "abl_selectors": _abl_selectors,
     "abl_scale": _abl_scale,

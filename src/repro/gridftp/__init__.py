@@ -27,6 +27,7 @@ from repro.gridftp.backoff import BackoffPolicy
 from repro.gridftp.control import ControlChannel
 from repro.gridftp.errors import (
     AuthenticationError,
+    CorruptBlockError,
     HostUnavailableError,
     RemoteFileNotFoundError,
     TransferError,
@@ -56,6 +57,7 @@ __all__ = [
     "BackoffPolicy",
     "CoallocationResult",
     "ControlChannel",
+    "CorruptBlockError",
     "HostUnavailableError",
     "InterruptGuard",
     "brute_force_coallocation_get",

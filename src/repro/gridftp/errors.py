@@ -23,3 +23,31 @@ class ServerBusyError(TransferError):
 
 class HostUnavailableError(TransferError):
     """The remote host is down (crashed); the connection was refused."""
+
+
+class CorruptBlockError(TransferError):
+    """A received block's checksum mismatched the logical file's manifest.
+
+    Carries enough structure for the reliable transfer layer to keep
+    the verified prefix of the slice and resume (possibly on another
+    replica) without re-fetching verified data.
+    """
+
+    def __init__(self, filename, host, block_index, block_start,
+                 verified_bytes, good_spans=None):
+        super().__init__(
+            f"{filename!r}: block {block_index} from {host} failed "
+            f"checksum verification"
+        )
+        self.filename = filename
+        self.host = host
+        #: Index of the first failing manifest block.
+        self.block_index = int(block_index)
+        #: Byte offset where that block starts.
+        self.block_start = float(block_start)
+        #: Bytes of the requested slice (from its start) that verified.
+        self.verified_bytes = float(verified_bytes)
+        #: Every verified (start, end) byte span of the slice — blocks
+        #: *after* the first bad one may still have hashed clean, and a
+        #: resume should not re-fetch them.
+        self.good_spans = [tuple(span) for span in (good_spans or [])]

@@ -146,8 +146,18 @@ class FtpClient:
         )
         return result
 
-    def _store_local(self, local_name, payload):
+    def _store_local(self, local_name, payload, source=None):
+        """Materialise the received bytes locally.
+
+        A full-file copy inherits the source's stored state (content
+        version, corruption, truncation) — a byte copy of damage is
+        damage.  Partial slices get a fresh file; the reliable layer
+        tracks their integrity per-range.
+        """
         fs = self.host.filesystem
         if local_name in fs:
             fs.delete(local_name)
-        fs.create(local_name, payload)
+        stored = fs.create(local_name, payload)
+        if source is not None and source.size_bytes == payload:
+            stored.copy_state_from(source)
+        return stored

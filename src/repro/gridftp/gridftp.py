@@ -14,7 +14,7 @@ The client mirrors ``globus-url-copy`` semantics:
 
 from repro.gridftp.control import ControlChannel
 from repro.gridftp.datachannel import run_data_transfer
-from repro.gridftp.errors import InvalidRangeError
+from repro.gridftp.errors import CorruptBlockError, InvalidRangeError
 from repro.gridftp.ftp import FtpClient, FtpServer
 from repro.gridftp.gsi import GSIConfig, gsi_handshake
 from repro.gridftp.modes import ExtendedBlockMode, StreamMode
@@ -47,7 +47,7 @@ class GridFtpClient(FtpClient):
         self.gsi = gsi or GSIConfig()
 
     def get(self, server_name, remote_name, local_name=None,
-            parallelism=None, offset=0.0, length=None):
+            parallelism=None, offset=0.0, length=None, manifest=None):
         """Retrieve a file (or a slice of one).
 
         A generator returning a :class:`TransferRecord`.
@@ -61,6 +61,12 @@ class GridFtpClient(FtpClient):
         offset, length:
             Partial transfer: fetch ``length`` bytes starting at
             ``offset``.  ``length=None`` means "to end of file".
+        manifest:
+            A :class:`~repro.integrity.manifest.ChecksumManifest`; when
+            given, every received block is checked against it and a
+            :class:`~repro.gridftp.errors.CorruptBlockError` is raised
+            on the first mismatch (the transfer's bytes still crossed
+            the wire — only storage is refused).
         """
         local_name = local_name or remote_name
         server = self.grid.service(server_name, self.server_service)
@@ -101,7 +107,17 @@ class GridFtpClient(FtpClient):
             yield from channel.close()
 
         telemetry.phase("teardown")
-        self._store_local(local_name, payload)
+        remote_fs = server.host.filesystem
+        source_stored = (
+            remote_fs.stored(remote_name)
+            if remote_name in remote_fs else None
+        )
+        if manifest is not None and source_stored is not None:
+            self._verify_received(
+                manifest, source_stored, server_name, remote_name,
+                offset, payload, telemetry,
+            )
+        self._store_local(local_name, payload, source=source_stored)
         record = TransferRecord(
             protocol=self.protocol,
             source=server_name,
@@ -121,6 +137,45 @@ class GridFtpClient(FtpClient):
         telemetry.finish(record)
         server.served.append(record)
         return record
+
+    def _verify_received(self, manifest, stored, server_name, remote_name,
+                         offset, payload, telemetry):
+        """Check the received slice against the manifest (zero sim time —
+        checksum arithmetic is free next to WAN transfer times, so
+        enabling verification never perturbs fault-free timings).
+
+        Raises :class:`CorruptBlockError` carrying every verified span
+        of the slice, so the reliable layer re-fetches at most the one
+        block containing the first unverified byte.
+        """
+        end = offset + payload
+        good, bad = manifest.verify_range(stored, offset, end)
+        obs = self.grid.obs
+        if obs.enabled:
+            obs.metrics.counter("integrity.blocks_verified").inc(len(good))
+        if not bad:
+            return
+        good_spans = []
+        for index in good:
+            lo, hi = manifest.block_span(index)
+            good_spans.append((max(lo, offset), min(hi, end)))
+        first = bad[0]
+        block_start, _ = manifest.block_span(first)
+        verified = max(0.0, min(block_start, end) - offset)
+        if obs.enabled:
+            obs.metrics.counter(
+                "integrity.corrupt_blocks", host=server_name
+            ).inc(len(bad))
+            obs.events.emit(
+                "integrity.corrupt_block", filename=remote_name,
+                host=server_name, block_index=first,
+                corrupt_blocks=len(bad),
+            )
+        telemetry.abort("corrupt-block")
+        raise CorruptBlockError(
+            remote_name, server_name, first, block_start,
+            verified_bytes=verified, good_spans=good_spans,
+        )
 
     def put(self, server_name, local_name, remote_name=None,
             parallelism=None):
@@ -170,7 +225,9 @@ class GridFtpClient(FtpClient):
         fs = server.host.filesystem
         if remote_name in fs:
             fs.delete(remote_name)
-        fs.create(remote_name, payload)
+        uploaded = fs.create(remote_name, payload)
+        if local_name in self.host.filesystem:
+            uploaded.copy_state_from(self.host.filesystem.stored(local_name))
         record = TransferRecord(
             protocol=self.protocol,
             source=self.host_name,
@@ -253,7 +310,11 @@ class GridFtpClient(FtpClient):
         fs = dst_server.host.filesystem
         if dst_name in fs:
             fs.delete(dst_name)
-        fs.create(dst_name, payload)
+        copied = fs.create(dst_name, payload)
+        if src_server.has_file(remote_name):
+            copied.copy_state_from(
+                src_server.host.filesystem.stored(remote_name)
+            )
         record = TransferRecord(
             protocol="gridftp-third-party",
             source=src_server_name,

@@ -1,4 +1,4 @@
-"""Reliable file transfer with restart markers.
+"""Reliable file transfer with restart markers and block verification.
 
 GridFTP emits *restart markers* as a transfer progresses; the Globus
 Reliable File Transfer service uses them to resume interrupted
@@ -6,6 +6,24 @@ transfers from the last marker instead of from byte zero.  Modelled
 here at marker granularity: the file moves as a sequence of
 partial-transfer chunks (one chunk per marker interval), and on a fault
 only the in-flight chunk's progress is lost.
+
+The completion loop is driven by a
+:class:`~repro.integrity.ranges.VerifiedRanges` merge of restart
+markers and manifest verification results: every resume starts at the
+first byte not yet *verified*, so a corrupted chunk costs at most the
+one block that failed its checksum — the blocks of the chunk that
+hashed clean are kept.  :meth:`ReliableFileTransfer.get_logical` adds
+cross-replica failover: the source is (re-)chosen through the replica
+selection server, a replica that serves corrupt blocks is reported to
+the health registry (quarantined past the failure threshold), and when
+*no* replica is live the selection server's
+:class:`~repro.core.server.NoLiveReplicaError` ``retry_after`` hint
+replaces generic exponential backoff.
+
+Restart markers are version-tagged: markers recorded against one
+replica's content version are never merged into the progress of a
+failover replica holding a different version (see
+:meth:`~repro.integrity.ranges.VerifiedRanges.adopt`).
 
 Chaos hardening (see ``docs/chaos.md``):
 
@@ -22,8 +40,13 @@ Chaos hardening (see ``docs/chaos.md``):
 import logging
 
 from repro.gridftp.backoff import BackoffPolicy
-from repro.gridftp.errors import HostUnavailableError, TransferError
+from repro.gridftp.errors import (
+    CorruptBlockError,
+    HostUnavailableError,
+    TransferError,
+)
 from repro.gridftp.faults import InterruptGuard
+from repro.integrity.ranges import VerifiedRanges, plan_next_fetch
 from repro.sim import Interrupt
 from repro.units import MiB
 
@@ -50,7 +73,9 @@ class ReliableTransferResult:
 
     def __init__(self, filename, payload_bytes, attempts, faults,
                  bytes_retransmitted, started_at, finished_at, records,
-                 timeouts=0, refused=0):
+                 timeouts=0, refused=0, corrupt_faults=0, failovers=0,
+                 sources=None, verified_bytes=0.0,
+                 delivered_corrupt_blocks=0, no_replica_waits=0):
         self.filename = filename
         self.payload_bytes = float(payload_bytes)
         self.attempts = int(attempts)
@@ -64,6 +89,20 @@ class ReliableTransferResult:
         self.timeouts = int(timeouts)
         #: Faults that were refused connections (server host down).
         self.refused = int(refused)
+        #: Faults that were chunks failing manifest verification.
+        self.corrupt_faults = int(corrupt_faults)
+        #: Times the transfer switched to a different replica host.
+        self.failovers = int(failovers)
+        #: Replica hosts bound over the transfer's lifetime, in order.
+        self.sources = list(sources or [])
+        #: Bytes of the payload covered by verified ranges at the end
+        #: (equals payload_bytes for a verified complete transfer).
+        self.verified_bytes = float(verified_bytes)
+        #: With verification *off*: manifest blocks delivered that would
+        #: not have verified — silently accepted corruption.
+        self.delivered_corrupt_blocks = int(delivered_corrupt_blocks)
+        #: Waits spent with no live replica (retry_after-hinted).
+        self.no_replica_waits = int(no_replica_waits)
 
     def __repr__(self):
         return (
@@ -77,6 +116,99 @@ class ReliableTransferResult:
         return self.finished_at - self.started_at
 
 
+class _FixedSource:
+    """Classic RFT binding: one named server, no failover."""
+
+    can_failover = False
+
+    def __init__(self, rft, server_name, remote_name, manifest, health):
+        self.rft = rft
+        self.server_name = server_name
+        self.filename = remote_name
+        self.manifest = manifest
+        self.verify = manifest is not None
+        self.health = health
+        server = rft.grid.service(server_name, rft.client.server_service)
+        self.payload = server.size_of(remote_name)
+
+    def span_attrs(self):
+        return {"server": self.server_name}
+
+    def bind(self, avoid):
+        version = self.manifest.version if self.verify \
+            else _stored_version(self.rft.grid, self.server_name,
+                                 self.filename)
+        return self.server_name, self.filename, version
+        yield  # pragma: no cover - makes this a generator
+
+    def record_failure(self, server_name, reason):
+        if self.health is not None:
+            self.health.record_failure(
+                self.filename, server_name, reason=reason
+            )
+
+    def record_success(self, server_name):
+        if self.health is not None:
+            self.health.record_success(self.filename, server_name)
+
+
+class _SelectedSource:
+    """Replica binding through the selection server; re-selects on
+    every fault, skipping replicas that already misbehaved."""
+
+    can_failover = True
+
+    def __init__(self, rft, logical_name, selection, verify):
+        self.rft = rft
+        self.filename = logical_name
+        self.selection = selection
+        self.catalog = selection.catalog
+        self.health = getattr(selection, "health", None)
+        lfn = self.catalog.logical_file(logical_name)
+        self.payload = lfn.size_bytes
+        self.manifest = lfn.manifest
+        self.verify = bool(verify) and self.manifest is not None
+
+    def span_attrs(self):
+        return {"logical_name": self.filename, "verify": self.verify}
+
+    def bind(self, avoid):
+        decision = yield from self.selection.select(
+            self.rft.client.host_name, self.filename
+        )
+        ranking = decision.ranking()
+        pick = next((name for name in ranking if name not in avoid), None)
+        if pick is None:
+            # Every live replica misbehaved at least once; forgive and
+            # probe the best-ranked one again rather than giving up.
+            avoid.clear()
+            pick = ranking[0]
+        entry = next(
+            e for e in self.catalog.locations(self.filename)
+            if e.host_name == pick
+        )
+        version = self.manifest.version if self.verify \
+            else _stored_version(self.rft.grid, pick, entry.physical_name)
+        return pick, entry.physical_name, version
+
+    def record_failure(self, server_name, reason):
+        if self.health is not None:
+            self.health.record_failure(
+                self.filename, server_name, reason=reason
+            )
+
+    def record_success(self, server_name):
+        if self.health is not None:
+            self.health.record_success(self.filename, server_name)
+
+
+def _stored_version(grid, host_name, physical_name):
+    host = grid.hosts.get(host_name)
+    if host is None or physical_name not in host.filesystem:
+        return None
+    return host.filesystem.stored(physical_name).version
+
+
 class ReliableFileTransfer:
     """RFT-style driver around a :class:`GridFtpClient`.
 
@@ -86,7 +218,7 @@ class ReliableFileTransfer:
         The GridFTP client to drive.
     marker_interval_bytes:
         Restart-marker granularity; progress within a chunk is lost on
-        a fault.
+        a fault (unless block verification salvages clean blocks).
     max_attempts:
         Failed chunk attempts tolerated before giving up.
     retry_backoff:
@@ -139,39 +271,157 @@ class ReliableFileTransfer:
         return self.backoff.base
 
     def get(self, server_name, remote_name, local_name=None,
-            parallelism=None):
-        """Fetch a file, surviving faults; a generator returning a
-        :class:`ReliableTransferResult`."""
-        local_name = local_name or remote_name
+            parallelism=None, manifest=None, health=None):
+        """Fetch a file from one named server, surviving faults.
+
+        A generator returning a :class:`ReliableTransferResult`.  With
+        ``manifest`` given, every chunk is verified block-by-block and
+        a corrupt chunk keeps its clean blocks (verification failures
+        are reported to ``health`` when wired).  No failover — the
+        source is fixed; see :meth:`get_logical` for replica failover.
+        """
+        binding = _FixedSource(self, server_name, remote_name, manifest,
+                               health)
+        result = yield from self._run(binding, local_name or remote_name,
+                                      parallelism)
+        return result
+
+    def get_logical(self, logical_name, selection, local_name=None,
+                    parallelism=None, verify=True):
+        """Fetch a logical file via the replica selection server.
+
+        A generator returning a :class:`ReliableTransferResult`.  The
+        source replica is chosen by ``selection`` and *re-chosen after
+        every fault*: verified progress carries over (resume from the
+        last verified byte on the new replica, re-fetching at most the
+        one block that failed), corrupt replicas are reported to the
+        selection server's health registry, and when no replica is
+        live the wait is the error's ``retry_after`` hint instead of
+        blind exponential backoff.
+
+        ``verify=False`` disables manifest checking (restart markers
+        only, version-tagged so markers never survive a version change
+        across failover); silently delivered corruption is counted in
+        ``delivered_corrupt_blocks``.
+        """
+        binding = _SelectedSource(self, logical_name, selection, verify)
+        result = yield from self._run(binding, local_name or logical_name,
+                                      parallelism)
+        return result
+
+    # -- the completion loop ------------------------------------------------
+
+    def _run(self, binding, local_name, parallelism):
         sim = self.grid.sim
         obs = self.grid.obs
-        server = self.grid.service(server_name, self.client.server_service)
-        payload = server.size_of(remote_name)
+        payload = binding.payload
         started_at = sim.now
         span = obs.tracer.start_span(
-            "rft.get", server=server_name, filename=remote_name,
-            payload_bytes=payload,
+            "rft.get", filename=binding.filename, payload_bytes=payload,
+            **binding.span_attrs(),
         )
+        from repro.core.server import NoLiveReplicaError
 
-        offset = 0.0
-        attempts = 0
-        faults = 0
-        timeouts = 0
-        refused = 0
+        block_bytes = (
+            binding.manifest.block_bytes if binding.verify else None
+        )
+        chunk_name = f"{local_name}.chunk"
+        ranges = None
+        current = None
+        avoid = set()
+        sources = []
+        attempts = faults = timeouts = refused = 0
+        corrupt_faults = failovers = delivered_corrupt = 0
+        no_replica_waits = 0
         retransmitted = 0.0
         records = []
-        while offset < payload or (payload == 0 and not records):
-            chunk = min(self.marker_interval_bytes, payload - offset)
+
+        while True:
+            if current is None:
+                try:
+                    current = yield from binding.bind(avoid)
+                except NoLiveReplicaError as error:
+                    faults += 1
+                    no_replica_waits += 1
+                    obs.metrics.counter(
+                        "rft.faults", kind="no-live-replica"
+                    ).inc()
+                    obs.events.emit(
+                        "transfer.fault", filename=binding.filename,
+                        fault_number=faults, fault_kind="no-live-replica",
+                        retry_after=error.retry_after,
+                    )
+                    if faults >= self.max_attempts:
+                        span.set(error="too-many-attempts", faults=faults)
+                        span.finish()
+                        raise TooManyAttemptsError(
+                            f"{binding.filename!r}: gave up after "
+                            f"{faults} failed attempts (no live replica)"
+                        ) from error
+                    delay = (
+                        error.retry_after
+                        if error.retry_after is not None
+                        else self.backoff.delay(faults, self._jitter_stream)
+                    )
+                    obs.metrics.counter("rft.retries").inc()
+                    logger.warning(
+                        "no live replica of %r; retrying in %.1fs "
+                        "(%s hint)", binding.filename, delay,
+                        "retry_after"
+                        if error.retry_after is not None else "backoff",
+                    )
+                    yield sim.timeout(delay)
+                    continue
+                server_name, physical_name, version = current
+                if ranges is None:
+                    ranges = VerifiedRanges(version=version)
+                elif ranges.version != version:
+                    carried = ranges
+                    ranges = VerifiedRanges(version=version)
+                    if not ranges.adopt(carried.ranges(), carried.version):
+                        # Markers from the abandoned attempt describe a
+                        # different content generation: discard them and
+                        # move those bytes again.
+                        retransmitted += carried.total_verified
+                        logger.warning(
+                            "discarding %.0fB of restart markers for %r: "
+                            "replica version changed (%s -> %s)",
+                            carried.total_verified, binding.filename,
+                            carried.version, version,
+                        )
+                if sources and sources[-1] != server_name:
+                    failovers += 1
+                    obs.metrics.counter("rft.failovers").inc()
+                    obs.events.emit(
+                        "transfer.failover", filename=binding.filename,
+                        source=server_name, abandoned=sources[-1],
+                        verified_bytes=ranges.total_verified,
+                    )
+                if not sources or sources[-1] != server_name:
+                    sources.append(server_name)
+            else:
+                server_name, physical_name, version = current
+
+            plan = plan_next_fetch(
+                ranges, payload, self.marker_interval_bytes,
+                block_bytes=block_bytes,
+            )
+            if plan is None:
+                if payload == 0 and not records:
+                    plan = (0.0, 0.0)
+                else:
+                    break
+            offset, chunk = plan
             attempts += 1
             chunk_span = span.child(
                 "rft.chunk", offset=offset, chunk_bytes=chunk,
-                attempt=attempts,
+                attempt=attempts, server=server_name,
             )
             fetch = sim.process(
                 self.client.get(
-                    server_name, remote_name,
-                    f"{local_name}.chunk", parallelism=parallelism,
-                    offset=offset, length=chunk,
+                    server_name, physical_name, chunk_name,
+                    parallelism=parallelism, offset=offset, length=chunk,
+                    manifest=binding.manifest if binding.verify else None,
                 )
             )
             if self.fault_injector is not None:
@@ -185,6 +435,7 @@ class ReliableFileTransfer:
                     tag="rft-attempt-timeout",
                 )
             fault_kind = None
+            corrupt_error = None
             try:
                 record = yield fetch
             except Interrupt as interrupt:
@@ -195,57 +446,81 @@ class ReliableFileTransfer:
                 )
             except HostUnavailableError:
                 fault_kind = "refused"
+            except CorruptBlockError as error:
+                fault_kind = "corrupt"
+                corrupt_error = error
             finally:
                 if timeout_guard is not None:
                     timeout_guard.disarm()
             if fault_kind is not None:
-                # The chunk died; its progress is lost back to the
-                # last marker.  Back off and retry.
+                # The chunk died; unverified progress is lost back to
+                # the last marker, but blocks that hashed clean before
+                # the corruption are kept.
                 faults += 1
                 timeouts += fault_kind == "timeout"
                 refused += fault_kind == "refused"
-                retransmitted += chunk
+                wasted = chunk
+                if corrupt_error is not None:
+                    corrupt_faults += 1
+                    before = ranges.total_verified
+                    for lo, hi in corrupt_error.good_spans:
+                        ranges.add(lo, hi)
+                    wasted = chunk - (ranges.total_verified - before)
+                    binding.record_failure(server_name, reason="corrupt")
+                    avoid.add(server_name)
+                elif fault_kind == "refused":
+                    avoid.add(server_name)
+                retransmitted += wasted
                 chunk_span.set(error=fault_kind).finish()
                 obs.metrics.counter("rft.faults", kind=fault_kind).inc()
                 obs.events.emit(
                     "transfer.fault", server=server_name,
-                    filename=remote_name, offset=offset,
+                    filename=binding.filename, offset=offset,
                     chunk_bytes=chunk, fault_number=faults,
                     fault_kind=fault_kind,
                 )
                 logger.warning(
                     "%s fetching %r chunk at offset %.0f from %s "
                     "(fault %d of %d tolerated)",
-                    fault_kind, remote_name, offset, server_name, faults,
-                    self.max_attempts,
+                    fault_kind, binding.filename, offset, server_name,
+                    faults, self.max_attempts,
                 )
                 if faults >= self.max_attempts:
                     span.set(error="too-many-attempts", faults=faults)
                     span.finish()
                     logger.error(
                         "%r: gave up after %d failed attempts at "
-                        "offset %.0f", remote_name, faults, offset,
+                        "offset %.0f", binding.filename, faults, offset,
                     )
                     raise TooManyAttemptsError(
-                        f"{remote_name!r}: gave up after "
+                        f"{binding.filename!r}: gave up after "
                         f"{faults} failed attempts at offset "
                         f"{offset:.0f}"
                     ) from None
+                if binding.can_failover:
+                    current = None  # re-select the source
                 delay = self.backoff.delay(faults, self._jitter_stream)
                 obs.metrics.counter("rft.retries").inc()
                 logger.warning(
                     "retrying %r at offset %.0f after %.1fs backoff",
-                    remote_name, offset, delay,
+                    binding.filename, offset, delay,
                 )
                 yield sim.timeout(delay)
                 continue
             chunk_span.finish()
             obs.metrics.counter("rft.chunks").inc()
             records.append(record)
-            offset += chunk
+            ranges.add(offset, offset + chunk)
+            if binding.verify:
+                binding.record_success(server_name)
+            elif binding.manifest is not None and chunk > 0:
+                delivered_corrupt += self._count_delivered_corrupt(
+                    binding.manifest, server_name, physical_name,
+                    offset, chunk,
+                )
             fs = self.client.host.filesystem
-            if f"{local_name}.chunk" in fs:
-                fs.delete(f"{local_name}.chunk")
+            if chunk_name in fs:
+                fs.delete(chunk_name)
             if payload == 0:
                 break
 
@@ -253,16 +528,28 @@ class ReliableFileTransfer:
         fs = self.client.host.filesystem
         if local_name in fs:
             fs.delete(local_name)
-        fs.create(local_name, payload)
+        fs.create(
+            local_name, payload,
+            version=ranges.version if ranges.version is not None else 0,
+        )
+        verified_bytes = ranges.total_verified if binding.verify else 0.0
         span.set(attempts=attempts, faults=faults,
-                 bytes_retransmitted=retransmitted)
+                 bytes_retransmitted=retransmitted,
+                 failovers=failovers, verified_bytes=verified_bytes)
         span.finish()
         if retransmitted:
             obs.metrics.counter("rft.bytes_retransmitted").inc(
                 retransmitted
             )
+        if binding.verify and obs.enabled:
+            obs.events.emit(
+                "integrity.transfer_verified",
+                filename=binding.filename, payload_bytes=payload,
+                verified_bytes=verified_bytes, failovers=failovers,
+                corrupt_faults=corrupt_faults,
+            )
         return ReliableTransferResult(
-            filename=remote_name,
+            filename=binding.filename,
             payload_bytes=payload,
             attempts=attempts,
             faults=faults,
@@ -272,4 +559,24 @@ class ReliableFileTransfer:
             records=records,
             timeouts=timeouts,
             refused=refused,
+            corrupt_faults=corrupt_faults,
+            failovers=failovers,
+            sources=sources,
+            verified_bytes=verified_bytes,
+            delivered_corrupt_blocks=delivered_corrupt,
+            no_replica_waits=no_replica_waits,
         )
+
+    def _count_delivered_corrupt(self, manifest, server_name,
+                                 physical_name, offset, chunk):
+        """With verification off: how many bad blocks just slipped by."""
+        host = self.grid.hosts.get(server_name)
+        if host is None or physical_name not in host.filesystem:
+            return 0
+        stored = host.filesystem.stored(physical_name)
+        _, bad = manifest.verify_range(stored, offset, offset + chunk)
+        if bad and self.grid.obs.enabled:
+            self.grid.obs.metrics.counter(
+                "integrity.corrupt_blocks_delivered"
+            ).inc(len(bad))
+        return len(bad)

@@ -19,12 +19,15 @@ __all__ = ["striped_get"]
 
 
 def striped_get(client, source_server_names, remote_name, local_name=None,
-                streams_per_stripe=1):
+                streams_per_stripe=1, manifest=None):
     """Fetch ``remote_name`` striped across several servers.
 
     A generator (run it with ``yield from``) returning a
     :class:`TransferRecord`.  ``client`` is a
-    :class:`repro.gridftp.GridFtpClient`.
+    :class:`repro.gridftp.GridFtpClient`.  With ``manifest`` given,
+    each stripe's slice is verified against its own source — a corrupt
+    stripe source raises
+    :class:`~repro.gridftp.errors.CorruptBlockError` naming it.
     """
     if not source_server_names:
         raise ValueError("need at least one stripe source")
@@ -84,6 +87,34 @@ def striped_get(client, source_server_names, remote_name, local_name=None,
 
     for channel in channels:
         yield from channel.close()
+
+    if manifest is not None:
+        # Each source served the slice [i * slice, (i + 1) * slice);
+        # verify that slice against that source's stored copy.
+        from repro.gridftp.errors import CorruptBlockError
+
+        for i, (name, server) in enumerate(
+            zip(source_server_names, servers)
+        ):
+            if not server.has_file(remote_name):
+                continue
+            stored = server.host.filesystem.stored(remote_name)
+            lo, hi = i * slice_bytes, (i + 1) * slice_bytes
+            bad = manifest.first_bad_block(stored, lo, hi)
+            if bad is not None:
+                block_start, _ = manifest.block_span(bad)
+                if grid.obs.enabled:
+                    grid.obs.metrics.counter(
+                        "integrity.corrupt_blocks", host=name
+                    ).inc()
+                    grid.obs.events.emit(
+                        "integrity.corrupt_block", filename=remote_name,
+                        host=name, block_index=bad, corrupt_blocks=1,
+                    )
+                raise CorruptBlockError(
+                    remote_name, name, bad, block_start,
+                    verified_bytes=max(0.0, block_start - lo),
+                )
 
     client._store_local(local_name, payload)
     wire_bytes = sum(r.wire_bytes for r in results.values())

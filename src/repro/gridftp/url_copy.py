@@ -56,7 +56,8 @@ class GridUrl:
         return cls(scheme, host, path)
 
 
-def globus_url_copy(grid, src_url, dst_url, parallelism=None, gsi=None):
+def globus_url_copy(grid, src_url, dst_url, parallelism=None, gsi=None,
+                    manifest=None):
     """Copy between two URLs; a generator returning a TransferRecord.
 
     Supported shapes (mirroring the real tool):
@@ -66,6 +67,9 @@ def globus_url_copy(grid, src_url, dst_url, parallelism=None, gsi=None):
     * ``gsiftp://A/f -> gsiftp://B/f`` — third-party transfer, steered
       from B (the destination drives, as globus-url-copy does);
     * ``ftp://A/f -> file://B/f`` — plain FTP get (no parallelism).
+
+    ``manifest`` (GridFTP get only, like ``-verify-checksum``) checks
+    every received block against the file's published manifest.
     """
     src = GridUrl.parse(src_url) if isinstance(src_url, str) else src_url
     dst = GridUrl.parse(dst_url) if isinstance(dst_url, str) else dst_url
@@ -73,9 +77,14 @@ def globus_url_copy(grid, src_url, dst_url, parallelism=None, gsi=None):
     if src.scheme == "gsiftp" and dst.scheme == "file":
         client = GridFtpClient(grid, dst.host, gsi=gsi)
         record = yield from client.get(
-            src.host, src.path, dst.path, parallelism=parallelism
+            src.host, src.path, dst.path, parallelism=parallelism,
+            manifest=manifest,
         )
         return record
+    if manifest is not None:
+        raise ValueError(
+            "manifest verification is only supported for gsiftp -> file"
+        )
     if src.scheme == "file" and dst.scheme == "gsiftp":
         client = GridFtpClient(grid, src.host, gsi=gsi)
         record = yield from client.put(

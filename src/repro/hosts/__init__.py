@@ -20,6 +20,7 @@ from repro.hosts.filesystem import (
     FileNotInStoreError,
     FileSystem,
     InsufficientSpaceError,
+    StoredFile,
 )
 from repro.hosts.host import Host
 from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
@@ -36,4 +37,5 @@ __all__ = [
     "Host",
     "InsufficientSpaceError",
     "ResourceChannel",
+    "StoredFile",
 ]

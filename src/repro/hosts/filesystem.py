@@ -2,7 +2,12 @@
 
 Only what the Data Grid needs: named files with sizes, a space budget
 tied to the disk's capacity, and the errors a storage service reports.
-Contents are not modelled — transfers move byte *counts*.
+Payload *contents* are not modelled — transfers move byte counts — but
+each stored file carries the integrity state the end-to-end checksum
+layer (:mod:`repro.integrity`) verifies against: a content version and
+the byte ranges that have rotted or fallen off the end of the valid
+extent.  Chaos actions mutate that state; manifest verification reads
+it.
 """
 
 __all__ = [
@@ -10,6 +15,7 @@ __all__ = [
     "FileNotInStoreError",
     "FileSystem",
     "InsufficientSpaceError",
+    "StoredFile",
 ]
 
 
@@ -23,6 +29,93 @@ class FileExistsInStoreError(ValueError):
 
 class InsufficientSpaceError(RuntimeError):
     """Not enough free space for the requested file."""
+
+
+class StoredFile:
+    """One physical file: its size plus the state integrity checks read.
+
+    ``version`` is the content generation the bytes were written from
+    (manifests pin the expected version); ``valid_bytes`` is the extent
+    that actually holds real data (silent truncation shrinks it while
+    the directory entry keeps advertising the full size); corrupt
+    ranges record bit rot.
+    """
+
+    __slots__ = ("name", "size_bytes", "version", "valid_bytes",
+                 "_corrupt")
+
+    def __init__(self, name, size_bytes, version=0):
+        if size_bytes < 0:
+            raise ValueError(f"negative file size {size_bytes}")
+        self.name = name
+        self.size_bytes = float(size_bytes)
+        self.version = int(version)
+        self.valid_bytes = float(size_bytes)
+        #: Disjoint sorted [start, end) byte ranges that have rotted.
+        self._corrupt = []
+
+    def __repr__(self):
+        flags = ""
+        if self._corrupt:
+            flags += f" {len(self._corrupt)} corrupt range(s)"
+        if self.valid_bytes < self.size_bytes:
+            flags += f" valid to {self.valid_bytes:.0f}B"
+        return (
+            f"<StoredFile {self.name!r} {self.size_bytes:.0f}B "
+            f"v{self.version}{flags}>"
+        )
+
+    @property
+    def is_pristine(self):
+        """True when no corruption or truncation has touched the file."""
+        return not self._corrupt and self.valid_bytes >= self.size_bytes
+
+    def corrupt_ranges(self):
+        """The rotten byte ranges, as sorted (start, end) pairs."""
+        return list(self._corrupt)
+
+    def corrupt_range(self, start, end):
+        """Mark ``[start, end)`` as rotten (clipped to the file)."""
+        start = max(0.0, float(start))
+        end = min(self.size_bytes, float(end))
+        if end <= start:
+            return
+        merged = [(start, end)]
+        for lo, hi in self._corrupt:
+            if hi < merged[0][0] or lo > merged[0][1]:
+                merged.append((lo, hi))
+            else:
+                merged[0] = (min(lo, merged[0][0]), max(hi, merged[0][1]))
+        self._corrupt = sorted(merged)
+
+    def truncate_valid(self, valid_bytes):
+        """Silently truncate: bytes past ``valid_bytes`` read as garbage."""
+        self.valid_bytes = min(self.valid_bytes,
+                               max(0.0, float(valid_bytes)))
+
+    def range_is_clean(self, start, end):
+        """True if ``[start, end)`` holds intact bytes of this version."""
+        if end <= start:
+            return True
+        if end > self.valid_bytes:
+            return False
+        return all(hi <= start or lo >= end for lo, hi in self._corrupt)
+
+    def copy_state_from(self, other):
+        """Inherit another stored file's version and damage (a byte-
+        for-byte copy reproduces the source's rot)."""
+        self.version = other.version
+        self.valid_bytes = min(self.size_bytes, other.valid_bytes)
+        self._corrupt = [
+            (lo, min(hi, self.size_bytes))
+            for lo, hi in other._corrupt if lo < self.size_bytes
+        ]
+
+    def restore_pristine(self, version):
+        """Heal the file in place (a repair rewrote it from clean bytes)."""
+        self.version = int(version)
+        self.valid_bytes = self.size_bytes
+        self._corrupt = []
 
 
 class FileSystem:
@@ -48,13 +141,13 @@ class FileSystem:
 
     @property
     def used_bytes(self):
-        return sum(self._files.values())
+        return sum(f.size_bytes for f in self._files.values())
 
     @property
     def free_bytes(self):
         return self.capacity_bytes - self.used_bytes
 
-    def create(self, name, size_bytes):
+    def create(self, name, size_bytes, version=0):
         """Create a file; raises if it exists or does not fit."""
         if size_bytes < 0:
             raise ValueError(f"negative file size {size_bytes}")
@@ -64,7 +157,9 @@ class FileSystem:
             raise InsufficientSpaceError(
                 f"{name}: need {size_bytes:.0f}B, have {self.free_bytes:.0f}B"
             )
-        self._files[name] = float(size_bytes)
+        stored = StoredFile(name, size_bytes, version=version)
+        self._files[name] = stored
+        return stored
 
     def delete(self, name):
         """Delete a file; raises if absent."""
@@ -74,6 +169,10 @@ class FileSystem:
 
     def size_of(self, name):
         """Size of a file in bytes; raises if absent."""
+        return self.stored(name).size_bytes
+
+    def stored(self, name):
+        """The :class:`StoredFile` record; raises if absent."""
         if name not in self._files:
             raise FileNotInStoreError(name)
         return self._files[name]

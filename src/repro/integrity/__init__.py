@@ -1,0 +1,39 @@
+"""repro.integrity — end-to-end transfer integrity.
+
+The paper's cost model picks the *fastest* replica and assumes every
+replica is *correct*; this package drops that assumption.  Four pieces
+(see ``docs/integrity.md``):
+
+* :class:`ChecksumManifest` — per-block checksums computed when a
+  logical file is published, attached to its catalog entry;
+* :class:`VerifiedRanges` — merge of restart markers and verification
+  results; resume decisions come only from verified bytes, and ranges
+  verified against one replica version are never trusted for another;
+* :class:`ReplicaHealthRegistry` — verification failures, quarantine
+  past a threshold, host-outage windows, and ``retry_after`` hints;
+* :class:`ReplicaRepairService` — background re-replication of
+  quarantined copies from a verified source, with a re-admission audit.
+
+The GridFTP client verifies received blocks against the manifest
+(:class:`~repro.gridftp.errors.CorruptBlockError` on mismatch) and the
+reliable transfer layer resumes from the last verified byte on any
+surviving replica.
+"""
+
+from repro.integrity.health import QuarantineRecord, ReplicaHealthRegistry
+from repro.integrity.manifest import (
+    ChecksumManifest,
+    DEFAULT_BLOCK_BYTES,
+)
+from repro.integrity.ranges import VerifiedRanges, plan_next_fetch
+from repro.integrity.repair import ReplicaRepairService
+
+__all__ = [
+    "ChecksumManifest",
+    "DEFAULT_BLOCK_BYTES",
+    "QuarantineRecord",
+    "ReplicaHealthRegistry",
+    "ReplicaRepairService",
+    "VerifiedRanges",
+    "plan_next_fetch",
+]

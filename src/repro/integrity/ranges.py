@@ -1,0 +1,155 @@
+"""Verified byte ranges: what a resuming transfer may trust.
+
+A :class:`VerifiedRanges` merges two bookkeeping streams the reliable
+transfer layer produces: GridFTP *restart markers* (bytes that landed)
+and *manifest verification* results (bytes that landed **and** hashed
+correctly).  Resume decisions come only from the merged verified set,
+so an interrupted or corrupted transfer restarts from the last verified
+byte — on the same replica or, after failover, on a different one.
+
+Ranges are tagged with the content version they were verified against:
+markers recorded from an abandoned replica attempt must never be merged
+into the byte ranges of a failover replica holding a *different*
+version of the file (the content differs block-for-block, so a verified
+range of version N says nothing about version M).  :meth:`adopt`
+enforces that — the cross-replica resume bug this module exists to
+prevent.
+"""
+
+import math
+
+__all__ = ["VerifiedRanges", "plan_next_fetch"]
+
+
+class VerifiedRanges:
+    """Disjoint, sorted verified ``[start, end)`` byte ranges.
+
+    ``version`` pins the content generation every stored range was
+    verified against; ``None`` means version-agnostic (no manifest in
+    play, plain restart-marker semantics).
+    """
+
+    def __init__(self, version=None):
+        self.version = version
+        self._ranges = []
+
+    def __repr__(self):
+        return (
+            f"<VerifiedRanges v{self.version} "
+            f"{len(self._ranges)} range(s), "
+            f"{self.total_verified:.0f}B verified>"
+        )
+
+    def __len__(self):
+        return len(self._ranges)
+
+    def ranges(self):
+        """The verified ranges as sorted (start, end) pairs."""
+        return list(self._ranges)
+
+    @property
+    def total_verified(self):
+        return sum(end - start for start, end in self._ranges)
+
+    def add(self, start, end):
+        """Merge ``[start, end)`` into the verified set (idempotent)."""
+        start, end = float(start), float(end)
+        if end <= start:
+            return
+        merged = [(start, end)]
+        for lo, hi in self._ranges:
+            if hi < merged[0][0] or lo > merged[0][1]:
+                merged.append((lo, hi))
+            else:
+                merged[0] = (min(lo, merged[0][0]), max(hi, merged[0][1]))
+        self._ranges = sorted(merged)
+
+    def adopt(self, other_ranges, version):
+        """Merge ranges verified against ``version`` into this set.
+
+        Returns True and merges when the versions agree (or this set is
+        version-agnostic); returns False and merges **nothing** when
+        they differ — restart markers from an abandoned attempt against
+        one replica version are meaningless for another.
+        """
+        if self.version is not None and version is not None \
+                and version != self.version:
+            return False
+        for start, end in other_ranges:
+            self.add(start, end)
+        return True
+
+    def rebase(self, version):
+        """Switch to a different content version, discarding every
+        range verified against the old one."""
+        if version != self.version:
+            self.version = version
+            self._ranges = []
+
+    def contains(self, start, end):
+        """True when ``[start, end)`` is entirely verified."""
+        if end <= start:
+            return True
+        for lo, hi in self._ranges:
+            if lo <= start and end <= hi:
+                return True
+        return False
+
+    def verified_prefix(self):
+        """Length of the contiguous verified prefix from byte zero."""
+        if not self._ranges or self._ranges[0][0] > 0.0:
+            return 0.0
+        return self._ranges[0][1]
+
+    def first_gap(self, payload_bytes):
+        """First unverified ``[start, end)`` below ``payload_bytes``,
+        or None when the whole payload is verified."""
+        cursor = 0.0
+        for lo, hi in self._ranges:
+            if lo > cursor:
+                break
+            cursor = max(cursor, hi)
+        if cursor >= payload_bytes:
+            return None
+        end = payload_bytes
+        for lo, hi in self._ranges:
+            if lo > cursor:
+                end = min(end, lo)
+                break
+        return cursor, end
+
+    def is_complete(self, payload_bytes):
+        return self.first_gap(payload_bytes) is None
+
+
+def plan_next_fetch(ranges, payload_bytes, marker_bytes,
+                    block_bytes=None):
+    """The next ``(offset, length)`` a resuming transfer should fetch.
+
+    The fetch starts at the first unverified byte and covers at most
+    one restart-marker interval of the gap.  With a manifest in play
+    (``block_bytes`` given) the length is rounded up to whole
+    verification blocks — a fetch always ends on a block boundary (or
+    at end of gap/file), so a verified chunk never strands a partial
+    block.  Returns None when the payload is fully verified.
+
+    Because fetches begin exactly at the gap start, a resume re-fetches
+    at most the one block containing the last unverified byte — never
+    data that already verified.
+    """
+    if marker_bytes <= 0:
+        raise ValueError("marker_bytes must be positive")
+    gap = ranges.first_gap(payload_bytes)
+    if gap is None:
+        return None
+    start, gap_end = gap
+    length = min(marker_bytes, gap_end - start)
+    if block_bytes:
+        # Extend to the enclosing block boundary, staying inside the gap.
+        end = start + length
+        aligned = min(
+            block_bytes * math.ceil(end / block_bytes), gap_end,
+            payload_bytes,
+        )
+        length = aligned - start
+    return start, length

@@ -7,6 +7,7 @@ trip (an LDAP search against the Globus replica catalog, in 2005 terms).
 
 import logging
 
+from repro.integrity.manifest import ChecksumManifest, DEFAULT_BLOCK_BYTES
 from repro.replica.logical_file import LogicalFile
 
 __all__ = ["LogicalFileNotFoundError", "ReplicaCatalog", "ReplicaEntry"]
@@ -60,14 +61,28 @@ class ReplicaCatalog:
 
     # -- registration (management-plane; instantaneous bookkeeping) -----------
 
-    def create_logical_file(self, name, size_bytes, attributes=None):
-        """Register a new logical file name."""
+    def create_logical_file(self, name, size_bytes, attributes=None,
+                            block_bytes=DEFAULT_BLOCK_BYTES):
+        """Register a new logical file name.
+
+        Publish time is when the per-block checksum manifest is
+        computed and attached — every later verification (data channel,
+        repair audit) checks against this one authoritative manifest.
+        """
         if name in self._logical:
             raise ValueError(f"logical file {name!r} already exists")
         lfn = LogicalFile(name, size_bytes, attributes)
+        lfn.manifest = ChecksumManifest(
+            name, size_bytes, block_bytes=block_bytes,
+            version=lfn.version,
+        )
         self._logical[name] = lfn
         self._replicas[name] = []
         return lfn
+
+    def manifest_for(self, name):
+        """The published checksum manifest of a logical file."""
+        return self.logical_file(name).manifest
 
     def logical_file(self, name):
         if name not in self._logical:

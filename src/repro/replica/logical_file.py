@@ -13,7 +13,7 @@ class LogicalFile:
     biological database's species or release tag).
     """
 
-    def __init__(self, name, size_bytes, attributes=None):
+    def __init__(self, name, size_bytes, attributes=None, version=0):
         if not name:
             raise ValueError("logical file needs a name")
         if size_bytes < 0:
@@ -21,6 +21,12 @@ class LogicalFile:
         self.name = name
         self.size_bytes = float(size_bytes)
         self.attributes = dict(attributes or {})
+        #: Content generation; replicas holding an older version fail
+        #: manifest verification (stale_replica_version chaos).
+        self.version = int(version)
+        #: Per-block ChecksumManifest, attached by the catalog at
+        #: publish time (None until then).
+        self.manifest = None
 
     def __repr__(self):
         return (

@@ -17,10 +17,15 @@ logger = logging.getLogger("repro.replica.manager")
 class ReplicaManager:
     """Creates, publishes and deletes replicas of logical files."""
 
-    def __init__(self, grid, catalog, client_host_name, gsi=None):
+    def __init__(self, grid, catalog, client_host_name, gsi=None,
+                 health=None):
         self.grid = grid
         self.catalog = catalog
         self.client = GridFtpClient(grid, client_host_name, gsi=gsi)
+        #: Optional ReplicaHealthRegistry; when present, freshly created
+        #: replicas are audited and bad copies reported instead of
+        #: silently joining the candidate set.
+        self.health = health
 
     def __repr__(self):
         return f"<ReplicaManager via {self.client.host_name}>"
@@ -74,7 +79,43 @@ class ReplicaManager:
             "replicated %r from %s to %s", logical_name, source_host,
             target_host,
         )
+        self.audit_replica(logical_name, target_host)
         return entry
+
+    def audit_replica(self, logical_name, host_name):
+        """Audit one physical copy against the published manifest.
+
+        Returns True on a clean audit (or when no manifest/health
+        registry is wired); a bad copy is reported to the health
+        registry, which quarantines it past the failure threshold.
+        """
+        manifest = self.catalog.logical_file(logical_name).manifest
+        if manifest is None:
+            return True
+        entry = next(
+            (e for e in self.catalog.locations(logical_name)
+             if e.host_name == host_name), None,
+        )
+        if entry is None:
+            raise KeyError(
+                f"{logical_name!r} has no replica at {host_name!r}"
+            )
+        fs = self.grid.host(host_name).filesystem
+        if entry.physical_name not in fs or not manifest.audit(
+            fs.stored(entry.physical_name)
+        ):
+            logger.warning(
+                "replica of %r at %s failed its audit", logical_name,
+                host_name,
+            )
+            if self.health is not None:
+                self.health.record_failure(
+                    logical_name, host_name, reason="audit"
+                )
+            return False
+        if self.health is not None:
+            self.health.record_success(logical_name, host_name)
+        return True
 
     def delete_replica(self, logical_name, host_name):
         """Remove the physical file and its catalog entry.

@@ -22,12 +22,14 @@ class AccessCountReplicationPolicy:
     """
 
     def __init__(self, grid, catalog, manager, threshold=3,
-                 target_picker=None):
+                 target_picker=None, health=None):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.grid = grid
         self.catalog = catalog
         self.manager = manager
+        self.health = health if health is not None \
+            else getattr(manager, "health", None)
         self.threshold = int(threshold)
         self.target_picker = target_picker or self._default_target
         self._counts = {}
@@ -74,13 +76,31 @@ class AccessCountReplicationPolicy:
             locations = self.catalog.locations(logical_name)
             if any(e.host_name == target for e in locations):
                 continue  # someone already put it there
-            source = locations[0].host_name
+            source = self._pick_source(logical_name, locations)
+            if source is None:
+                # Every source is down or quarantined; requeue the
+                # suggestion for a later sweep rather than copying rot.
+                self._pending.append((logical_name, target))
+                break
             entry = yield from self.manager.create_replica(
                 logical_name, source, target, parallelism=parallelism
             )
             created.append(entry)
             self.completed.append((logical_name, target))
         return created
+
+    def _pick_source(self, logical_name, locations):
+        """First live, non-quarantined replica host to copy from."""
+        for entry in locations:
+            host = self.grid.hosts.get(entry.host_name)
+            if host is None or not host.is_up:
+                continue
+            if self.health is not None and self.health.is_quarantined(
+                logical_name, entry.host_name
+            ):
+                continue
+            return entry.host_name
+        return None
 
     # -- default placement: first site host with space, no replica ----------
 

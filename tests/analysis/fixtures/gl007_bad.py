@@ -1,0 +1,15 @@
+"""Fixture: raw data-channel transfers that GL007 must flag."""
+from repro.gridftp import datachannel
+from repro.gridftp.datachannel import run_data_transfer
+
+
+def fetch_unverified(grid, payload):
+    yield from run_data_transfer(
+        grid, "alpha4", "alpha1", payload, mode="stream"
+    )
+
+
+def fetch_via_module(grid, payload):
+    yield from datachannel.run_data_transfer(
+        grid, "hit0", "alpha1", payload, mode="stream"
+    )

@@ -1,0 +1,8 @@
+"""Fixture: transfers routed through the verifying client layer."""
+from repro.gridftp import GridFtpClient
+
+
+def fetch_verified(grid, server, name, manifest):
+    client = GridFtpClient(grid, "alpha1")
+    payload = yield from client.get(server, name, manifest=manifest)
+    return payload

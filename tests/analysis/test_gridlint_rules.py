@@ -24,6 +24,7 @@ def codes_in(path, **kwargs):
     ("gl004_bad.py", "GL004", 5),
     ("gl005_bad.py", "GL005", 4),
     ("gl006_bad.py", "GL006", 3),
+    ("gl007_bad.py", "GL007", 4),
 ])
 def test_bad_fixture_flags_expected_rule(name, code, count):
     found = codes_in(fixture(name))
@@ -32,7 +33,7 @@ def test_bad_fixture_flags_expected_rule(name, code, count):
 
 @pytest.mark.parametrize("name", [
     "gl001_ok.py", "gl002_ok.py", "gl003_ok.py",
-    "gl004_ok.py", "gl005_ok.py", "gl006_ok.py",
+    "gl004_ok.py", "gl005_ok.py", "gl006_ok.py", "gl007_ok.py",
 ])
 def test_ok_fixture_is_clean(name):
     assert codes_in(fixture(name)) == []
@@ -76,6 +77,20 @@ def test_units_module_itself_is_exempt():
 def test_sorted_set_iteration_is_clean():
     source = "def f(s):\n    for x in sorted({1, 2}):\n        yield x\n"
     assert lint_source(source) == []
+
+
+def test_gridftp_package_may_call_datachannel_raw():
+    source = (
+        "from repro.gridftp.datachannel import run_data_transfer\n"
+        "\n"
+        "def fetch(grid, payload):\n"
+        "    yield from run_data_transfer(\n"
+        "        grid, 'a', 'b', payload, mode='stream')\n"
+    )
+    flagged = lint_source(source, path="src/repro/experiments/raw.py")
+    assert [f.code for f in flagged] == ["GL007", "GL007"]
+    exempt = lint_source(source, path="src/repro/gridftp/striped.py")
+    assert exempt == []
 
 
 def test_reassigned_name_loses_set_taint():

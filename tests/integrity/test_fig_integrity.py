@@ -1,0 +1,106 @@
+"""Acceptance gates for the fig_integrity exhibit.
+
+Under the replica-corruption campaign every transfer must complete
+manifest-verified, failover must never move data that already
+verified (re-fetching at most one marker chunk per corrupt fault),
+and corrupted replicas must be quarantined, repaired and re-admitted
+within the run.  With verification on and no faults, timings must
+match the unverified baseline byte-for-byte.
+"""
+
+import pytest
+
+from repro.experiments.fig_integrity import CELLS, run_fig_integrity
+from repro.units import MiB
+
+QUICK = dict(
+    rounds=3, gap=20.0, file_size_mb=32, seed=0, warmup=60.0,
+    horizon=300.0, repair_period=30.0,
+)
+
+#: Marker interval of the exhibit's transfers (two 8 MiB blocks).
+MARKER_MB = 2 * 8 * MiB / 1e6
+
+
+@pytest.fixture(scope="module")
+def fig_integrity():
+    return run_fig_integrity(**QUICK)
+
+
+def rows_by_cell(result):
+    return {
+        (r["campaign"], r["verify"], r["failover"]): r
+        for r in result.rows
+    }
+
+
+def test_one_row_per_cell(fig_integrity):
+    assert len(fig_integrity.rows) == len(CELLS) == 6
+
+
+def test_every_transfer_completes(fig_integrity):
+    for row in fig_integrity.rows:
+        assert row["completed"] == QUICK["rounds"], row
+        assert row["failed"] == 0, row
+
+
+def test_verified_cells_complete_fully_verified(fig_integrity):
+    for row in fig_integrity.rows:
+        if row["verify"] == "on":
+            assert row["all_verified"] is True, row
+
+
+def test_verification_is_free_without_faults(fig_integrity):
+    cells = rows_by_cell(fig_integrity)
+    on = cells[("none", "on", "on")]
+    off = cells[("none", "off", "on")]
+    # Same seed, zero-sim-time checksums: timings are byte-identical.
+    assert on["mean_fetch_seconds"] == off["mean_fetch_seconds"]
+    assert on["corrupt_faults"] == off["corrupt_faults"] == 0
+    assert on["retransmitted_mb"] == off["retransmitted_mb"] == 0.0
+
+
+def test_corruption_is_caught_and_survived(fig_integrity):
+    cells = rows_by_cell(fig_integrity)
+    verified = [
+        cells[("replica_corruption", "on", "on")],
+        cells[("replica_corruption", "on", "off")],
+    ]
+    assert sum(r["corrupt_faults"] for r in verified) >= 1
+    assert cells[("replica_corruption", "on", "on")]["failovers"] >= 1
+
+
+def test_retransmission_bounded_by_salvage(fig_integrity):
+    # Verified bytes never move again: a corrupt fault re-fetches at
+    # most the marker chunk it interrupted (one block when the chunk's
+    # other block hashed clean).
+    for row in fig_integrity.rows:
+        if row["verify"] == "on":
+            assert row["retransmitted_mb"] <= \
+                row["corrupt_faults"] * MARKER_MB + 1e-9, row
+
+
+def test_quarantine_repair_readmit_within_run(fig_integrity):
+    corrupted = [
+        r for r in fig_integrity.rows
+        if r["campaign"] == "replica_corruption" and r["verify"] == "on"
+    ]
+    assert sum(r["quarantines"] for r in corrupted) >= 1
+    assert sum(r["repairs"] for r in corrupted) >= 1
+    assert sum(r["readmissions"] for r in corrupted) >= 1
+    for row in fig_integrity.rows:
+        assert row["still_quarantined"] == 0, row
+
+
+def test_unverified_transfers_deliver_the_damage(fig_integrity):
+    cells = rows_by_cell(fig_integrity)
+    silent = cells[("replica_corruption", "off", "on")]
+    assert silent["corrupt_faults"] == 0
+    assert silent["delivered_corrupt_blocks"] >= 1
+
+
+def test_cell_replays_identically_under_same_seed():
+    cell = (("replica_corruption", True, True),)
+    first = run_fig_integrity(cells=cell, **QUICK)
+    second = run_fig_integrity(cells=cell, **QUICK)
+    assert first.rows == second.rows

@@ -1,0 +1,124 @@
+"""Tests for the replica health registry and quarantine lifecycle."""
+
+import pytest
+
+from repro.integrity import ReplicaHealthRegistry
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+def advance(grid, seconds):
+    def waiter():
+        yield grid.sim.timeout(seconds)
+
+    run_process(grid, waiter())
+
+
+def make_registry(threshold=2, window=100.0, seed=0):
+    grid = build_two_host_grid(seed=seed)
+    return grid, ReplicaHealthRegistry(
+        grid, failure_threshold=threshold, quarantine_seconds=window
+    )
+
+
+class TestFailureAccounting:
+    def test_quarantine_at_threshold(self):
+        _, health = make_registry(threshold=2)
+        assert not health.record_failure("file-a", "src")
+        assert not health.is_quarantined("file-a", "src")
+        assert health.record_failure("file-a", "src")
+        assert health.is_quarantined("file-a", "src")
+        assert health.quarantines_total == 1
+
+    def test_success_resets_consecutive_failures(self):
+        _, health = make_registry(threshold=2)
+        health.record_failure("file-a", "src")
+        health.record_success("file-a", "src")
+        assert health.failure_count("file-a", "src") == 0
+        assert not health.record_failure("file-a", "src")
+
+    def test_failures_tracked_per_replica(self):
+        _, health = make_registry(threshold=2)
+        health.record_failure("file-a", "src")
+        health.record_failure("file-a", "dst")
+        assert not health.is_quarantined("file-a", "src")
+        assert not health.is_quarantined("file-a", "dst")
+        health.record_failure("file-a", "src")
+        assert health.is_quarantined("file-a", "src")
+        assert not health.is_quarantined("file-a", "dst")
+
+    def test_validation(self):
+        grid = build_two_host_grid()
+        with pytest.raises(ValueError):
+            ReplicaHealthRegistry(grid, failure_threshold=0)
+        with pytest.raises(ValueError):
+            ReplicaHealthRegistry(grid, quarantine_seconds=0.0)
+
+
+class TestQuarantineLifecycle:
+    def test_readmit_lifts_quarantine_and_forgets_failures(self):
+        _, health = make_registry(threshold=1)
+        health.record_failure("file-a", "src")
+        record = health.readmit("file-a", "src")
+        assert record is not None
+        assert not health.is_quarantined("file-a", "src")
+        assert health.failure_count("file-a", "src") == 0
+        assert health.readmissions_total == 1
+
+    def test_readmit_unknown_is_a_noop(self):
+        _, health = make_registry()
+        assert health.readmit("file-a", "src") is None
+        assert health.readmissions_total == 0
+
+    def test_quarantine_lapses_after_window(self):
+        grid, health = make_registry(threshold=1, window=50.0)
+        health.record_failure("file-a", "src")
+        advance(grid, 49.0)
+        assert health.is_quarantined("file-a", "src")
+        advance(grid, 2.0)
+        # Lapsed without repair: selection may probe the replica again.
+        assert not health.is_quarantined("file-a", "src")
+        assert health.quarantined_replicas() == []
+
+    def test_requarantine_after_lapse_counts_again(self):
+        grid, health = make_registry(threshold=1, window=10.0)
+        health.record_failure("file-a", "src")
+        advance(grid, 11.0)
+        assert not health.is_quarantined("file-a", "src")
+        health.record_failure("file-a", "src")
+        assert health.is_quarantined("file-a", "src")
+        assert health.quarantines_total == 2
+
+    def test_quarantined_replicas_sorted(self):
+        _, health = make_registry(threshold=1)
+        health.record_failure("file-b", "src")
+        health.record_failure("file-a", "src")
+        names = [r.logical_name for r in health.quarantined_replicas()]
+        assert names == ["file-a", "file-b"]
+
+
+class TestRetryAfter:
+    def test_quarantine_window_is_the_hint(self):
+        grid, health = make_registry(threshold=1, window=80.0)
+        health.record_failure("file-a", "src")
+        advance(grid, 30.0)
+        hint = health.retry_after("file-a", ["src", "dst"])
+        assert hint == pytest.approx(50.0)
+
+    def test_shortest_window_wins(self):
+        grid, health = make_registry(threshold=1, window=80.0)
+        health.record_failure("file-a", "src")
+        health.note_host_down("dst", expected_duration=20.0)
+        assert health.retry_after("file-a", ["src", "dst"]) == \
+            pytest.approx(20.0)
+
+    def test_outage_without_eta_gives_no_hint(self):
+        _, health = make_registry()
+        health.note_host_down("dst")
+        assert health.retry_after("file-a", ["dst"]) is None
+
+    def test_host_up_clears_the_outage(self):
+        _, health = make_registry()
+        health.note_host_down("dst", expected_duration=20.0)
+        health.note_host_up("dst")
+        assert health.retry_after(None, ["dst"]) is None

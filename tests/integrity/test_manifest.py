@@ -1,0 +1,111 @@
+"""Tests for per-block checksum manifests."""
+
+import pytest
+
+from repro.hosts.filesystem import StoredFile
+from repro.integrity import ChecksumManifest
+from repro.units import MiB, megabytes
+
+
+def make_pair(size_mb=64, block_mb=8, version=0):
+    size = megabytes(size_mb)
+    manifest = ChecksumManifest(
+        "file-a", size, block_bytes=block_mb * MiB, version=version
+    )
+    stored = StoredFile("file-a", size, version=version)
+    return manifest, stored
+
+
+class TestGeometry:
+    def test_block_count_rounds_up(self):
+        manifest = ChecksumManifest("f", 100.0, block_bytes=30.0)
+        assert manifest.num_blocks == 4
+
+    def test_last_block_is_short(self):
+        manifest = ChecksumManifest("f", 100.0, block_bytes=30.0)
+        assert manifest.block_span(3) == (90.0, 100.0)
+
+    def test_block_span_bounds_checked(self):
+        manifest = ChecksumManifest("f", 100.0, block_bytes=30.0)
+        with pytest.raises(IndexError):
+            manifest.block_span(4)
+
+    def test_blocks_overlapping(self):
+        manifest = ChecksumManifest("f", 100.0, block_bytes=30.0)
+        assert list(manifest.blocks_overlapping(0.0, 30.0)) == [0]
+        assert list(manifest.blocks_overlapping(29.0, 31.0)) == [0, 1]
+        assert list(manifest.blocks_overlapping(95.0, 100.0)) == [3]
+        assert list(manifest.blocks_overlapping(50.0, 50.0)) == []
+
+    def test_alignment_helpers(self):
+        manifest = ChecksumManifest("f", 100.0, block_bytes=30.0)
+        assert manifest.align_down(45.0) == 30.0
+        assert manifest.align_up(45.0) == 60.0
+        assert manifest.align_up(95.0) == 100.0   # clamped to the file
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChecksumManifest("", 10.0)
+        with pytest.raises(ValueError):
+            ChecksumManifest("f", -1.0)
+        with pytest.raises(ValueError):
+            ChecksumManifest("f", 10.0, block_bytes=0.0)
+
+
+class TestVerification:
+    def test_pristine_copy_verifies_everywhere(self):
+        manifest, stored = make_pair()
+        good, bad = manifest.verify_range(stored, 0.0, stored.size_bytes)
+        assert bad == []
+        assert len(good) == manifest.num_blocks
+        assert manifest.audit(stored)
+
+    def test_bit_rot_fails_exactly_the_touched_blocks(self):
+        manifest, stored = make_pair(size_mb=64, block_mb=8)
+        stored.corrupt_range(9 * MiB, 9 * MiB + 1.0)   # inside block 1
+        good, bad = manifest.verify_range(stored, 0.0, stored.size_bytes)
+        assert bad == [1]
+        assert 0 in good and 7 in good
+        assert not manifest.audit(stored)
+        assert manifest.first_bad_block(stored, 0.0, stored.size_bytes) == 1
+
+    def test_truncation_fails_the_tail(self):
+        manifest, stored = make_pair(size_mb=64, block_mb=8)
+        stored.truncate_valid(megabytes(20))   # blocks 2.. lose bytes
+        _, bad = manifest.verify_range(stored, 0.0, stored.size_bytes)
+        assert bad and bad[0] >= 2
+        assert manifest.verify_block(stored, 0)
+
+    def test_version_drift_fails_every_block(self):
+        manifest, stored = make_pair()
+        stored.version = 1
+        good, bad = manifest.verify_range(stored, 0.0, stored.size_bytes)
+        assert good == []
+        assert len(bad) == manifest.num_blocks
+
+    def test_damage_survives_a_byte_copy(self):
+        manifest, stored = make_pair()
+        stored.corrupt_range(0.0, 1.0)
+        copy = StoredFile("file-a", stored.size_bytes)
+        copy.copy_state_from(stored)
+        assert not manifest.verify_block(copy, 0)
+
+    def test_restore_pristine_heals(self):
+        manifest, stored = make_pair()
+        stored.corrupt_range(0.0, 1.0)
+        stored.restore_pristine(manifest.version)
+        assert manifest.audit(stored)
+
+    def test_audit_rejects_size_mismatch(self):
+        manifest, _ = make_pair(size_mb=64)
+        short = StoredFile("file-a", megabytes(32))
+        assert not manifest.audit(short)
+
+    def test_digests_differ_across_blocks_and_versions(self):
+        manifest, _ = make_pair()
+        assert manifest.block_digest(0) != manifest.block_digest(1)
+        other = ChecksumManifest(
+            "file-a", manifest.size_bytes,
+            block_bytes=manifest.block_bytes, version=1,
+        )
+        assert other.block_digest(0) != manifest.block_digest(0)

@@ -234,6 +234,21 @@ class MetricsRegistry:
         if instrument is None:
             instrument = factory(name, labels=labels, **kwargs)
             self._instruments[key] = instrument
+        else:
+            # Same identity, same configuration -> same instrument (call
+            # sites may re-fetch per call).  A *conflicting* re-register
+            # must not silently shadow the requested configuration: two
+            # grids (or two call sites) would each believe their own
+            # bucket layout is in force while sharing one instrument.
+            bounds = kwargs.get("bounds")
+            if bounds is not None:
+                bounds = tuple(sorted(float(b) for b in bounds))
+                if bounds != instrument.bounds:
+                    raise ValueError(
+                        f"metric {instrument.qualified_name!r} "
+                        f"re-registered with conflicting bounds "
+                        f"{bounds}; registered: {instrument.bounds}"
+                    )
         return instrument
 
     def counter(self, name, **labels):

@@ -1,0 +1,8 @@
+"""``python -m repro.obs.perf`` — the repro-bench CLI."""
+
+import sys
+
+from repro.obs.perf.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

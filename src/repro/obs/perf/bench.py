@@ -1,0 +1,226 @@
+"""The benchmark harness: a pinned suite, measured, written to disk.
+
+``repro-bench`` runs a pinned set of experiments with fixed seeds and
+writes ``BENCH_<date>.json`` — events/sec, sim-seconds per wall-second,
+peak RSS and wall time per experiment, plus an environment fingerprint.
+The committed baseline under ``benchmarks/`` is the start of the perf
+trajectory every later PR must defend (see ``docs/performance.md``);
+:mod:`repro.obs.perf.compare` gates regressions against it.
+
+The harness measures the *unobserved, unprofiled* hot path: experiments
+run exactly as the exhibits do, and event/sim-time totals come from the
+kernel's always-on diagnostic counters via a build-hook tracker — no
+metrics registry, no profiler, no capture overhead in the timed region.
+"""
+
+import json
+import platform
+import subprocess
+import sys
+
+from repro.obs.perf.clock import utc_datestamp, utc_timestamp, wall_clock
+from repro.sim.kernel import add_build_hook, remove_build_hook
+from repro.units import KiB
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PINNED_SUITE",
+    "SimUsageTracker",
+    "default_bench_filename",
+    "environment_fingerprint",
+    "load_bench",
+    "peak_rss_bytes",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Schema identifier stamped into (and required of) every BENCH file.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The pinned suite: one protocol exhibit, one multi-size sweep, and the
+#: two service-heavy exhibits (chaos and integrity) — together they
+#: exercise every hot subsystem the profiler attributes.
+PINNED_SUITE = ("table1", "fig3", "fig_chaos", "fig_integrity")
+
+#: Per-experiment metrics every BENCH entry must carry.
+EXPERIMENT_METRICS = (
+    "wall_s", "events", "sim_s", "events_per_s", "sim_s_per_wall_s",
+    "peak_rss_bytes",
+)
+
+
+class SimUsageTracker:
+    """Collects every simulator built inside the context.
+
+    After the block, :attr:`events_processed` / :attr:`events_scheduled`
+    / :attr:`sim_seconds` sum the kernel's diagnostic counters over all
+    tracked simulators — the deterministic denominator for events/sec.
+    """
+
+    def __init__(self):
+        self.sims = []
+
+    def __enter__(self):
+        add_build_hook(self._on_build)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        remove_build_hook(self._on_build)
+        return False
+
+    def _on_build(self, sim):
+        self.sims.append(sim)
+
+    @property
+    def events_processed(self):
+        return sum(sim.events_processed for sim in self.sims)
+
+    @property
+    def events_scheduled(self):
+        return sum(sim.events_scheduled for sim in self.sims)
+
+    @property
+    def sim_seconds(self):
+        return sum(sim.now for sim in self.sims)
+
+
+def peak_rss_bytes():
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # already bytes on macOS
+        return int(peak)
+    return int(peak * KiB)  # kilobytes on Linux
+
+
+def _git_sha():
+    """HEAD commit of the working tree, if discoverable."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def environment_fingerprint():
+    """Where this benchmark ran: interpreter, platform, git state."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def default_bench_filename():
+    """``BENCH_<utc-date>.json`` — the conventional output name."""
+    return f"BENCH_{utc_datestamp()}.json"
+
+
+def run_bench(experiments=PINNED_SUITE, quick=False, seed=0,
+              progress=None):
+    """Run the suite and return the BENCH document as a dict.
+
+    ``progress`` (optional) is called with a one-line message before
+    each experiment — the CLI uses it so long runs are not silent.
+    """
+    from repro.experiments.runner import run_experiment
+
+    results = {}
+    for experiment_id in experiments:
+        if progress is not None:
+            progress(f"benchmarking {experiment_id} "
+                     f"(quick={quick}, seed={seed}) ...")
+        tracker = SimUsageTracker()
+        begin = wall_clock()
+        with tracker:
+            run_experiment(experiment_id, quick=quick, seed=seed)
+        wall_s = wall_clock() - begin
+        events = tracker.events_processed
+        sim_s = tracker.sim_seconds
+        results[experiment_id] = {
+            "wall_s": wall_s,
+            "events": events,
+            "sim_s": sim_s,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "sim_s_per_wall_s": sim_s / wall_s if wall_s > 0 else 0.0,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "sims_built": len(tracker.sims),
+        }
+
+    total_wall = sum(r["wall_s"] for r in results.values())
+    total_events = sum(r["events"] for r in results.values())
+    total_sim = sum(r["sim_s"] for r in results.values())
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": utc_timestamp(),
+        "quick": bool(quick),
+        "seed": int(seed),
+        "suite": list(experiments),
+        "environment": environment_fingerprint(),
+        "experiments": results,
+        "totals": {
+            "wall_s": total_wall,
+            "events": total_events,
+            "sim_s": total_sim,
+            "events_per_s": (
+                total_events / total_wall if total_wall > 0 else 0.0
+            ),
+            "sim_s_per_wall_s": (
+                total_sim / total_wall if total_wall > 0 else 0.0
+            ),
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+    }
+
+
+def validate_bench(document, source="benchmark"):
+    """Raise ``ValueError`` unless ``document`` is a valid BENCH dict."""
+    if not isinstance(document, dict):
+        raise ValueError(f"{source}: not a JSON object")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{source}: schema {document.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    experiments = document.get("experiments")
+    if not isinstance(experiments, dict) or not experiments:
+        raise ValueError(f"{source}: no experiments recorded")
+    for experiment_id, entry in experiments.items():
+        for metric in EXPERIMENT_METRICS:
+            value = entry.get(metric)
+            if not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{source}: {experiment_id}.{metric} missing or "
+                    f"non-numeric"
+                )
+    return document
+
+
+def write_bench(document, path):
+    """Write a BENCH document as stable, human-diffable JSON."""
+    validate_bench(document, source=str(path))
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path):
+    """Load and validate a BENCH file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return validate_bench(document, source=str(path))

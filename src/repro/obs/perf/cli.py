@@ -1,0 +1,129 @@
+"""``repro-bench``: run the pinned benchmark suite or compare two runs.
+
+Usage::
+
+    repro-bench                         # pinned suite -> BENCH_<date>.json
+    repro-bench --quick --out ci.json   # reduced scale (CI)
+    repro-bench table1 fig3             # subset of the suite
+    repro-bench --compare OLD.json NEW.json --tolerance 3.0
+
+Without ``--compare`` the suite runs and the BENCH document is written
+(default name ``BENCH_<utc-date>.json``) plus printed as a summary
+table.  With ``--compare`` the two files are diffed per metric and the
+exit code is non-zero on any regression past the tolerance — the CI
+gate for the perf trajectory (see ``docs/performance.md``).
+"""
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _print_summary(document):
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for experiment_id, entry in document["experiments"].items():
+        rows.append({
+            "experiment": experiment_id,
+            "wall_s": entry["wall_s"],
+            "events": entry["events"],
+            "events_per_s": entry["events_per_s"],
+            "sim_s_per_wall_s": entry["sim_s_per_wall_s"],
+            "peak_rss_mb": entry["peak_rss_bytes"] / 1e6,
+        })
+    totals = document["totals"]
+    rows.append({
+        "experiment": "TOTAL",
+        "wall_s": totals["wall_s"],
+        "events": totals["events"],
+        "events_per_s": totals["events_per_s"],
+        "sim_s_per_wall_s": totals["sim_s_per_wall_s"],
+        "peak_rss_mb": totals["peak_rss_bytes"] / 1e6,
+    })
+    print(format_table(
+        ["experiment", "wall_s", "events", "events_per_s",
+         "sim_s_per_wall_s", "peak_rss_mb"],
+        rows,
+    ))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the simulator's pinned experiment suite, "
+                    "or compare two BENCH_*.json runs.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids to benchmark (default: the pinned suite)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale runs (the CI reference configuration)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="output path (default: BENCH_<utc-date>.json)",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two BENCH files instead of running; exits 1 on "
+             "regression past the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="allowed ratio for timing/throughput metrics before a "
+             "delta counts as a regression (default: 1.5)",
+    )
+    parser.add_argument(
+        "--rss-tolerance", type=float, default=None,
+        help="allowed ratio for peak RSS (default: same as --tolerance)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        if args.experiments:
+            parser.error("--compare takes no experiment ids")
+        from repro.obs.perf.compare import compare_files
+
+        try:
+            report = compare_files(
+                args.compare[0], args.compare[1],
+                tolerance=args.tolerance,
+                rss_tolerance=args.rss_tolerance,
+            )
+        except (OSError, ValueError) as error:
+            parser.error(str(error))
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    from repro.obs.perf.bench import (
+        PINNED_SUITE,
+        default_bench_filename,
+        run_bench,
+        write_bench,
+    )
+
+    suite = tuple(args.experiments) if args.experiments else PINNED_SUITE
+    from repro.experiments.runner import EXPERIMENTS
+
+    unknown = [e for e in suite if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    document = run_bench(
+        experiments=suite, quick=args.quick, seed=args.seed,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    out_path = args.out or default_bench_filename()
+    write_bench(document, out_path)
+    _print_summary(document)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

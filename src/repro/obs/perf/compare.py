@@ -1,0 +1,210 @@
+"""The regression comparator: diff two BENCH files, gate on tolerance.
+
+``repro-bench --compare OLD.json NEW.json`` reports per-metric deltas
+and exits non-zero when any metric regresses past the tolerance, so CI
+can hold the perf trajectory.  Tolerances are ratios: ``tolerance=1.5``
+means a lower-is-better metric may grow to 1.5x the baseline (and a
+higher-is-better metric shrink to 1/1.5x) before it counts as a
+regression — wall-clock metrics are noisy across machines, so CI runs
+with a generous ratio and catches order-of-magnitude cliffs, not jitter.
+
+Deterministic workload counters (``events``) are compared exactly: a
+drift is reported as a *note*, not a regression, because experiments
+legitimately change shape across PRs — but it tells the reader that the
+throughput delta reflects a different workload, not just a faster or
+slower kernel.
+"""
+
+from dataclasses import dataclass
+
+from repro.obs.perf.bench import load_bench
+
+__all__ = ["ComparisonReport", "Delta", "compare_benchmarks",
+           "compare_files"]
+
+#: metric -> better direction.  ``lower``: regression when new/old grows
+#: past the tolerance; ``higher``: regression when it shrinks below 1/t.
+METRIC_DIRECTIONS = {
+    "wall_s": "lower",
+    "events_per_s": "higher",
+    "sim_s_per_wall_s": "higher",
+    "peak_rss_bytes": "lower",
+}
+
+OK = "ok"
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+NOTE = "note"
+
+#: Below this many wall seconds a run is all fixed costs and scheduler
+#: jitter — ratios of sub-noise-floor timings are meaningless, so the
+#: time-derived metrics of such experiments are reported as notes.
+NOISE_FLOOR_WALL_S = 0.05
+
+#: Metrics whose ratio is dominated by wall-time noise on tiny runs.
+_TIME_DERIVED = ("wall_s", "events_per_s", "sim_s_per_wall_s")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric of one experiment."""
+
+    experiment: str
+    metric: str
+    old: float | None
+    new: float | None
+    ratio: float | None
+    status: str
+
+    def describe(self):
+        if self.ratio is None:
+            return (
+                f"{self.experiment}.{self.metric}: {self.old} -> "
+                f"{self.new} [{self.status}]"
+            )
+        return (
+            f"{self.experiment}.{self.metric}: {self.old:.6g} -> "
+            f"{self.new:.6g} ({self.ratio:.2f}x) [{self.status}]"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All deltas between two BENCH documents."""
+
+    deltas: list
+    tolerance: float
+    rss_tolerance: float
+
+    @property
+    def ok(self):
+        return not any(d.status == REGRESSION for d in self.deltas)
+
+    @property
+    def regressions(self):
+        return [d for d in self.deltas if d.status == REGRESSION]
+
+    @property
+    def improvements(self):
+        return [d for d in self.deltas if d.status == IMPROVEMENT]
+
+    def describe(self):
+        lines = [
+            f"benchmark comparison (tolerance {self.tolerance:g}x, "
+            f"rss {self.rss_tolerance:g}x):"
+        ]
+        for delta in self.deltas:
+            if delta.status == OK:
+                continue
+            lines.append("  " + delta.describe())
+        regressions = self.regressions
+        if regressions:
+            lines.append(
+                f"RESULT: {len(regressions)} regression(s) past tolerance"
+            )
+        else:
+            lines.append(
+                f"RESULT: ok ({len(self.deltas)} metrics compared, "
+                f"{len(self.improvements)} improved)"
+            )
+        return "\n".join(lines)
+
+
+def _classify(direction, ratio, tolerance):
+    if direction == "lower":
+        if ratio > tolerance:
+            return REGRESSION
+        if ratio < 1.0 / tolerance:
+            return IMPROVEMENT
+    else:
+        if ratio < 1.0 / tolerance:
+            return REGRESSION
+        if ratio > tolerance:
+            return IMPROVEMENT
+    return OK
+
+
+def compare_benchmarks(old, new, tolerance=1.5, rss_tolerance=None):
+    """Compare two BENCH documents; returns a :class:`ComparisonReport`.
+
+    ``tolerance`` applies to timing/throughput metrics; RSS gets its own
+    knob (``rss_tolerance``, defaulting to ``tolerance``) because memory
+    is usually far more stable than wall time.
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must be > 1, got {tolerance}")
+    if rss_tolerance is None:
+        rss_tolerance = tolerance
+    elif rss_tolerance <= 1.0:
+        raise ValueError(f"rss_tolerance must be > 1, got {rss_tolerance}")
+
+    deltas = []
+    old_experiments = old["experiments"]
+    new_experiments = new["experiments"]
+    for experiment_id in sorted(old_experiments):
+        old_entry = old_experiments[experiment_id]
+        new_entry = new_experiments.get(experiment_id)
+        if new_entry is None:
+            # Baseline coverage lost: the new run no longer measures
+            # this experiment at all.  That is a gate failure, not a
+            # footnote — otherwise deleting a slow experiment "fixes"
+            # its regression.
+            deltas.append(Delta(
+                experiment=experiment_id, metric="coverage",
+                old=1.0, new=None, ratio=None, status=REGRESSION,
+            ))
+            continue
+        below_floor = (
+            float(old_entry["wall_s"]) < NOISE_FLOOR_WALL_S
+            and float(new_entry["wall_s"]) < NOISE_FLOOR_WALL_S
+        )
+        for metric, direction in sorted(METRIC_DIRECTIONS.items()):
+            old_value = float(old_entry[metric])
+            new_value = float(new_entry[metric])
+            limit = tolerance if metric != "peak_rss_bytes" else rss_tolerance
+            if old_value <= 0.0:
+                status = OK if new_value <= 0.0 else NOTE
+                ratio = None
+            else:
+                ratio = new_value / old_value
+                status = _classify(direction, ratio, limit)
+                if status == REGRESSION and below_floor and (
+                    metric in _TIME_DERIVED
+                ):
+                    # Both runs finished under the noise floor; a bad
+                    # ratio between two tiny timings is jitter, not a
+                    # real slowdown.  RSS is exempt — it is stable even
+                    # on tiny runs.
+                    status = NOTE
+            deltas.append(Delta(
+                experiment=experiment_id, metric=metric,
+                old=old_value, new=new_value, ratio=ratio, status=status,
+            ))
+        old_events = old_entry.get("events")
+        new_events = new_entry.get("events")
+        if old_events != new_events:
+            deltas.append(Delta(
+                experiment=experiment_id, metric="events",
+                old=old_events, new=new_events,
+                ratio=(
+                    new_events / old_events
+                    if old_events else None
+                ),
+                status=NOTE,
+            ))
+    for experiment_id in sorted(set(new_experiments) - set(old_experiments)):
+        deltas.append(Delta(
+            experiment=experiment_id, metric="coverage",
+            old=None, new=1.0, ratio=None, status=NOTE,
+        ))
+    return ComparisonReport(
+        deltas=deltas, tolerance=tolerance, rss_tolerance=rss_tolerance
+    )
+
+
+def compare_files(old_path, new_path, tolerance=1.5, rss_tolerance=None):
+    """Load, validate and compare two BENCH files."""
+    return compare_benchmarks(
+        load_bench(old_path), load_bench(new_path),
+        tolerance=tolerance, rss_tolerance=rss_tolerance,
+    )

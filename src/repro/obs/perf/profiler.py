@@ -1,0 +1,281 @@
+"""The kernel profiler: per-component wall time and queue telemetry.
+
+A :class:`KernelProfiler` attaches to one or more simulators (usually
+every simulator an experiment builds, via :func:`profile`) and takes
+over callback execution in ``Simulator.step``:
+
+* each callback is timed with the host clock and its wall time charged
+  to the component that owns it (see
+  :mod:`repro.obs.perf.components`);
+* every ``sample_every`` processed events it snapshots queue telemetry
+  — queue depth, cancelled (disarmed guard-timer) population, events
+  processed/scheduled — against both clocks, giving the load profile
+  *over sim time*.
+
+The profiler is deliberately invisible to the simulation: it never
+schedules events, never draws from the random streams and never touches
+``sim.obs``, so same-seed trace digests are byte-identical with
+profiling on or off.  Everything it records is either deterministic
+(event counts, sim times, queue depths) or explicitly wall-clock
+(``*_wall_s`` fields, nondeterministic by nature); the JSONL export
+keeps the two apart so downstream tooling can diff the deterministic
+parts.
+"""
+
+import json
+
+from repro.obs.events import _jsonable
+from repro.obs.perf.clock import wall_clock
+from repro.obs.perf.components import ComponentClassifier
+from repro.sim.kernel import add_build_hook, remove_build_hook
+
+__all__ = ["ComponentStats", "KernelProfiler", "QueueSample", "profile"]
+
+
+class ComponentStats:
+    """Accumulated cost of one component's callbacks."""
+
+    __slots__ = ("component", "callbacks", "self_wall_s")
+
+    def __init__(self, component):
+        self.component = component
+        #: Callbacks executed (>= events: one event may fan out).
+        self.callbacks = 0
+        #: Wall seconds spent inside this component's callbacks.
+        self.self_wall_s = 0.0
+
+    def __repr__(self):
+        return (
+            f"<ComponentStats {self.component}: {self.callbacks} callbacks, "
+            f"{self.self_wall_s:.4f}s>"
+        )
+
+    def as_dict(self):
+        return {
+            "component": self.component,
+            "callbacks": self.callbacks,
+            "self_wall_s": self.self_wall_s,
+        }
+
+
+class QueueSample:
+    """One snapshot of kernel load, taken every ``sample_every`` events."""
+
+    __slots__ = ("sim_time", "wall_s", "queue_depth", "queue_cancelled",
+                 "events_processed", "events_scheduled")
+
+    def __init__(self, sim_time, wall_s, queue_depth, queue_cancelled,
+                 events_processed, events_scheduled):
+        self.sim_time = sim_time
+        self.wall_s = wall_s
+        self.queue_depth = queue_depth
+        self.queue_cancelled = queue_cancelled
+        self.events_processed = events_processed
+        self.events_scheduled = events_scheduled
+
+    def as_dict(self):
+        return {
+            "sim_time": self.sim_time,
+            "wall_s": self.wall_s,
+            "queue_depth": self.queue_depth,
+            "queue_cancelled": self.queue_cancelled,
+            "events_processed": self.events_processed,
+            "events_scheduled": self.events_scheduled,
+        }
+
+
+class KernelProfiler:
+    """Low-overhead discrete-event kernel profiler.
+
+    Parameters
+    ----------
+    sample_every:
+        Queue telemetry is snapshotted every this many processed events.
+        Sampling scans the heap for cancelled entries (O(queue)), so the
+        default keeps it far off the hot path.
+    """
+
+    def __init__(self, sample_every=1024):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = int(sample_every)
+        self.components = {}
+        self.samples = []
+        #: Events whose callbacks this profiler executed.
+        self.events_profiled = 0
+        #: Simulators this profiler was attached to.
+        self.sims_attached = 0
+        self._classifier = ComponentClassifier()
+        self._started = wall_clock()
+
+    def __repr__(self):
+        return (
+            f"<KernelProfiler {self.events_profiled} events, "
+            f"{len(self.components)} components, "
+            f"{len(self.samples)} samples>"
+        )
+
+    # -- attachment -------------------------------------------------------
+
+    def attach(self, sim):
+        """Install this profiler on ``sim`` (replacing any other)."""
+        sim.set_profiler(self)
+        self.sims_attached += 1
+
+    def detach(self, sim):
+        """Remove this profiler from ``sim`` if it is the one installed."""
+        if sim._profiler is self:
+            sim.set_profiler(None)
+
+    # -- kernel hook ------------------------------------------------------
+
+    def run_event(self, sim, event, callbacks):
+        """Execute one event's callbacks, timing each (kernel hook).
+
+        Must mirror the kernel's own loop exactly: every callback runs
+        once, in order, and exceptions propagate (the ``finally`` still
+        charges the partial time so a crashing component shows up hot).
+        """
+        classify = self._classifier.classify
+        components = self.components
+        clock = wall_clock
+        for callback in callbacks:
+            name = classify(callback)
+            begin = clock()
+            try:
+                callback(event)
+            finally:
+                elapsed = clock() - begin
+                stats = components.get(name)
+                if stats is None:
+                    stats = components[name] = ComponentStats(name)
+                stats.callbacks += 1
+                stats.self_wall_s += elapsed
+        self.events_profiled += 1
+        if self.events_profiled % self.sample_every == 0:
+            self.samples.append(QueueSample(
+                sim_time=sim.now,
+                wall_s=clock() - self._started,
+                queue_depth=sim.queue_depth,
+                queue_cancelled=sim.queue_cancelled(),
+                events_processed=sim.events_processed,
+                events_scheduled=sim.events_scheduled,
+            ))
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def wall_seconds(self):
+        """Wall seconds since the profiler was created."""
+        return wall_clock() - self._started
+
+    @property
+    def total_self_wall_s(self):
+        """Wall seconds attributed across all components."""
+        return sum(s.self_wall_s for s in self.components.values())
+
+    def component_table(self):
+        """Hot-component rows, most expensive first.
+
+        Each row carries self wall time, its share of attributed time
+        (``self_pct``) and the running ``cum_pct`` — the gprof-style
+        cumulative column answering "how few components explain 90% of
+        the run?".
+        """
+        total = self.total_self_wall_s
+        rows = []
+        running = 0.0
+        ordered = sorted(
+            self.components.values(),
+            key=lambda s: (-s.self_wall_s, s.component),
+        )
+        for stats in ordered:
+            running += stats.self_wall_s
+            rows.append({
+                "component": stats.component,
+                "callbacks": stats.callbacks,
+                "self_wall_s": stats.self_wall_s,
+                "self_pct": 100.0 * stats.self_wall_s / total if total else 0.0,
+                "cum_pct": 100.0 * running / total if total else 0.0,
+                "us_per_callback": (
+                    1e6 * stats.self_wall_s / stats.callbacks
+                    if stats.callbacks else 0.0
+                ),
+            })
+        return rows
+
+    def records(self):
+        """The profile as flat dicts (JSONL export format).
+
+        One ``perf.meta`` record, then ``perf.component`` rows (hottest
+        first), then ``perf.sample`` rows in capture order — the same
+        record-stream convention as the observability export.
+        """
+        out = [{
+            "type": "perf.meta",
+            "events_profiled": self.events_profiled,
+            "sims_attached": self.sims_attached,
+            "sample_every": self.sample_every,
+            "wall_s": self.wall_seconds,
+            "components": len(self.components),
+        }]
+        for row in self.component_table():
+            record = {"type": "perf.component"}
+            record.update(row)
+            out.append(record)
+        for sample in self.samples:
+            record = {"type": "perf.sample"}
+            record.update(sample.as_dict())
+            out.append(record)
+        return out
+
+    def export_jsonl(self, target):
+        """Dump the profile as JSONL; returns the line count."""
+        records = self.records()
+        if hasattr(target, "write"):
+            for record in records:
+                target.write(json.dumps(record, default=_jsonable) + "\n")
+        else:
+            with open(target, "w") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(record, default=_jsonable) + "\n"
+                    )
+        return len(records)
+
+
+class profile:
+    """Context manager: profile every simulator built inside the block::
+
+        from repro.obs.perf import profile
+
+        with profile() as prof:
+            run_table1(seed=0)
+        print(render_perf_report(prof))
+
+    One profiler aggregates across all simulators constructed while the
+    context is open (an experiment may build several); pass your own
+    ``profiler`` to aggregate across multiple blocks.
+    """
+
+    def __init__(self, profiler=None, sample_every=1024):
+        self.profiler = (
+            profiler if profiler is not None
+            else KernelProfiler(sample_every=sample_every)
+        )
+        self._attached = []
+
+    def _on_build(self, sim):
+        self.profiler.attach(sim)
+        self._attached.append(sim)
+
+    def __enter__(self):
+        add_build_hook(self._on_build)
+        return self.profiler
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        remove_build_hook(self._on_build)
+        for sim in self._attached:
+            self.profiler.detach(sim)
+        self._attached.clear()
+        return False

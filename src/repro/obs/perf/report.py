@@ -1,0 +1,55 @@
+"""Text rendering of a kernel profile (the ``--perf-report`` table).
+
+Reuses the experiment reporting toolkit so profiler output matches the
+exhibits' and ``--obs-report``'s look.
+"""
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["render_perf_report"]
+
+
+def render_perf_report(profiler, top=10, title="kernel profile"):
+    """Render one :class:`KernelProfiler` as an aligned-text report.
+
+    ``top`` bounds the hot-component table; the queue-telemetry summary
+    always covers every sample.
+    """
+    parts = [f"== {title} =="]
+    parts.append(
+        f"{profiler.events_profiled} events profiled across "
+        f"{profiler.sims_attached} simulator(s); "
+        f"{profiler.total_self_wall_s:.3f}s attributed wall time"
+    )
+
+    rows = profiler.component_table()
+    if rows:
+        parts.append(f"[hot components (top {min(top, len(rows))})]")
+        parts.append(format_table(
+            ["component", "callbacks", "self_wall_s", "self_pct",
+             "cum_pct", "us_per_callback"],
+            rows[:top],
+        ))
+
+    if profiler.samples:
+        depths = [s.queue_depth for s in profiler.samples]
+        cancelled = [s.queue_cancelled for s in profiler.samples]
+        last = profiler.samples[-1]
+        summary = [{
+            "samples": len(profiler.samples),
+            "peak_queue_depth": max(depths),
+            "mean_queue_depth": sum(depths) / len(depths),
+            "peak_cancelled": max(cancelled),
+            "events_scheduled": last.events_scheduled,
+            "sim_time_s": last.sim_time,
+        }]
+        parts.append("[queue telemetry]")
+        parts.append(format_table(
+            ["samples", "peak_queue_depth", "mean_queue_depth",
+             "peak_cancelled", "events_scheduled", "sim_time_s"],
+            summary,
+        ))
+
+    if len(parts) == 2:
+        parts.append("(no events profiled)")
+    return "\n".join(parts)

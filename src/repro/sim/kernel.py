@@ -18,7 +18,26 @@ from repro.sim.events import PRIORITY_NORMAL, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.random_streams import StreamRegistry
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "add_build_hook", "remove_build_hook"]
+
+#: Hooks called with every newly constructed :class:`Simulator`.  The
+#: performance layer (:mod:`repro.obs.perf`) registers here so profilers
+#: and benchmark trackers can reach simulators built deep inside an
+#: experiment; normally empty, so construction pays one falsy check.
+_BUILD_HOOKS: list[Callable[["Simulator"], None]] = []
+
+
+def add_build_hook(
+    hook: Callable[["Simulator"], None],
+) -> Callable[["Simulator"], None]:
+    """Register ``hook(sim)`` to run on every Simulator construction."""
+    _BUILD_HOOKS.append(hook)
+    return hook
+
+
+def remove_build_hook(hook: Callable[["Simulator"], None]) -> None:
+    """Unregister a hook added with :func:`add_build_hook`."""
+    _BUILD_HOOKS.remove(hook)
 
 
 class Simulator:
@@ -48,6 +67,12 @@ class Simulator:
         self.streams = StreamRegistry(seed)
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
+        #: Number of events pushed onto the queue so far (diagnostic).
+        self.events_scheduled = 0
+        #: Largest queue length ever observed (diagnostic).
+        self.queue_high_water = 0
+        #: Kernel profiler (see :mod:`repro.obs.perf`); None = off.
+        self._profiler: Any = None
         #: Sanitizer hooks called after every processed event with
         #: ``(simulator, event)`` — see repro.analysis.sanitizers.
         self._step_hooks: list[Callable[[Simulator, Event], None]] = []
@@ -57,8 +82,13 @@ class Simulator:
         if self._obs_on:
             metrics = self.obs.metrics
             self._events_counter = metrics.counter("sim.events_processed")
+            self._scheduled_counter = metrics.counter("sim.events_scheduled")
             self._queue_gauge = metrics.gauge("sim.queue_depth")
+            self._hwm_gauge = metrics.gauge("sim.queue_high_water")
             self._class_counters: dict[str, Any] = {}
+        if _BUILD_HOOKS:
+            for hook in list(_BUILD_HOOKS):
+                hook(self)
 
     def __repr__(self) -> str:
         return (
@@ -70,6 +100,30 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Entries currently on the heap (cancelled ones included)."""
+        return len(self._queue)
+
+    def queue_cancelled(self) -> int:
+        """Cancelled (disarmed guard-timer) entries still on the heap.
+
+        O(queue) — meant for sampling/diagnostics, not hot paths.
+        """
+        return sum(1 for entry in self._queue if entry[3].cancelled)
+
+    def set_profiler(self, profiler: Any) -> None:
+        """Install a kernel profiler (``None`` detaches).
+
+        The profiler (see :mod:`repro.obs.perf`) takes over callback
+        execution in :meth:`step` via its ``run_event(sim, event,
+        callbacks)`` hook; it must run every callback exactly once, in
+        order, and must not schedule events or touch ``sim.obs`` — the
+        same-seed trace digest must be byte-identical with profiling on
+        or off.
+        """
+        self._profiler = profiler
 
     # -- event factories -------------------------------------------------
 
@@ -113,6 +167,14 @@ class Simulator:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
+        self.events_scheduled += 1
+        depth = len(self._queue)
+        if self._obs_on:
+            self._scheduled_counter.inc()
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+            if self._obs_on:
+                self._hwm_gauge.set(depth)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none.
@@ -147,8 +209,12 @@ class Simulator:
             raise SimulationError("event scheduled in the past")
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        profiler = self._profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            profiler.run_event(self, event, callbacks)
         self.events_processed += 1
         if self._obs_on:
             self._record_step(event)

@@ -142,3 +142,30 @@ class TestMetricsRegistry:
         assert registry.snapshot() == {
             "hits": 3.0, "depth": 7.0, "lat": 1,
         }
+
+    def test_histogram_conflicting_bounds_rejected(self):
+        """Re-registering must never silently shadow an instrument:
+        mismatched bucket bounds raise instead of handing back the
+        first registration's histogram."""
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="conflicting bounds"):
+            registry.histogram("lat", bounds=(1.0, 4.0))
+        # The original instrument is untouched by the failed attempt.
+        assert registry.histogram("lat", bounds=(1.0, 2.0)) is first
+        assert first.bounds == (1.0, 2.0)
+
+    def test_histogram_same_bounds_any_order_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("lat", bounds=(2.0, 1.0, 4.0))
+        b = registry.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        assert a is b
+
+    def test_registries_are_independent(self):
+        """Two grids (two simulators) own separate registries, so the
+        same name with different bounds is fine across them."""
+        grid_a, grid_b = MetricsRegistry(), MetricsRegistry()
+        a = grid_a.histogram("lat", bounds=(1.0,))
+        b = grid_b.histogram("lat", bounds=(9.0,))
+        assert a is not b
+        assert a.bounds != b.bounds

@@ -1,0 +1,190 @@
+"""Unit-test matrix for the benchmark regression comparator."""
+
+import pytest
+
+from repro.obs.perf.bench import BENCH_SCHEMA
+from repro.obs.perf.compare import (
+    IMPROVEMENT,
+    METRIC_DIRECTIONS,
+    NOTE,
+    OK,
+    REGRESSION,
+    compare_benchmarks,
+)
+
+
+def bench_doc(**experiments):
+    """A minimal valid BENCH document with the given experiment rows."""
+    entries = {}
+    for experiment_id, overrides in experiments.items():
+        entry = {
+            "wall_s": 1.0, "events": 1000, "sim_s": 100.0,
+            "events_per_s": 1000.0, "sim_s_per_wall_s": 100.0,
+            "peak_rss_bytes": 50_000_000,
+        }
+        entry.update(overrides)
+        entries[experiment_id] = entry
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": "2026-08-07T00:00:00+00:00",
+        "quick": True, "seed": 0,
+        "suite": sorted(entries),
+        "environment": {},
+        "experiments": entries,
+        "totals": {},
+    }
+
+
+def delta_of(report, experiment, metric):
+    matches = [
+        d for d in report.deltas
+        if d.experiment == experiment and d.metric == metric
+    ]
+    assert len(matches) == 1, f"expected one delta, got {matches}"
+    return matches[0]
+
+
+class TestToleranceMatrix:
+    """Every metric direction x {within, beyond, improved}."""
+
+    CASES = [
+        # metric, factor applied to new value, expected status at 1.5x
+        ("wall_s", 1.2, OK),
+        ("wall_s", 2.0, REGRESSION),
+        ("wall_s", 0.5, IMPROVEMENT),
+        ("events_per_s", 0.8, OK),
+        ("events_per_s", 0.5, REGRESSION),
+        ("events_per_s", 2.0, IMPROVEMENT),
+        ("sim_s_per_wall_s", 0.8, OK),
+        ("sim_s_per_wall_s", 0.5, REGRESSION),
+        ("sim_s_per_wall_s", 2.0, IMPROVEMENT),
+        ("peak_rss_bytes", 1.2, OK),
+        ("peak_rss_bytes", 2.0, REGRESSION),
+        ("peak_rss_bytes", 0.5, IMPROVEMENT),
+    ]
+
+    @pytest.mark.parametrize("metric, factor, expected", CASES)
+    def test_status(self, metric, factor, expected):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={
+            metric: old["experiments"]["table1"][metric] * factor
+        })
+        report = compare_benchmarks(old, new, tolerance=1.5)
+        assert delta_of(report, "table1", metric).status == expected
+
+    def test_exactly_at_tolerance_is_ok(self):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={"wall_s": 1.5})
+        report = compare_benchmarks(old, new, tolerance=1.5)
+        assert delta_of(report, "table1", "wall_s").status == OK
+        assert report.ok
+
+    def test_wider_tolerance_forgives(self):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={"wall_s": 2.5})
+        assert not compare_benchmarks(old, new, tolerance=1.5).ok
+        assert compare_benchmarks(old, new, tolerance=3.0).ok
+
+    def test_rss_tolerance_is_a_separate_knob(self):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={"peak_rss_bytes": 50_000_000 * 2.5})
+        # Generous wall tolerance alone does not excuse the RSS jump.
+        report = compare_benchmarks(
+            old, new, tolerance=3.0, rss_tolerance=2.0
+        )
+        assert delta_of(
+            report, "table1", "peak_rss_bytes"
+        ).status == REGRESSION
+        assert compare_benchmarks(old, new, tolerance=3.0).ok
+
+    def test_tolerance_validation(self):
+        doc = bench_doc(table1={})
+        with pytest.raises(ValueError):
+            compare_benchmarks(doc, doc, tolerance=1.0)
+        with pytest.raises(ValueError):
+            compare_benchmarks(doc, doc, tolerance=2.0, rss_tolerance=0.5)
+
+    def test_all_metrics_have_directions(self):
+        assert set(METRIC_DIRECTIONS) == {
+            "wall_s", "events_per_s", "sim_s_per_wall_s",
+            "peak_rss_bytes",
+        }
+
+
+class TestWorkloadAndCoverage:
+    def test_events_drift_is_a_note_not_a_regression(self):
+        old = bench_doc(table1={"events": 1000})
+        new = bench_doc(table1={"events": 1200})
+        report = compare_benchmarks(old, new)
+        assert delta_of(report, "table1", "events").status == NOTE
+        assert report.ok
+
+    def test_identical_events_not_reported(self):
+        doc = bench_doc(table1={})
+        report = compare_benchmarks(doc, doc)
+        assert not [d for d in report.deltas if d.metric == "events"]
+        assert report.ok
+
+    def test_lost_experiment_is_a_regression(self):
+        old = bench_doc(table1={}, fig3={})
+        new = bench_doc(table1={})
+        report = compare_benchmarks(old, new)
+        assert delta_of(report, "fig3", "coverage").status == REGRESSION
+        assert not report.ok
+
+    def test_new_experiment_is_a_note(self):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={}, fig3={})
+        report = compare_benchmarks(old, new)
+        assert delta_of(report, "fig3", "coverage").status == NOTE
+        assert report.ok
+
+    def test_noise_floor_downgrades_tiny_timing_regressions(self):
+        """Both runs under 50 ms: timing ratios are jitter -> note."""
+        old = bench_doc(fig3={"wall_s": 0.002})
+        new = bench_doc(fig3={"wall_s": 0.02, "events_per_s": 100.0})
+        report = compare_benchmarks(old, new)
+        assert delta_of(report, "fig3", "wall_s").status == NOTE
+        assert delta_of(report, "fig3", "events_per_s").status == NOTE
+        assert report.ok
+
+    def test_noise_floor_does_not_cover_rss(self):
+        old = bench_doc(fig3={"wall_s": 0.002})
+        new = bench_doc(fig3={
+            "wall_s": 0.002, "peak_rss_bytes": 50_000_000 * 10,
+        })
+        report = compare_benchmarks(old, new)
+        assert delta_of(
+            report, "fig3", "peak_rss_bytes"
+        ).status == REGRESSION
+
+    def test_noise_floor_needs_both_runs_tiny(self):
+        """Tiny -> slow-enough-to-measure is a real regression."""
+        old = bench_doc(fig3={"wall_s": 0.002})
+        new = bench_doc(fig3={"wall_s": 2.0})
+        report = compare_benchmarks(old, new)
+        assert delta_of(report, "fig3", "wall_s").status == REGRESSION
+
+    def test_zero_baseline_never_divides(self):
+        old = bench_doc(table1={"wall_s": 0.0})
+        new = bench_doc(table1={"wall_s": 5.0})
+        report = compare_benchmarks(old, new)
+        delta = delta_of(report, "table1", "wall_s")
+        assert delta.ratio is None
+        assert delta.status == NOTE
+
+
+class TestReportText:
+    def test_describe_mentions_regressions_and_result(self):
+        old = bench_doc(table1={})
+        new = bench_doc(table1={"wall_s": 10.0})
+        report = compare_benchmarks(old, new)
+        text = report.describe()
+        assert "table1.wall_s" in text
+        assert "RESULT" in text
+        assert "regression" in text
+
+    def test_describe_ok_run(self):
+        doc = bench_doc(table1={})
+        text = compare_benchmarks(doc, doc).describe()
+        assert "RESULT: ok" in text

@@ -1,0 +1,298 @@
+"""Tests for the kernel profiler: attribution, sampling, neutrality.
+
+The three acceptance properties from the perf-observability issue live
+here: component attribution works on real experiments, profiling costs
+no more than 1.5x an unprofiled run, and same-seed trace digests are
+byte-identical with profiling on or off.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.sanitizers import check_profile_neutrality
+from repro.experiments.table1 import run_table1
+from repro.obs.perf import (
+    COMPONENT_OTHER,
+    KernelProfiler,
+    component_of_path,
+    profile,
+    render_perf_report,
+    wall_clock,
+)
+from repro.sim import Simulator
+
+
+class TestComponentOfPath:
+    @pytest.mark.parametrize("path, component", [
+        ("/x/src/repro/gridftp/gridftp.py", "gridftp"),
+        ("/x/src/repro/gridftp/reliable.py", "rft"),
+        ("/x/src/repro/monitoring/nws/sensor.py", "nws"),
+        ("/x/src/repro/monitoring/mds.py", "monitoring"),
+        ("/x/src/repro/chaos/engine.py", "chaos"),
+        ("/x/src/repro/replica/catalog.py", "catalog"),
+        ("/x/src/repro/core/server.py", "selection"),
+        ("/x/src/repro/integrity/repair.py", "integrity"),
+        ("/x/src/repro/network/fairshare.py", "network"),
+        ("/x/src/repro/sim/process.py", "kernel"),
+        ("/x/src/repro/units.py", "units"),
+        ("/somewhere/else/module.py", COMPONENT_OTHER),
+    ])
+    def test_mapping(self, path, component):
+        assert component_of_path(path) == component
+
+    def test_windows_separators(self):
+        assert component_of_path(
+            r"C:\x\src\repro\chaos\engine.py"
+        ) == "chaos"
+
+
+class TestKernelProfiler:
+    def test_times_process_callbacks(self):
+        sim = Simulator(seed=0)
+        profiler = KernelProfiler(sample_every=2)
+        profiler.attach(sim)
+        ticks = []
+
+        def ticker():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+                ticks.append(sim.now)
+
+        sim.process(ticker())
+        sim.run()
+        assert ticks  # the simulation really ran
+        assert profiler.events_profiled == sim.events_processed
+        # Test-local generators live outside src/repro -> "other".
+        assert set(profiler.components) == {COMPONENT_OTHER}
+        stats = profiler.components[COMPONENT_OTHER]
+        assert stats.callbacks >= 10
+        assert stats.self_wall_s >= 0.0
+
+    def test_samples_record_queue_telemetry(self):
+        sim = Simulator(seed=0)
+        profiler = KernelProfiler(sample_every=4)
+        profiler.attach(sim)
+
+        def ticker():
+            for _ in range(20):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        assert profiler.samples
+        for sample in profiler.samples:
+            assert sample.sim_time >= 0.0
+            assert sample.queue_depth >= 0
+            assert sample.events_processed > 0
+            assert sample.events_scheduled >= sample.events_processed
+
+    def test_detach_stops_profiling(self):
+        sim = Simulator(seed=0)
+        profiler = KernelProfiler()
+        profiler.attach(sim)
+        sim.timeout(1.0)
+        sim.run()
+        seen = profiler.events_profiled
+        profiler.detach(sim)
+        sim.timeout(1.0)
+        sim.run()
+        assert profiler.events_profiled == seen
+
+    def test_detach_leaves_foreign_profiler_alone(self):
+        sim = Simulator(seed=0)
+        mine, other = KernelProfiler(), KernelProfiler()
+        mine.attach(sim)
+        other.attach(sim)  # replaces mine
+        mine.detach(sim)   # must not remove other's hook
+        sim.timeout(1.0)
+        sim.run()
+        assert other.events_profiled == sim.events_processed
+
+    def test_crashing_callback_still_charged(self):
+        sim = Simulator(seed=0)
+        profiler = KernelProfiler()
+        profiler.attach(sim)
+
+        def exploder():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        process = sim.process(exploder())
+        with pytest.raises(RuntimeError):
+            sim.run(until=process)
+        assert profiler.components[COMPONENT_OTHER].callbacks >= 1
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            KernelProfiler(sample_every=0)
+
+
+class TestProfileContext:
+    def test_attaches_to_simulators_built_inside(self):
+        with profile(sample_every=8) as profiler:
+            sim = Simulator(seed=0)
+
+            def ticker():
+                for _ in range(5):
+                    yield sim.timeout(1.0)
+
+            sim.process(ticker())
+            sim.run()
+        assert profiler.sims_attached == 1
+        assert profiler.events_profiled == sim.events_processed
+        # Outside the context, new simulators are not profiled.
+        after = Simulator(seed=0)
+        assert after._profiler is None
+        # ... and the attached one is released.
+        assert sim._profiler is None
+
+    def test_aggregates_across_simulators(self):
+        with profile() as profiler:
+            for seed in (0, 1):
+                sim = Simulator(seed=seed)
+                sim.timeout(1.0)
+                sim.run()
+        assert profiler.sims_attached == 2
+
+    def test_real_experiment_attribution(self):
+        """table1 exercises NWS, GridFTP, selection and the catalog."""
+        with profile(sample_every=64) as profiler:
+            run_table1(file_size_mb=16, seed=0)
+        assert profiler.events_profiled > 0
+        components = set(profiler.components)
+        assert "nws" in components
+        assert "gridftp" in components
+        assert "selection" in components
+        total = profiler.total_self_wall_s
+        assert total > 0.0
+        table = profiler.component_table()
+        # Sorted hottest-first, cumulative percentage reaches 100.
+        selfs = [row["self_wall_s"] for row in table]
+        assert selfs == sorted(selfs, reverse=True)
+        assert table[-1]["cum_pct"] == pytest.approx(100.0)
+
+
+class TestExportAndReport:
+    def _profiled_run(self):
+        with profile(sample_every=64) as profiler:
+            run_table1(file_size_mb=16, seed=0)
+        return profiler
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        profiler = self._profiled_run()
+        path = tmp_path / "profile.jsonl"
+        written = profiler.export_jsonl(path)
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == written
+        kinds = {r["type"] for r in records}
+        assert kinds == {"perf.meta", "perf.component", "perf.sample"}
+        meta = records[0]
+        assert meta["type"] == "perf.meta"
+        assert meta["events_profiled"] == profiler.events_profiled
+        components = [r for r in records if r["type"] == "perf.component"]
+        assert {c["component"] for c in components} == set(
+            profiler.components
+        )
+
+    def test_render_report_mentions_hot_components(self):
+        profiler = self._profiled_run()
+        text = render_perf_report(profiler, top=3)
+        assert "kernel profile" in text
+        assert "hot components" in text
+        assert "queue telemetry" in text
+        hottest = profiler.component_table()[0]["component"]
+        assert hottest in text
+
+    def test_render_report_empty_profiler(self):
+        text = render_perf_report(KernelProfiler())
+        assert "(no events profiled)" in text
+
+
+class TestKernelLoadCounters:
+    """Satellite: scheduled/high-water telemetry on ordinary runs."""
+
+    def test_diagnostic_attributes_always_on(self):
+        sim = Simulator(seed=0)
+
+        def ticker():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        assert sim.events_scheduled >= sim.events_processed > 0
+        assert sim.queue_high_water >= 1
+        assert sim.queue_depth == 0
+
+    def test_queue_cancelled_counts_disarmed_guards(self):
+        sim = Simulator(seed=0)
+        guard = sim.timeout(10.0)
+        sim.timeout(1.0)
+        guard.cancel()
+        assert sim.queue_cancelled() == 1
+        sim.run(until=2.0)
+        # run() discards cancelled entries lazily as it reaches them.
+        assert sim.queue_cancelled() == 0
+
+    def test_observed_runs_export_load_metrics(self):
+        sim = Simulator(seed=0, observe=True)
+
+        def ticker():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        snapshot = sim.obs.metrics.snapshot()
+        assert snapshot["sim.events_scheduled"] == sim.events_scheduled
+        assert snapshot["sim.queue_high_water"] == sim.queue_high_water
+        assert snapshot["sim.events_processed"] == sim.events_processed
+
+
+class TestNeutralityAndOverhead:
+    """The issue's acceptance criteria for the profiler itself."""
+
+    @pytest.mark.parametrize("size_mb", [16])
+    def test_profiling_leaves_trace_digest_unchanged(self, size_mb):
+        report = check_profile_neutrality(
+            lambda: run_table1(file_size_mb=size_mb, seed=0),
+            name="table1",
+        )
+        assert report.ok, report.describe()
+        assert report.record_counts[0] == report.record_counts[1]
+
+    def test_profiler_does_not_touch_obs(self):
+        with profile() as profiler:
+            sim = Simulator(seed=0, observe=True)
+            sim.timeout(1.0)
+            sim.run()
+        assert profiler.events_profiled > 0
+        names = {i.name for i in sim.obs.metrics.instruments()}
+        assert not any(name.startswith("perf") for name in names)
+
+    def test_overhead_within_budget(self):
+        """A profiled run costs <= 1.5x an unprofiled one (smoke)."""
+        def plain():
+            run_table1(file_size_mb=16, seed=0)
+
+        def profiled():
+            with profile():
+                run_table1(file_size_mb=16, seed=0)
+
+        plain()  # warm caches so neither side pays first-run costs
+        def best_of(runs, fn):
+            best = float("inf")
+            for _ in range(runs):
+                begin = wall_clock()
+                fn()
+                best = min(best, wall_clock() - begin)
+            return best
+
+        base = best_of(2, plain)
+        cost = best_of(2, profiled)
+        assert cost <= 1.5 * base, (
+            f"profiled {cost:.4f}s vs plain {base:.4f}s "
+            f"({cost / base:.2f}x > 1.5x budget)"
+        )

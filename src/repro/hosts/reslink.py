@@ -21,6 +21,8 @@ class ResourceChannel:
     def __init__(self, name, capacity_fn):
         self.name = name
         self._capacity_fn = capacity_fn
+        #: Unique hashable identity (channels are never shared by name).
+        self.key = ("resource", name)
         self.allocated = 0.0
         self.bytes_carried = 0.0
 
@@ -30,11 +32,6 @@ class ResourceChannel:
             f"cap={self.available_capacity:.4g}B/s "
             f"alloc={self.allocated:.4g}B/s>"
         )
-
-    @property
-    def key(self):
-        """Unique hashable identity (channels are never shared by name)."""
-        return ("resource", self.name)
 
     @property
     def available_capacity(self):

@@ -38,7 +38,7 @@ class Clique:
         if period <= 0:
             raise ValueError("period must be positive")
         for sensor in sensors:
-            if sensor.process is not None:
+            if sensor.driven:
                 raise ValueError(
                     f"{sensor!r} runs its own timer; create clique "
                     "members with autostart=False"

@@ -6,10 +6,20 @@ prediction of whichever has the lowest accumulated error so far.  The
 battery here mirrors the NWS set: last value, running mean, sliding
 means and medians of several window lengths, and exponential smoothing
 with several gains.
+
+The predictors sit on the sensor hot path (every stored measurement
+scores and updates the whole battery), so their internals favour O(1)
+amortised work: windows are deques, and the median keeps its window in
+a bisect-maintained sorted list instead of re-sorting per prediction.
+Every optimisation here is value-exact — the reported predictions are
+bit-identical to the straightforward definitions (``statistics.median``
+over the window, ``math.fsum`` over the window), which the same-seed
+trace digests lock in.
 """
 
 import math
-import statistics
+from bisect import bisect_left, insort
+from collections import deque
 
 __all__ = [
     "ExponentialSmoothing",
@@ -26,6 +36,8 @@ __all__ = [
 class Forecaster:
     """One-step-ahead predictor over a scalar series."""
 
+    __slots__ = ()
+
     name = "forecaster"
 
     def update(self, value):
@@ -36,9 +48,23 @@ class Forecaster:
         """Predict the next observation; None until warmed up."""
         raise NotImplementedError
 
+    def observe(self, value):
+        """Score-and-ingest in one call: the pending prediction, then
+        :meth:`update`.
+
+        Semantically exactly ``predict()`` followed by ``update(value)``
+        — the built-in forecasters override it to skip the second method
+        dispatch on the battery's hot loop; subclasses get this default.
+        """
+        pending = self.predict()
+        self.update(value)
+        return pending
+
 
 class LastValue(Forecaster):
     """Predicts the most recent observation."""
+
+    __slots__ = ("_last",)
 
     name = "last-value"
 
@@ -51,9 +77,16 @@ class LastValue(Forecaster):
     def predict(self):
         return self._last
 
+    def observe(self, value):
+        pending = self._last
+        self._last = value
+        return pending
+
 
 class RunningMean(Forecaster):
     """Predicts the mean of everything seen so far."""
+
+    __slots__ = ("_sum", "_count")
 
     name = "running-mean"
 
@@ -70,51 +103,99 @@ class RunningMean(Forecaster):
             return None
         return self._sum / self._count
 
+    def observe(self, value):
+        count = self._count
+        pending = self._sum / count if count else None
+        self._sum += value
+        self._count = count + 1
+        return pending
+
 
 class SlidingWindowMean(Forecaster):
-    """Predicts the mean of the last ``window`` observations."""
+    """Predicts the mean of the last ``window`` observations.
+
+    The mean is a fresh ``math.fsum`` over the window — a running sum
+    would drift from it in the last bits — so the prediction stays
+    exactly the textbook value.
+    """
+
+    __slots__ = ("window", "name", "_values")
 
     def __init__(self, window):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = int(window)
         self.name = f"mean-{self.window}"
-        self._values = []
+        self._values = deque()
 
     def update(self, value):
-        self._values.append(value)
-        if len(self._values) > self.window:
-            del self._values[0]
+        values = self._values
+        values.append(value)
+        if len(values) > self.window:
+            values.popleft()
 
     def predict(self):
-        if not self._values:
+        values = self._values
+        if not values:
             return None
-        return math.fsum(self._values) / len(self._values)
+        return math.fsum(values) / len(values)
+
+    def observe(self, value):
+        values = self._values
+        pending = math.fsum(values) / len(values) if values else None
+        values.append(value)
+        if len(values) > self.window:
+            values.popleft()
+        return pending
 
 
 class MedianWindow(Forecaster):
-    """Predicts the median of the last ``window`` observations."""
+    """Predicts the median of the last ``window`` observations.
+
+    The window is kept twice: arrival order (to know which value falls
+    out) and a sorted list maintained by ``insort``/``bisect_left``, so
+    predicting is an index instead of a per-call sort.  The even/odd
+    index arithmetic replicates ``statistics.median`` exactly.
+    """
+
+    __slots__ = ("window", "name", "_values", "_sorted")
 
     def __init__(self, window):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = int(window)
         self.name = f"median-{self.window}"
-        self._values = []
+        self._values = deque()
+        self._sorted = []
 
     def update(self, value):
-        self._values.append(value)
-        if len(self._values) > self.window:
-            del self._values[0]
+        values = self._values
+        values.append(value)
+        insort(self._sorted, value)
+        if len(values) > self.window:
+            old = values.popleft()
+            del self._sorted[bisect_left(self._sorted, old)]
 
     def predict(self):
-        if not self._values:
+        ordered = self._sorted
+        n = len(ordered)
+        if n == 0:
             return None
-        return statistics.median(self._values)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    def observe(self, value):
+        pending = self.predict()
+        self.update(value)
+        return pending
 
 
 class ExponentialSmoothing(Forecaster):
     """Predicts an exponentially smoothed value with gain ``alpha``."""
+
+    __slots__ = ("alpha", "name", "_state")
 
     def __init__(self, alpha):
         if not 0.0 < alpha <= 1.0:
@@ -131,6 +212,14 @@ class ExponentialSmoothing(Forecaster):
 
     def predict(self):
         return self._state
+
+    def observe(self, value):
+        pending = self._state
+        if pending is None:
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1 - self.alpha) * pending
+        return pending
 
 
 def default_battery():
@@ -163,8 +252,16 @@ class ForecasterBattery:
         if not forecasters:
             raise ValueError("need at least one forecaster")
         self.forecasters = list(forecasters)
-        self._abs_error = {f.name: 0.0 for f in self.forecasters}
-        self._scored = {f.name: 0 for f in self.forecasters}
+        # Scores are index-parallel to ``forecasters`` and the observe
+        # methods are prebound: update() runs once per measurement on
+        # every sensor in the grid, so the per-forecaster constant
+        # factor (attribute lookups, name hashing) is hot-path cost.
+        self._observers = [f.observe for f in self.forecasters]
+        self._abs_error = [0.0] * len(self.forecasters)
+        self._scored = [0] * len(self.forecasters)
+        self._index = {
+            f.name: i for i, f in enumerate(self.forecasters)
+        }
         self.observations = 0
 
     def __repr__(self):
@@ -175,25 +272,47 @@ class ForecasterBattery:
 
     def update(self, value):
         """Score pending predictions against ``value``, then ingest it."""
-        for forecaster in self.forecasters:
-            pending = forecaster.predict()
+        abs_error = self._abs_error
+        scored = self._scored
+        index = 0
+        for observe in self._observers:
+            pending = observe(value)
             if pending is not None:
-                self._abs_error[forecaster.name] += abs(pending - value)
-                self._scored[forecaster.name] += 1
-            forecaster.update(value)
+                abs_error[index] += abs(pending - value)
+                scored[index] += 1
+            index += 1
         self.observations += 1
 
     def mae(self, name):
         """Mean absolute error of one forecaster (inf until scored)."""
-        if self._scored[name] == 0:
+        index = self._index[name]
+        if self._scored[index] == 0:
             return math.inf
-        return self._abs_error[name] / self._scored[name]
+        return self._abs_error[index] / self._scored[index]
+
+    def _mae_at(self, index):
+        if self._scored[index] == 0:
+            return math.inf
+        return self._abs_error[index] / self._scored[index]
+
+    def _best(self):
+        """Lowest-MAE forecaster (ties: battery order, as ``min`` breaks
+        them)."""
+        forecasters = self.forecasters
+        best = forecasters[0]
+        best_mae = self._mae_at(0)
+        for index in range(1, len(forecasters)):
+            mae = self._mae_at(index)
+            if mae < best_mae:
+                best = forecasters[index]
+                best_mae = mae
+        return best
 
     def best_name(self):
         """Name of the forecaster with the lowest MAE (ties: battery order)."""
-        return min(self.forecasters, key=lambda f: self.mae(f.name)).name
+        return self._best().name
 
     def forecast(self):
         """(prediction, forecaster_name); (None, name) until warmed up."""
-        best = min(self.forecasters, key=lambda f: self.mae(f.name))
+        best = self._best()
         return best.predict(), best.name

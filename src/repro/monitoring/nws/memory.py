@@ -62,8 +62,9 @@ class NwsMemory:
             self.measurements_dropped += 1
             return
         key = measurement.key
-        if key not in self._series:
-            self._series[key] = SampleSeries(
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = SampleSeries(
                 max_samples=self.max_samples_per_series
             )
             self._batteries[key] = ForecasterBattery(self._battery_factory())
@@ -81,7 +82,7 @@ class NwsMemory:
                     )
                     self._error_histograms[resource] = histogram
                 histogram.observe(abs(prediction - measurement.value))
-        self._series[key].append(measurement.time, measurement.value)
+        series.append(measurement.time, measurement.value)
         self._batteries[key].update(measurement.value)
 
     def keys(self):

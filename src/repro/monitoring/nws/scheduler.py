@@ -1,0 +1,147 @@
+"""Batched sensor driving: timer events without per-sensor processes.
+
+Every autostarted sensor used to be its own generator process: a
+bootstrap event, a generator frame, and one ``Timeout`` per tick routed
+through the process machinery (``send``/``throw``, wait bookkeeping).
+On a grid where sensors dominate the event mix, that machinery is pure
+overhead — each tick does nothing but call ``measure_once`` and sleep
+again.
+
+:class:`SensorScheduler` drives sensors with bare timer callbacks
+instead.  Two modes per sensor:
+
+* ``phase=None`` (the default, and the only behaviour the legacy
+  process driver had): the sensor is driven *solo*, and the event
+  pattern replicates the process driver event-for-event — one urgent
+  bootstrap ``Event`` at attach (exactly what ``Process.__init__``
+  schedules), the phase drawn from the sensor's own stream when that
+  bootstrap pops (exactly where the generator's first line drew it),
+  then one ``Timeout`` per tick.  Same event classes, counts, times,
+  priorities and stream draws, so the same-seed trace digest is
+  byte-identical whichever driver runs (``REPRO_SENSOR_DRIVER=batch``
+  or ``process``).
+* explicit ``phase``: sensors sharing ``(period, phase)`` join one
+  *tick group* — a single ``Timeout`` per period fires them all in
+  attach order.  This is the new N-sensors-one-timer capability; it has
+  no legacy equivalent (the process driver approximates it with one
+  solo process per sensor at the same fixed phase).
+
+The scheduler itself is per-simulator and created on demand; it holds
+no simulation state beyond its groups, and a sensor leaves the rotation
+by its ``stop()`` raising the ``_driver_stopped`` flag the callbacks
+check.
+"""
+
+import os
+from weakref import WeakKeyDictionary
+
+from repro.sim.events import PRIORITY_URGENT, Event, Timeout
+
+__all__ = ["SensorScheduler", "scheduler_for", "sensor_driver_mode"]
+
+#: One scheduler per simulator, created lazily; weak keys so schedulers
+#: die with their simulator.
+_SCHEDULERS = WeakKeyDictionary()
+
+
+def scheduler_for(sim):
+    """The (lazily created) :class:`SensorScheduler` of ``sim``."""
+    scheduler = _SCHEDULERS.get(sim)
+    if scheduler is None:
+        scheduler = SensorScheduler(sim)
+        _SCHEDULERS[sim] = scheduler
+    return scheduler
+
+
+def sensor_driver_mode():
+    """Driver selected by REPRO_SENSOR_DRIVER: ``batch`` or ``process``."""
+    mode = os.environ.get("REPRO_SENSOR_DRIVER", "batch")
+    if mode not in ("batch", "process"):
+        raise ValueError(
+            f"unknown sensor driver {mode!r} "
+            "(expected 'batch' or 'process')"
+        )
+    return mode
+
+
+class _TickGroup:
+    """Sensors sharing (period, phase): one Timeout drives them all."""
+
+    __slots__ = ("sim", "period", "phase", "sensors", "ticks")
+
+    def __init__(self, sim, period, phase):
+        self.sim = sim
+        self.period = period
+        self.phase = phase
+        self.sensors = []
+        #: Group ticks fired so far (diagnostics).
+        self.ticks = 0
+        self._schedule(phase)
+
+    def _schedule(self, delay):
+        timer = Timeout(self.sim, delay)
+        timer.callbacks.append(self._tick)
+
+    def _tick(self, _event):
+        live = [
+            sensor for sensor in self.sensors
+            if not sensor._driver_stopped
+        ]
+        self.sensors = live
+        self.ticks += 1
+        for sensor in live:
+            sensor.tick()
+        self._schedule(self.period)
+
+
+class SensorScheduler:
+    """Per-simulator registry of driven sensors and their tick groups."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: (period, phase) -> _TickGroup for phase-sharing sensors.
+        self._groups = {}
+
+    def __repr__(self):
+        return f"<SensorScheduler {len(self._groups)} tick groups>"
+
+    def attach(self, sensor, phase=None):
+        """Start driving ``sensor``.
+
+        ``phase=None`` drives it solo with the legacy-identical event
+        pattern; an explicit phase joins the shared ``(period, phase)``
+        tick group, creating it (first tick ``phase`` from now) if
+        needed.
+        """
+        if phase is None:
+            self._attach_solo(sensor)
+            return
+        key = (sensor.period, float(phase))
+        group = self._groups.get(key)
+        if group is None:
+            group = _TickGroup(self.sim, sensor.period, float(phase))
+            self._groups[key] = group
+        group.sensors.append(sensor)
+
+    # -- solo driving (legacy event pattern) -------------------------------
+
+    def _attach_solo(self, sensor):
+        # Mirrors Process.__init__'s bootstrap: one urgent plain Event
+        # at the current instant.
+        boot = Event(self.sim)
+        boot._ok = True
+        boot._value = None
+        boot.callbacks.append(lambda _ev: self._boot(sensor))
+        self.sim.schedule(boot, priority=PRIORITY_URGENT)
+
+    def _boot(self, sensor):
+        if sensor._driver_stopped:
+            return
+        # Mirrors the generator's first line: the phase jitter is drawn
+        # from the sensor's own stream when the bootstrap pops, keeping
+        # every stream draw aligned with the process driver.  From here
+        # the sensor re-arms itself (one bound callback, reused — no
+        # per-tick closure).
+        delay = sensor.stream.uniform(0.0, sensor.period)
+        timer = Timeout(self.sim, delay)
+        timer.callbacks.append(sensor._solo_tick_cb)

@@ -12,8 +12,10 @@ TCP limits.
 
 import logging
 
+from repro.monitoring.nws.scheduler import scheduler_for, sensor_driver_mode
 from repro.monitoring.nws.series import Measurement, series_key
 from repro.sim import Interrupt
+from repro.sim.events import Timeout
 
 logger = logging.getLogger("repro.monitoring.nws.sensor")
 
@@ -33,11 +35,15 @@ class Sensor:
 
     def __init__(self, sim, memory, source, target=None, period=10.0,
                  noise=0.02, stream=None, nameserver=None,
-                 autostart=True):
+                 autostart=True, phase=None):
         if period <= 0:
             raise ValueError("period must be positive")
         if noise < 0:
             raise ValueError("noise must be non-negative")
+        if phase is not None and not 0.0 <= phase < period:
+            raise ValueError(
+                f"phase must lie in [0, period), got {phase}"
+            )
         self.sim = sim
         self.memory = memory
         self.source = source
@@ -59,8 +65,29 @@ class Sensor:
         )
         if nameserver is not None:
             nameserver.register("sensor", self.sensor_name, self)
-        #: None when driven externally (e.g. by a Clique).
-        self.process = sim.process(self._run()) if autostart else None
+        #: Fixed tick phase; None draws a random one (solo driving).
+        self.phase = phase
+        #: True while this sensor ticks on its own timer (either
+        #: driver); external schedulers (Clique) require it False.
+        self.driven = False
+        #: Raised by stop(); the batch driver checks it before ticking.
+        self._driver_stopped = False
+        #: Reusable bound callback for batch-driver timers (one
+        #: allocation for the sensor's whole lifetime).
+        self._solo_tick_cb = self._solo_tick
+        #: Measurement-noise clamp bounds (fixed once noise is set).
+        self._noise_low = 1.0 - 4 * self.noise
+        self._noise_high = 1.0 + 4 * self.noise
+        #: The sensor's generator process under the legacy process
+        #: driver; None under the batch driver or when driven
+        #: externally (e.g. by a Clique).
+        self.process = None
+        if autostart:
+            self.driven = True
+            if sensor_driver_mode() == "process":
+                self.process = sim.process(self._run())
+            else:
+                scheduler_for(sim).attach(self, phase)
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.sensor_name}>"
@@ -83,7 +110,7 @@ class Sensor:
         if self.noise == 0.0:
             return value
         factor = self.stream.truncated_normal(
-            1.0, self.noise, 1.0 - 4 * self.noise, 1.0 + 4 * self.noise
+            1.0, self.noise, self._noise_low, self._noise_high
         )
         return value * factor
 
@@ -105,15 +132,40 @@ class Sensor:
             )
         return value
 
+    def tick(self):
+        """One driver tick: measure, or skip while blacked out."""
+        if self.paused:
+            self.measurements_skipped += 1
+        else:
+            self.measure_once()
+
+    def _solo_tick(self, _event):
+        """Batch-driver timer callback: tick, then re-arm the timer.
+
+        Event-for-event identical to one loop turn of :meth:`_run` under
+        the process driver (one ``Timeout`` per period), minus the
+        generator machinery.
+        """
+        if self._driver_stopped:
+            return
+        if self.paused:
+            self.measurements_skipped += 1
+        else:
+            self.measure_once()
+        timer = Timeout(self.sim, self.period)
+        timer.callbacks.append(self._solo_tick_cb)
+
     def _run(self):
-        # Random phase so co-located sensors interleave.
-        yield self.sim.timeout(self.stream.uniform(0.0, self.period))
+        # Random phase so co-located sensors interleave (a fixed
+        # `phase` pins it instead).
+        if self.phase is None:
+            delay = self.stream.uniform(0.0, self.period)
+        else:
+            delay = self.phase
+        yield self.sim.timeout(delay)
         try:
             while True:
-                if self.paused:
-                    self.measurements_skipped += 1
-                else:
-                    self.measure_once()
+                self.tick()
                 yield self.sim.timeout(self.period)
         except Interrupt:
             return
@@ -132,6 +184,7 @@ class Sensor:
         self.paused = False
 
     def stop(self):
+        self._driver_stopped = True
         if self.process is not None and self.process.is_alive:
             self.process.interrupt(cause="stopped")
 
@@ -148,17 +201,21 @@ class BandwidthSensor(Sensor):
 
     def __init__(self, sim, memory, grid, source, target, period=10.0,
                  noise=0.05, stream=None, nameserver=None,
-                 autostart=True):
+                 autostart=True, phase=None):
         self.grid = grid
         super().__init__(
             sim, memory, source, target, period=period, noise=noise,
             stream=stream, nameserver=nameserver, autostart=autostart,
+            phase=phase,
         )
 
     def read(self):
-        path = self.grid.path(self.source, self.target)
-        cap = self.grid.tcp_model.stream_cap(path)
-        return self.grid.network.probe_rate(self.source, self.target, cap=cap)
+        grid = self.grid
+        path = grid.path(self.source, self.target)
+        cap = grid.tcp_model.stream_cap(path)
+        return grid.network.probe_rate(
+            self.source, self.target, cap=cap, path=path
+        )
 
 
 class LatencySensor(Sensor):
@@ -167,11 +224,11 @@ class LatencySensor(Sensor):
     resource = "latency"
 
     def __init__(self, sim, memory, grid, source, target, period=10.0,
-                 noise=0.02, stream=None, nameserver=None):
+                 noise=0.02, stream=None, nameserver=None, phase=None):
         self.grid = grid
         super().__init__(
             sim, memory, source, target, period=period, noise=noise,
-            stream=stream, nameserver=nameserver,
+            stream=stream, nameserver=nameserver, phase=phase,
         )
 
     def read(self):
@@ -184,11 +241,11 @@ class CpuSensor(Sensor):
     resource = "cpu"
 
     def __init__(self, sim, memory, host, period=10.0, noise=0.02,
-                 stream=None, nameserver=None):
+                 stream=None, nameserver=None, phase=None):
         self.host = host
         super().__init__(
             sim, memory, host.name, None, period=period, noise=noise,
-            stream=stream, nameserver=nameserver,
+            stream=stream, nameserver=nameserver, phase=phase,
         )
 
     def read(self):
@@ -208,14 +265,14 @@ class FreeMemorySensor(Sensor):
     resource = "memory"
 
     def __init__(self, sim, memory, host, free_fraction=0.6, period=30.0,
-                 noise=0.05, stream=None, nameserver=None):
+                 noise=0.05, stream=None, nameserver=None, phase=None):
         if not 0.0 <= free_fraction <= 1.0:
             raise ValueError("free_fraction must be in [0, 1]")
         self.host = host
         self.free_fraction = float(free_fraction)
         super().__init__(
             sim, memory, host.name, None, period=period, noise=noise,
-            stream=stream, nameserver=nameserver,
+            stream=stream, nameserver=nameserver, phase=phase,
         )
 
     def read(self):

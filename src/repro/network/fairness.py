@@ -6,14 +6,24 @@ it freezes at its current rate; whenever a flow hits its own cap (TCP
 window limit, disk ceiling, ...), that flow freezes.  The result is the
 unique max-min fair allocation subject to the caps.
 
+Flows that share no link (directly or transitively) cannot influence each
+other's rates, so the solver first splits the demand set into connected
+components over shared links and water-fills each component on its own.
+Besides being faster — each filling round is quadratic in the component,
+not the grid — this is what makes the *incremental* solver
+(:mod:`repro.network.solver`) exact: it re-solves only dirty components
+and reuses the others' cached rates, which equal a fresh solve
+bit-for-bit because each component's arithmetic is independent.
+
 The function is pure — it is the analytical heart of the network model
 and is tested exhaustively (including with hypothesis) in
-``tests/network/test_fairness.py``.
+``tests/network/test_fairness.py`` and
+``tests/network/test_fairness_incremental.py``.
 """
 
 import math
 
-__all__ = ["FlowDemand", "max_min_allocation"]
+__all__ = ["FlowDemand", "flow_components", "max_min_allocation"]
 
 _EPS = 1e-9
 
@@ -24,8 +34,9 @@ class FlowDemand:
     __slots__ = ("flow_id", "links", "cap")
 
     def __init__(self, flow_id, links, cap=float("inf")):
-        if cap < 0:
-            raise ValueError(f"negative cap {cap}")
+        if not cap >= 0:
+            # `not >=` rather than `<` so NaN caps are rejected too.
+            raise ValueError(f"negative or NaN cap {cap}")
         self.flow_id = flow_id
         self.links = tuple(links)
         self.cap = float(cap)
@@ -34,42 +45,76 @@ class FlowDemand:
         return f"<FlowDemand {self.flow_id} over {len(self.links)} links>"
 
 
-def max_min_allocation(demands, link_capacity):
-    """Compute max-min fair rates.
+def flow_components(demands):
+    """Group demands into connected components over shared links.
 
-    Parameters
-    ----------
-    demands:
-        Iterable of :class:`FlowDemand`.  A demand whose ``links`` tuple
-        is empty (loopback) simply receives its cap.
-    link_capacity:
-        Mapping from link key to available capacity in bytes/s.
-
-    Returns
-    -------
-    dict
-        ``flow_id -> rate`` in bytes/s.
+    Two demands are connected when they share a link key, directly or
+    through a chain of other demands.  Returns a list of demand lists;
+    both the components and the demands within each preserve the input
+    order, so downstream arithmetic (and its float rounding) is a pure
+    function of the input sequence.
     """
     demands = list(demands)
-    rates = {}
+    parent = list(range(len(demands)))
+
+    def find(index):
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    link_owner = {}
+    for index, demand in enumerate(demands):
+        for link in demand.links:
+            owner = link_owner.get(link)
+            if owner is None:
+                link_owner[link] = index
+            else:
+                root_a, root_b = find(owner), find(index)
+                if root_a != root_b:
+                    # Attach the younger root under the older one so
+                    # roots stay deterministic in input order.
+                    if root_a < root_b:
+                        parent[root_b] = root_a
+                    else:
+                        parent[root_a] = root_b
+
+    groups = {}
+    for index, demand in enumerate(demands):
+        groups.setdefault(find(index), []).append(demand)
+    return list(groups.values())
+
+
+def _fill_component(demands, link_capacity):
+    """Water-fill one connected component; returns ``flow_id -> rate``.
+
+    This is the progressive-filling loop the module always had, scoped
+    to a single component.  Its arithmetic depends only on the
+    component's demand order and its links' capacities — the exactness
+    contract the incremental solver's cache relies on.
+    """
     active = {}
     for demand in demands:
-        if demand.flow_id in rates or demand.flow_id in active:
-            raise ValueError(f"duplicate flow id {demand.flow_id!r}")
-        if not demand.links:
-            rates[demand.flow_id] = demand.cap
-        else:
-            active[demand.flow_id] = demand
+        active[demand.flow_id] = demand
 
     remaining = {}
     users = {}
-    for demand in active.values():
+    for demand in demands:
         for link in demand.links:
             if link not in remaining:
-                capacity = link_capacity[link]
-                if capacity < 0:
-                    raise ValueError(f"negative capacity on {link!r}")
-                remaining[link] = float(capacity)
+                capacity = float(link_capacity[link])
+                if not 0.0 <= capacity < math.inf:
+                    # Rejects negative, NaN and infinite capacities: a
+                    # NaN would silently poison every rate in the
+                    # component, an infinite link would spin the
+                    # filling loop forever for capless flows.
+                    raise ValueError(
+                        f"negative, NaN or infinite capacity "
+                        f"{capacity} on {link!r}"
+                    )
+                remaining[link] = capacity
                 users[link] = set()
             users[link].add(demand.flow_id)
 
@@ -85,7 +130,8 @@ def max_min_allocation(demands, link_capacity):
             increment = min(increment, demand.cap - allocation[fid])
         if math.isinf(increment):
             # Only capless flows over infinite links remain (impossible
-            # with finite link capacities); freeze them at infinity.
+            # now that infinite capacities are rejected); freeze them at
+            # infinity rather than loop forever.
             for fid in active:
                 allocation[fid] = math.inf
             break
@@ -123,5 +169,38 @@ def max_min_allocation(demands, link_capacity):
         for fid in [f for f in active if f in frozen]:
             del active[fid]
 
-    rates.update(allocation)
+    return allocation
+
+
+def max_min_allocation(demands, link_capacity):
+    """Compute max-min fair rates.
+
+    Parameters
+    ----------
+    demands:
+        Iterable of :class:`FlowDemand`.  A demand whose ``links`` tuple
+        is empty (loopback) simply receives its cap.
+    link_capacity:
+        Mapping from link key to available capacity in bytes/s.
+        Capacities must be finite and non-negative.
+
+    Returns
+    -------
+    dict
+        ``flow_id -> rate`` in bytes/s.
+    """
+    demands = list(demands)
+    rates = {}
+    routed = []
+    for demand in demands:
+        if demand.flow_id in rates:
+            raise ValueError(f"duplicate flow id {demand.flow_id!r}")
+        if not demand.links:
+            rates[demand.flow_id] = demand.cap
+        else:
+            rates[demand.flow_id] = 0.0  # placeholder, keeps dup check
+            routed.append(demand)
+
+    for component in flow_components(routed):
+        rates.update(_fill_component(component, link_capacity))
     return rates

@@ -20,9 +20,11 @@ Two modelling points worth noting:
 
 import itertools
 import math
+import os
 
 from repro.network.fairness import FlowDemand, max_min_allocation
 from repro.network.routing import Router
+from repro.network.solver import IncrementalMaxMinSolver
 
 __all__ = ["Flow", "FlowNetwork"]
 
@@ -32,6 +34,10 @@ _COMPLETION_SLACK = 1e-3
 
 class Flow:
     """One in-flight unidirectional data flow."""
+
+    __slots__ = ("id", "network", "path", "nbytes", "remaining", "cap",
+                 "label", "links", "rate", "started_at", "completed_at",
+                 "aborted", "done")
 
     _ids = itertools.count(1)
 
@@ -88,13 +94,25 @@ class Flow:
 class FlowNetwork:
     """Manages flows over a topology with max-min fair sharing."""
 
-    def __init__(self, sim, topology, router=None):
+    def __init__(self, sim, topology, router=None, solver=None):
         self.sim = sim
         self.topology = topology
         self.router = router or Router(topology)
         self._flows = {}
         self._last_settle = sim.now
         self._wakeup_version = 0
+        #: Incremental fair-share solver mirroring the live flow set
+        #: (see :mod:`repro.network.solver`); ``None`` routes every
+        #: allocation through the pure oracle instead.  Pinned at
+        #: construction by REPRO_FAIRSHARE=incremental|oracle.
+        if solver is None and os.environ.get(
+            "REPRO_FAIRSHARE", "incremental"
+        ) == "incremental":
+            solver = IncrementalMaxMinSolver()
+        self._solver = solver
+        #: key -> [link, refcount] over live flows' links, so the
+        #: solver can read fresh capacities by key during probes.
+        self._links_by_key = {}
         #: Completed-flow log (diagnostics and tests).
         self.completed = []
 
@@ -126,6 +144,11 @@ class FlowNetwork:
             return flow
         self._settle()
         self._flows[flow.id] = flow
+        if self._solver is not None:
+            self._solver.add_flow(
+                flow.id, [link.key for link in flow.links], flow.cap
+            )
+            self._register_links(flow)
         self._reallocate()
         return flow
 
@@ -136,6 +159,9 @@ class FlowNetwork:
         self._settle()
         flow.aborted = True
         del self._flows[flow.id]
+        if self._solver is not None:
+            self._solver.remove_flow(flow.id)
+            self._unregister_links(flow)
         for link in flow.links:
             link.allocated = 0.0
         flow.done.fail(FlowAborted(flow, cause))
@@ -148,25 +174,53 @@ class FlowNetwork:
 
     # -- what-if probing (used by NWS bandwidth sensors) -------------------
 
-    def probe_rate(self, src, dst, cap=math.inf):
+    def probe_rate(self, src, dst, cap=math.inf, path=None):
         """Rate a hypothetical new flow would receive right now.
 
         This mirrors what an NWS bandwidth probe experiences: it contends
         with real traffic but does not disturb it (probes are small).
+        Callers that already resolved the route pass it as ``path`` to
+        skip the second lookup.
         """
-        path = self.router.path(src, dst)
+        if path is None:
+            path = self.router.path(src, dst)
         if path.is_loopback:
             return cap
-        demands = self._demands()
-        probe_id = "__probe__"
-        demands.append(FlowDemand(probe_id, [link.key for link in path.links], cap))
+        if self._solver is not None:
+            return self._solver.probe_rate(
+                [(link.key, link.available_capacity)
+                 for link in path.links],
+                cap, self._capacity_of,
+            )
         capacities = self._capacities(
             list(self._all_links()) + list(path.links)
         )
+        demands = self._demands()
+        probe_id = "__probe__"
+        demands.append(FlowDemand(probe_id, [link.key for link in path.links], cap))
         rates = max_min_allocation(demands, capacities)
         return rates[probe_id]
 
     # -- internals ----------------------------------------------------------
+
+    def _register_links(self, flow):
+        for link in flow.links:
+            entry = self._links_by_key.get(link.key)
+            if entry is None:
+                self._links_by_key[link.key] = [link, 1]
+            else:
+                entry[1] += 1
+
+    def _unregister_links(self, flow):
+        for link in flow.links:
+            entry = self._links_by_key[link.key]
+            entry[1] -= 1
+            if not entry[1]:
+                del self._links_by_key[link.key]
+
+    def _capacity_of(self, key):
+        """Fresh available capacity of a live flow's link, by key."""
+        return self._links_by_key[key][0].available_capacity
 
     def _all_links(self):
         seen = set()
@@ -215,6 +269,9 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.completed_at = self.sim.now
             del self._flows[flow.id]
+            if self._solver is not None:
+                self._solver.remove_flow(flow.id)
+                self._unregister_links(flow)
             self.completed.append(flow)
             flow.done.succeed(flow)
         # Links used only by just-finished flows drop out of the live
@@ -224,7 +281,12 @@ class FlowNetwork:
                 link.allocated = 0.0
 
         links = list(self._all_links())
-        rates = max_min_allocation(self._demands(), self._capacities(links))
+        if self._solver is not None:
+            rates = self._solver.rates(self._capacities(links))
+        else:
+            rates = max_min_allocation(
+                self._demands(), self._capacities(links)
+            )
         for link in links:
             link.allocated = 0.0
         for fid, flow in self._flows.items():

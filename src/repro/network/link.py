@@ -43,6 +43,13 @@ class Link:
         self.loss_rate = float(loss_rate)
         self._background = 0.0
         self._up = True
+        #: Hashable identity of the link (direction-sensitive).
+        self.key = (src, dst)
+        #: Capacity left for simulated flows, bytes/s.  Maintained on
+        #: every background/up-down change rather than derived per read
+        #: — the allocator and sensors read it far more often than chaos
+        #: writes it.
+        self.available_capacity = self.capacity
         #: bytes/s currently allocated to simulated flows (set by the
         #: flow network on every rebalance; diagnostic only).
         self.allocated = 0.0
@@ -56,11 +63,6 @@ class Link:
         )
 
     @property
-    def key(self):
-        """Hashable identity of the link (direction-sensitive)."""
-        return (self.src, self.dst)
-
-    @property
     def background_utilisation(self):
         """Fraction of capacity eaten by un-simulated cross-traffic."""
         return self._background
@@ -70,6 +72,7 @@ class Link:
         if not 0.0 <= value < 1.0:
             raise ValueError(f"background utilisation must be in [0,1): {value}")
         self._background = float(value)
+        self._refresh_available()
 
     @property
     def is_up(self):
@@ -79,17 +82,18 @@ class Link:
     def set_down(self):
         """Fail the link: flows over it stall until :meth:`set_up`."""
         self._up = False
+        self.available_capacity = 0.0
 
     def set_up(self):
         """Restore a failed link."""
         self._up = True
+        self._refresh_available()
 
-    @property
-    def available_capacity(self):
-        """Capacity left for simulated flows, in bytes/s."""
-        if not self._up:
-            return 0.0
-        return self.capacity * (1.0 - self._background)
+    def _refresh_available(self):
+        if self._up:
+            self.available_capacity = self.capacity * (1.0 - self._background)
+        else:
+            self.available_capacity = 0.0
 
     @property
     def utilisation(self):

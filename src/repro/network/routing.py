@@ -19,12 +19,34 @@ class Path:
     """An ordered sequence of links from ``src`` to ``dst``.
 
     A path between a node and itself is the empty *loopback* path.
+
+    Latency, loss and raw capacity are fixed at link construction (only
+    background utilisation and up/down state change at runtime), so the
+    derived path figures are computed once here instead of per read —
+    sensors read them on every probe.
     """
+
+    __slots__ = ("src", "dst", "links", "latency", "rtt", "loss_rate",
+                 "raw_capacity")
 
     def __init__(self, src, dst, links):
         self.src = src
         self.dst = dst
         self.links = tuple(links)
+        #: One-way propagation delay in seconds.
+        self.latency = sum(link.latency for link in self.links)
+        #: Round-trip time in seconds (symmetric-path assumption).
+        self.rtt = 2.0 * self.latency
+        #: End-to-end loss probability (independent per-link losses).
+        survive = 1.0
+        for link in self.links:
+            survive *= 1.0 - link.loss_rate
+        self.loss_rate = 1.0 - survive
+        #: Capacity of the narrowest link, ignoring background traffic.
+        if self.links:
+            self.raw_capacity = min(link.capacity for link in self.links)
+        else:
+            self.raw_capacity = float("inf")
 
     def __repr__(self):
         hops = " -> ".join([self.src] + [link.dst for link in self.links])
@@ -39,31 +61,6 @@ class Path:
     @property
     def is_loopback(self):
         return not self.links
-
-    @property
-    def latency(self):
-        """One-way propagation delay in seconds."""
-        return sum(link.latency for link in self.links)
-
-    @property
-    def rtt(self):
-        """Round-trip time in seconds (symmetric-path assumption)."""
-        return 2.0 * self.latency
-
-    @property
-    def loss_rate(self):
-        """End-to-end loss probability (independent per-link losses)."""
-        survive = 1.0
-        for link in self.links:
-            survive *= 1.0 - link.loss_rate
-        return 1.0 - survive
-
-    @property
-    def raw_capacity(self):
-        """Capacity of the narrowest link, ignoring background traffic."""
-        if not self.links:
-            return float("inf")
-        return min(link.capacity for link in self.links)
 
     @property
     def available_capacity(self):

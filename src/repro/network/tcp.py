@@ -70,6 +70,11 @@ class TCPModel:
 
     def __init__(self, parameters=None):
         self.parameters = parameters or TCPParameters()
+        #: (rtt, loss_rate) -> cap.  The cap is a pure function of those
+        #: two path constants and the (immutable) stack parameters, so
+        #: memoising is exact; sensors ask for the same few paths on
+        #: every probe.
+        self._cap_cache = {}
 
     def __repr__(self):
         return f"<TCPModel {self.parameters!r}>"
@@ -84,11 +89,16 @@ class TCPModel:
         rtt = path.rtt
         if rtt <= 0.0:
             return float("inf")
-        window_limit = self.parameters.max_window / rtt
-        loss_limit = mathis_throughput(
-            self.parameters.mss, rtt, path.loss_rate
-        )
-        return min(window_limit, loss_limit)
+        key = (rtt, path.loss_rate)
+        cap = self._cap_cache.get(key)
+        if cap is None:
+            window_limit = self.parameters.max_window / rtt
+            loss_limit = mathis_throughput(
+                self.parameters.mss, rtt, path.loss_rate
+            )
+            cap = min(window_limit, loss_limit)
+            self._cap_cache[key] = cap
+        return cap
 
     def operating_window(self, path, target_rate=None):
         """Window (bytes) a stream settles at to sustain ``target_rate``."""

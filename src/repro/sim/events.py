@@ -38,6 +38,14 @@ class Event:
     are waited on by yielding them from a process generator.
     """
 
+    # Events are the most-allocated objects in a run, so they carry
+    # __slots__.  ``defused`` and ``guard_tag`` are declared here even
+    # though only some events ever set them (fail(), the chaos engine
+    # and fault injectors assign them dynamically; readers go through
+    # getattr with a default).
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "cancelled",
+                 "defused", "guard_tag")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.callbacks: list[Callable[[Event], None]] | None = []
@@ -134,6 +142,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, sim: Simulator, delay: float,
                  value: Any = None) -> None:
         if not delay >= 0:
@@ -159,6 +169,8 @@ class Condition(Event):
     The condition triggers when ``evaluate`` returns True over the set of
     processed sub-events, or fails as soon as any sub-event fails.
     """
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -202,12 +214,16 @@ class AllOf(Condition):
     Its value is a dict mapping each sub-event to its value.
     """
 
+    __slots__ = ()
+
     def _evaluate(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(Condition):
     """Triggers as soon as any sub-event succeeds."""
+
+    __slots__ = ()
 
     def _evaluate(self, count: int, total: int) -> bool:
         return count >= 1

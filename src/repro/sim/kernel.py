@@ -8,7 +8,6 @@ waiting on them.
 
 from __future__ import annotations
 
-import heapq
 from itertools import count
 from typing import Any, Callable, Generator
 
@@ -16,6 +15,8 @@ from repro.obs.core import observability_for
 from repro.sim.errors import EmptySchedule, SimulationError
 from repro.sim.events import PRIORITY_NORMAL, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.queues import CalendarEventQueue, HeapEventQueue, \
+    make_event_queue
 from repro.sim.random_streams import StreamRegistry
 
 __all__ = ["Simulator", "add_build_hook", "remove_build_hook"]
@@ -62,7 +63,10 @@ class Simulator:
     def __init__(self, initial_time: float = 0.0, seed: int = 0,
                  observe: bool | None = None) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: Pending-event structure (see :mod:`repro.sim.queues`); the
+        #: implementation is pinned at construction by REPRO_EVENT_QUEUE.
+        self._queue: CalendarEventQueue | HeapEventQueue = \
+            make_event_queue()
         self._eid = count()
         self.streams = StreamRegistry(seed)
         #: Number of events processed so far (diagnostic).
@@ -103,15 +107,15 @@ class Simulator:
 
     @property
     def queue_depth(self) -> int:
-        """Entries currently on the heap (cancelled ones included)."""
+        """Entries currently queued (cancelled ones included)."""
         return len(self._queue)
 
     def queue_cancelled(self) -> int:
-        """Cancelled (disarmed guard-timer) entries still on the heap.
+        """Cancelled (disarmed guard-timer) entries still queued.
 
         O(queue) — meant for sampling/diagnostics, not hot paths.
         """
-        return sum(1 for entry in self._queue if entry[3].cancelled)
+        return self._queue.cancelled_count()
 
     def set_profiler(self, profiler: Any) -> None:
         """Install a kernel profiler (``None`` detaches).
@@ -164,8 +168,8 @@ class Simulator:
         if not delay >= 0:
             # `not >=` rather than `<` so NaN delays are rejected too.
             raise ValueError(f"negative or NaN delay {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+        self._queue.push(
+            (self._now + delay, priority, next(self._eid), event)
         )
         self.events_scheduled += 1
         depth = len(self._queue)
@@ -182,9 +186,14 @@ class Simulator:
         Cancelled entries at the head of the queue are discarded on the
         way — a disarmed guard timer never holds the horizon open.
         """
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)[3].callbacks = None
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while True:
+            head = queue.head()
+            if head is None:
+                return float("inf")
+            if not head[3].cancelled:
+                return head[0]
+            queue.pop()[3].callbacks = None
 
     def step(self) -> None:
         """Process the single next event.
@@ -197,7 +206,7 @@ class Simulator:
         """
         while True:
             try:
-                when, _, _, event = heapq.heappop(self._queue)
+                when, _, _, event = self._queue.pop()
             except IndexError:
                 raise EmptySchedule("no more events scheduled") from None
             if not event.cancelled:
@@ -250,12 +259,14 @@ class Simulator:
         """
         queue = self._queue
         if until is None:
-            while queue:
-                if queue[0][3].cancelled:
-                    heapq.heappop(queue)[3].callbacks = None
+            while True:
+                head = queue.head()
+                if head is None:
+                    return None
+                if head[3].cancelled:
+                    queue.pop()[3].callbacks = None
                 else:
                     self.step()
-            return None
 
         if isinstance(until, Event):
             return self._run_until_event(until)
@@ -265,10 +276,12 @@ class Simulator:
             raise ValueError(
                 f"until={horizon} lies in the past (now={self._now})"
             )
-        while queue:
-            head = queue[0]
+        while True:
+            head = queue.head()
+            if head is None:
+                break
             if head[3].cancelled:
-                heapq.heappop(queue)[3].callbacks = None
+                queue.pop()[3].callbacks = None
             elif head[0] <= horizon:
                 self.step()
             else:

@@ -30,6 +30,8 @@ class Process(Event):
     transfers, restart sensors, etc.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: Simulator,
                  generator: Generator[Event, Any, Any]) -> None:
         if not isinstance(generator, GeneratorType):

@@ -1,0 +1,295 @@
+"""Event-queue implementations behind the kernel's scheduling API.
+
+The kernel stores pending events as ``(time, priority, seq, event)``
+tuples; tuple comparison gives the canonical pop order (earliest time,
+then urgent-before-normal priority, then FIFO by the monotonically
+increasing sequence number).  Two queue structures implement the same
+contract:
+
+* :class:`HeapEventQueue` — the original binary heap.  ``O(log n)`` per
+  operation, trivially correct; kept as the reference structure for the
+  differential tests and selectable at runtime.
+* :class:`CalendarEventQueue` — a calendar (slotted) queue in the style
+  of Brown '88: a ring of time buckets of fixed ``width``, a cursor that
+  sweeps the ring in time order, and deterministic resize keeping the
+  ring near one entry per bucket.  Amortised ``O(1)`` push/pop on the
+  roughly uniform timer workloads the grid produces (NWS sensor ticks,
+  transfer completions, guard timers).
+
+Both structures are *observably identical* to the kernel: pops yield
+exactly the same entry sequence, ``len()`` reports every stored entry
+(cancelled ones included — lazy deletion only discards a cancelled entry
+once it becomes the global minimum, which is the kernel's job), and
+iteration visits every entry for the sanitizers' leak sweeps.  The
+active implementation is chosen per-simulator by :func:`make_event_queue`
+from ``REPRO_EVENT_QUEUE`` (``calendar``, the default, or ``heap``).
+
+See ``tests/sim/test_event_queue_diff.py`` for the property test pinning
+the two structures to each other over random schedule/cancel
+interleavings, and ``docs/performance.md`` for tuning notes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+from itertools import chain
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.sim.events import Event
+
+__all__ = [
+    "CalendarEventQueue",
+    "HeapEventQueue",
+    "make_event_queue",
+]
+
+#: Ring-size bounds for the calendar queue.  The lower bound keeps the
+#: bucket math out of degenerate one-bucket behaviour on tiny sims; the
+#: upper bound caps rebuild cost and memory on very deep queues.
+MIN_BUCKETS = 8
+MAX_BUCKETS = 32768
+
+
+class HeapEventQueue:
+    """The reference event queue: a plain binary heap of entry tuples."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[tuple[float, int, int, Event]]:
+        return iter(self._heap)
+
+    def push(self, entry: tuple[float, int, int, Event]) -> None:
+        """Insert one entry."""
+        heapq.heappush(self._heap, entry)
+
+    def head(self) -> tuple[float, int, int, Event] | None:
+        """The minimal entry without removing it; ``None`` when empty."""
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> tuple[float, int, int, Event]:
+        """Remove and return the minimal entry; IndexError when empty."""
+        return heapq.heappop(self._heap)
+
+    def cancelled_count(self) -> int:
+        """Entries whose event was cancelled (O(n), diagnostics only)."""
+        return sum(1 for entry in self._heap if entry[3].cancelled)
+
+
+class CalendarEventQueue:
+    """A calendar queue: bucketed by time, swept by a cursor.
+
+    Entries hash into ``nbuckets`` ring slots by their integer *window
+    key* ``floor(time / width)`` modulo the ring size; each slot is
+    itself a small heap so same-slot entries (including exact time ties)
+    pop in canonical tuple order.  The cursor remembers the window key
+    the last minimum came from, so consecutive pops on a roughly uniform
+    schedule touch one slot and never search.
+
+    Window membership is decided by recomputing the integer key with the
+    *same* expression used for slotting, never by comparing raw times
+    against a floating-point window edge — ``t1 <= t2`` implies
+    ``key(t1) <= key(t2)`` (float division and floor are monotone), so
+    sweeping keys in increasing order and heap-popping the first
+    non-empty key yields exactly the reference heap's order, boundary
+    rounding included.
+
+    Determinism: the structure never reads the wall clock or draws
+    randomness — resize decisions depend only on the entry count and the
+    stored times, so a replayed schedule rebuilds at exactly the same
+    points.  Entries at non-finite times (``inf`` horizons) would break
+    the bucket arithmetic and live in a separate overflow heap consulted
+    only when the ring is empty.
+    """
+
+    __slots__ = ("_buckets", "_count", "_cur_key", "_far", "_min_slot",
+                 "_nbuckets", "_width")
+
+    def __init__(self, nbuckets: int = 32, width: float = 1.0) -> None:
+        if nbuckets < 1:
+            raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
+        if not width > 0:
+            raise ValueError(f"width must be > 0, got {width}")
+        self._nbuckets = nbuckets
+        self._width = float(width)
+        self._buckets: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(nbuckets)
+        ]
+        #: Overflow heap for entries at non-finite times.
+        self._far: list[tuple[float, int, int, Event]] = []
+        self._count = 0
+        #: Window key (``floor(time / width)``) the cursor points at.
+        self._cur_key = 0
+        #: Memoised result of the last :meth:`_locate` (invalidated by
+        #: any push/pop), so the kernel's head-then-pop pairs sweep once.
+        self._min_slot: int | None = None
+
+    def __len__(self) -> int:
+        return self._count + len(self._far)
+
+    def __iter__(self) -> Iterator[tuple[float, int, int, Event]]:
+        return chain(chain.from_iterable(self._buckets), iter(self._far))
+
+    def _key(self, time: float) -> int:
+        """Integer window index of ``time`` (exact, arbitrary range)."""
+        return math.floor(time / self._width)
+
+    # -- queue operations --------------------------------------------------
+
+    def push(self, entry: tuple[float, int, int, Event]) -> None:
+        """Insert one entry, re-anchoring the cursor if it lands early."""
+        time = entry[0]
+        if not math.isfinite(time):
+            heapq.heappush(self._far, entry)
+            return
+        key = math.floor(time / self._width)
+        if self._count == 0 or key < self._cur_key:
+            # The entry predates the cursor's window (a splice into the
+            # past, or earlier than everything since the last anchor);
+            # move the cursor back — the entry is now the unique
+            # earliest-window entry, so its slot is the minimum's slot.
+            self._cur_key = key
+            self._min_slot = key % self._nbuckets
+        # A push never invalidates a memoised minimum: an entry in the
+        # cursor's window lands in the cursor's own bucket (same window,
+        # same slot) where the bucket heap re-orders it; an entry in a
+        # later window is strictly greater than the cached head even if
+        # a ring collision drops it into the same bucket.
+        heapq.heappush(self._buckets[key % self._nbuckets], entry)
+        self._count += 1
+        if self._count > 2 * self._nbuckets and self._nbuckets < MAX_BUCKETS:
+            self._rebuild()
+
+    def head(self) -> tuple[float, int, int, Event] | None:
+        """The minimal entry without removing it; ``None`` when empty."""
+        slot = self._locate()
+        if slot is None:
+            return None
+        if slot < 0:
+            return self._far[0]
+        return self._buckets[slot][0]
+
+    def pop(self) -> tuple[float, int, int, Event]:
+        """Remove and return the minimal entry; IndexError when empty."""
+        slot = self._locate()
+        if slot is None:
+            raise IndexError("pop from an empty event queue")
+        if slot < 0:
+            return heapq.heappop(self._far)
+        bucket = self._buckets[slot]
+        entry = heapq.heappop(bucket)
+        self._count -= 1
+        # The popped bucket's new head is still the global minimum as
+        # long as it sits in the cursor's window (bursts of same-window
+        # events pop without re-sweeping); otherwise re-locate lazily.
+        if not (
+            bucket and math.floor(bucket[0][0] / self._width) <= self._cur_key
+        ):
+            self._min_slot = None
+        if (
+            self._count
+            and self._nbuckets > MIN_BUCKETS
+            and self._count < self._nbuckets // 2
+        ):
+            self._rebuild()
+        return entry
+
+    def cancelled_count(self) -> int:
+        """Entries whose event was cancelled (O(n), diagnostics only)."""
+        return sum(1 for entry in self if entry[3].cancelled)
+
+    # -- cursor sweep ------------------------------------------------------
+
+    def _locate(self) -> int | None:
+        """Slot of the global minimum (``-1`` = overflow, None = empty).
+
+        Sweeps window keys forward from the cursor; after a full
+        fruitless lap of the ring, falls back to a direct search over
+        every bucket head and re-anchors at the winner.
+        """
+        if self._count == 0:
+            return -1 if self._far else None
+        slot = self._min_slot
+        if slot is not None:
+            return slot
+        buckets = self._buckets
+        nbuckets = self._nbuckets
+        width = self._width
+        floor = math.floor
+        key = self._cur_key
+        for _ in range(nbuckets):
+            bucket = buckets[key % nbuckets]
+            if bucket and floor(bucket[0][0] / width) <= key:
+                self._cur_key = key
+                slot = key % nbuckets
+                self._min_slot = slot
+                return slot
+            key += 1
+        # Sparse tail: the next event is more than one full ring-lap
+        # ahead.  Find it directly and re-anchor there.
+        best = -1
+        for index, bucket in enumerate(buckets):
+            if bucket and (best < 0 or bucket[0] < buckets[best][0]):
+                best = index
+        self._cur_key = self._key(buckets[best][0][0])
+        self._min_slot = best
+        return best
+
+    # -- resize ------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Re-bucket every entry into a ring sized for the current load.
+
+        The new width spreads the stored span of event times over the
+        live entry count (so one window holds O(1) entries); the new
+        ring size tracks the count within the ``MIN``/``MAX`` bounds.
+        Purely a function of stored state — deterministic.
+        """
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        count = len(entries)
+        nbuckets = max(MIN_BUCKETS, min(MAX_BUCKETS, count))
+        low = min(entry[0] for entry in entries)
+        high = max(entry[0] for entry in entries)
+        span = high - low
+        if span > 0.0 and count > 1:
+            width = max(3.0 * span / count, 1e-9)
+        else:
+            width = self._width
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets = [[] for _ in range(nbuckets)]
+        for entry in entries:
+            heapq.heappush(
+                self._buckets[self._key(entry[0]) % nbuckets], entry
+            )
+        self._cur_key = self._key(low)
+        self._min_slot = None
+
+
+def make_event_queue(
+    kind: str | None = None,
+) -> HeapEventQueue | CalendarEventQueue:
+    """Build the event queue selected by ``REPRO_EVENT_QUEUE``.
+
+    ``calendar`` (default) builds a :class:`CalendarEventQueue`;
+    ``heap`` the reference :class:`HeapEventQueue`.  The variable is read
+    at simulator construction, so a process can pin the structure for an
+    A/B digest comparison (see the determinism sweep's ``--ab-toggles``).
+    """
+    if kind is None:
+        kind = os.environ.get("REPRO_EVENT_QUEUE", "calendar")
+    if kind == "heap":
+        return HeapEventQueue()
+    if kind == "calendar":
+        return CalendarEventQueue()
+    raise ValueError(
+        f"unknown event queue kind {kind!r} (expected 'calendar' or 'heap')"
+    )

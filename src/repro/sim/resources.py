@@ -34,6 +34,8 @@ class Request(Event):
             ... hold the slot ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: Resource) -> None:
         super().__init__(resource.sim)
         self.resource = resource

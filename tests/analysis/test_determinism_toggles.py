@@ -1,0 +1,109 @@
+"""Fast-path A/B equivalence: optimised toggles vs legacy, byte-for-byte.
+
+The calendar event queue, the incremental fair-share solver and the
+batched sensor driver all promise the same thing: not one simulated byte
+changes.  :func:`check_toggle_equivalence` flips every
+``FAST_PATH_TOGGLES`` variable between its optimised default and its
+legacy value and diffs the captured trace digests.  These tests pin that
+promise on real experiments, and pin each toggle *individually* so a
+regression names its culprit.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.sanitizers import (
+    FAST_PATH_TOGGLES,
+    check_toggle_equivalence,
+)
+from repro.analysis.sanitizers.determinism import (
+    run_traced,
+    trace_digest,
+)
+from repro.experiments.table1 import run_table1
+
+
+def _digest_with(monkeypatch, overrides):
+    for key, value in overrides.items():
+        monkeypatch.setenv(key, value)
+    _, records = run_traced(lambda: run_table1(file_size_mb=16, seed=0))
+    return trace_digest(records), len(records)
+
+
+class TestToggleRegistry:
+    def test_covers_all_three_fast_paths(self):
+        assert set(FAST_PATH_TOGGLES) == {
+            "REPRO_EVENT_QUEUE",
+            "REPRO_FAIRSHARE",
+            "REPRO_SENSOR_DRIVER",
+        }
+
+    def test_optimised_side_is_the_default(self):
+        """The registry's "on" value must match each variable's default
+        (an unset environment runs fully optimised)."""
+        expected = {
+            "REPRO_EVENT_QUEUE": "calendar",
+            "REPRO_FAIRSHARE": "incremental",
+            "REPRO_SENSOR_DRIVER": "batch",
+        }
+        for key, (on, off) in FAST_PATH_TOGGLES.items():
+            assert on == expected[key]
+            assert off != on
+
+
+class TestAllTogglesAB:
+    def test_optimised_equals_legacy_on_table1(self):
+        report = check_toggle_equivalence(
+            lambda: run_table1(file_size_mb=16, seed=0),
+            name="table1",
+        )
+        assert report.ok, report.describe()
+        assert report.record_counts[0] == report.record_counts[1]
+        assert "[fast-path on/off]" in report.describe()
+
+    def test_environment_restored_after_check(self):
+        before = {
+            key: os.environ.get(key) for key in FAST_PATH_TOGGLES
+        }
+        check_toggle_equivalence(
+            lambda: run_table1(file_size_mb=16, seed=0)
+        )
+        after = {key: os.environ.get(key) for key in FAST_PATH_TOGGLES}
+        assert after == before
+
+    def test_divergence_reported_when_scenarios_differ(self):
+        """Sanity-check the harness itself flags real divergence: a
+        scenario that *reads* a toggle is legitimately A/B-different."""
+        def toggle_sensitive():
+            queue = os.environ.get("REPRO_EVENT_QUEUE", "calendar")
+            return run_table1(
+                file_size_mb=16, seed=0 if queue == "calendar" else 1
+            )
+
+        report = check_toggle_equivalence(toggle_sensitive)
+        assert not report.ok
+        assert report.divergence is not None
+
+
+class TestIndividualToggles:
+    """Flip one toggle at a time so failures name the guilty fast path."""
+
+    @pytest.fixture(scope="class")
+    def optimised_digest(self):
+        _, records = run_traced(
+            lambda: run_table1(file_size_mb=16, seed=0)
+        )
+        return trace_digest(records), len(records)
+
+    @pytest.mark.parametrize("variable", sorted(FAST_PATH_TOGGLES))
+    def test_single_legacy_toggle_is_byte_identical(
+        self, monkeypatch, variable, optimised_digest
+    ):
+        legacy_value = FAST_PATH_TOGGLES[variable][1]
+        digest, count = _digest_with(
+            monkeypatch, {variable: legacy_value}
+        )
+        assert (digest, count) == optimised_digest, (
+            f"{variable}={legacy_value} changed the same-seed trace"
+        )

@@ -34,7 +34,11 @@ class TestComponentOfPath:
         ("/x/src/repro/core/server.py", "selection"),
         ("/x/src/repro/integrity/repair.py", "integrity"),
         ("/x/src/repro/network/fairshare.py", "network"),
+        ("/x/src/repro/network/fairness.py", "solver"),
+        ("/x/src/repro/network/solver.py", "solver"),
+        ("/x/src/repro/network/flow.py", "network"),
         ("/x/src/repro/sim/process.py", "kernel"),
+        ("/x/src/repro/sim/queues.py", "kernel"),
         ("/x/src/repro/units.py", "units"),
         ("/somewhere/else/module.py", COMPONENT_OTHER),
     ])

@@ -1,0 +1,207 @@
+"""Differential battery: CalendarEventQueue vs the reference heap.
+
+The calendar queue is only allowed to exist because it is observably
+identical to :class:`HeapEventQueue`.  These tests drive both structures
+through the same randomly generated schedule/pop interleavings (with
+cancellations, bursts of time ties, splices into the past, and enough
+volume to cross the grow/shrink rebuild thresholds) and assert the pop
+sequences match entry-for-entry.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queues import (
+    MIN_BUCKETS,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
+
+
+class _FakeEvent:
+    """Stands in for a kernel Event: the queue only reads ``cancelled``."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+
+def _entry(time, priority, seq):
+    return (time, priority, seq, _FakeEvent())
+
+
+#: Times drawn from a pool with deliberate collisions (exact ties), tiny
+#: gaps near bucket boundaries, and large jumps that leave the cursor's
+#: ring lap behind.
+_times = st.one_of(
+    st.integers(min_value=0, max_value=30).map(float),
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5, 1e3, 1e6]),
+)
+
+#: An op is either a push (time, priority) or a pop (None).
+_ops = st.lists(
+    st.one_of(
+        st.tuples(_times, st.sampled_from([0, 1])),
+        st.none(),
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+def _run_both(ops, cancel_every=0):
+    """Apply one op sequence to both queues, checking parity at each step."""
+    calendar = CalendarEventQueue()
+    heap = HeapEventQueue()
+    seq = 0
+    pops = 0
+    for op in ops:
+        if op is None:
+            assert len(calendar) == len(heap)
+            if len(heap) == 0:
+                continue
+            assert calendar.head() == heap.head()
+            from_calendar = calendar.pop()
+            from_heap = heap.pop()
+            assert from_calendar == from_heap
+            pops += 1
+        else:
+            time, priority = op
+            event = _FakeEvent()
+            if cancel_every and seq % cancel_every == 0:
+                event.cancelled = True
+            entry = (time, priority, seq, event)
+            seq += 1
+            calendar.push(entry)
+            heap.push(entry)
+            assert len(calendar) == len(heap)
+    # Drain both completely: the full remaining order must agree.
+    assert len(calendar) == len(heap)
+    while len(heap):
+        assert calendar.head() == heap.head()
+        assert calendar.pop() == heap.pop()
+    assert calendar.head() is None and heap.head() is None
+    return pops
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_pop_order_matches_reference_heap(ops):
+    """Property: any schedule/pop interleaving pops identically."""
+    _run_both(ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops)
+def test_cancelled_entries_stay_queued_identically(ops):
+    """Lazy deletion: cancelled entries pop in order on both structures."""
+    _run_both(ops, cancel_every=3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops)
+def test_iteration_covers_same_entries(ops):
+    """The sanitizers' leak sweep sees the same multiset either way."""
+    calendar = CalendarEventQueue()
+    heap = HeapEventQueue()
+    seq = 0
+    for op in ops:
+        if op is None:
+            if len(heap):
+                calendar.pop()
+                heap.pop()
+        else:
+            entry = _entry(op[0], op[1], seq)
+            seq += 1
+            calendar.push(entry)
+            heap.push(entry)
+    assert sorted(calendar) == sorted(heap)
+    assert calendar.cancelled_count() == heap.cancelled_count() == 0
+
+
+def test_fifo_tie_breaking_is_stable():
+    """Exact time+priority ties pop strictly in scheduling order."""
+    for queue in (CalendarEventQueue(), HeapEventQueue()):
+        entries = [_entry(5.0, 1, seq) for seq in range(50)]
+        for entry in reversed(entries):
+            queue.push(entry)
+        assert [queue.pop() for _ in range(50)] == entries
+
+
+def test_urgent_before_normal_at_same_time():
+    queue = CalendarEventQueue()
+    normal = _entry(1.0, 1, 0)
+    urgent = _entry(1.0, 0, 1)
+    queue.push(normal)
+    queue.push(urgent)
+    assert queue.pop() is urgent
+    assert queue.pop() is normal
+
+
+def test_splice_into_the_past_reanchors_cursor():
+    """A push earlier than everything pending must pop first."""
+    queue = CalendarEventQueue()
+    queue.push(_entry(100.0, 1, 0))
+    assert queue.head()[0] == 100.0
+    past = _entry(1.0, 1, 1)
+    queue.push(past)
+    assert queue.head() is past
+    assert queue.pop() is past
+
+
+def test_rebuild_thresholds_preserve_order():
+    """Grow past 2x buckets, then shrink below half: order intact."""
+    calendar = CalendarEventQueue(nbuckets=MIN_BUCKETS)
+    heap = HeapEventQueue()
+    for seq in range(10 * MIN_BUCKETS):
+        entry = _entry(float(seq % 97) * 0.37, 1, seq)
+        calendar.push(entry)
+        heap.push(entry)
+    while len(heap):
+        assert calendar.pop() == heap.pop()
+
+
+def test_nonfinite_times_use_overflow_heap():
+    """inf-horizon guards are legal and pop after every finite entry."""
+    queue = CalendarEventQueue()
+    horizon = _entry(math.inf, 1, 0)
+    near = _entry(3.0, 1, 1)
+    queue.push(horizon)
+    queue.push(near)
+    assert len(queue) == 2
+    assert queue.head() is near
+    assert queue.pop() is near
+    assert queue.pop() is horizon
+
+
+def test_len_counts_overflow_and_iteration_includes_it():
+    queue = CalendarEventQueue()
+    entries = [_entry(math.inf, 1, 0), _entry(1.0, 1, 1)]
+    for entry in entries:
+        queue.push(entry)
+    assert len(queue) == 2
+    assert sorted(queue) == sorted(entries)
+
+
+def test_make_event_queue_selects_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+    assert isinstance(make_event_queue(), HeapEventQueue)
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "calendar")
+    assert isinstance(make_event_queue(), CalendarEventQueue)
+    monkeypatch.delenv("REPRO_EVENT_QUEUE")
+    assert isinstance(make_event_queue(), CalendarEventQueue)
+
+
+def test_make_event_queue_rejects_unknown_kind():
+    try:
+        make_event_queue("splay")
+    except ValueError as error:
+        assert "splay" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,98 @@
+"""Checked-in baseline/suppression file for gridlint findings.
+
+A baseline lets a new rule land without blocking CI on legacy
+findings: ``repro-lint --update-baseline`` records the current
+findings, CI then only fails on *new* ones.  Matching is by
+``(path, code)`` occurrence counts rather than line numbers, so
+unrelated edits that shift lines do not resurrect baselined findings —
+but adding one more violation of a baselined rule to a file *does*
+fail (the count is exceeded).
+
+File format (``.gridlint-baseline.json``)::
+
+    {"version": 1,
+     "suppressions": {"src/repro/foo.py::GL102": 2, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.gridlint.findings import Finding
+
+__all__ = ["BASELINE_DEFAULT", "Baseline"]
+
+#: Conventional baseline location, loaded automatically when present.
+BASELINE_DEFAULT = ".gridlint-baseline.json"
+
+
+def _key(finding: Finding) -> str:
+    path = finding.path.replace(os.sep, "/")
+    if path.startswith("./"):
+        path = path[2:]
+    return f"{path}::{finding.code}"
+
+
+@dataclass
+class Baseline:
+    """Occurrence-count suppressions keyed by ``path::code``."""
+
+    suppressions: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; raises ValueError on a bad schema."""
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "suppressions" not in data:
+            raise ValueError(f"{path}: not a gridlint baseline file")
+        suppressions = data["suppressions"]
+        if not isinstance(suppressions, dict):
+            raise ValueError(f"{path}: malformed suppressions table")
+        return cls({str(k): int(v) for k, v in suppressions.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            if finding.code == "GL000":
+                continue  # parse errors are never baselined
+            key = _key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "suppressions": dict(sorted(self.suppressions.items())),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def filter(self, findings: Iterable[Finding],
+               ) -> tuple[list[Finding], int]:
+        """(unbaselined findings, suppressed count).
+
+        Findings are consumed in sorted (line) order per key, so when a
+        file holds more violations than the baseline allows, the ones
+        reported are deterministic.
+        """
+        budget = dict(self.suppressions)
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in sorted(findings):
+            if finding.code == "GL000":
+                kept.append(finding)
+                continue
+            key = _key(finding)
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed

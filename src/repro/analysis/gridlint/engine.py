@@ -60,6 +60,7 @@ def lint_source(source, path="<string>", context=None, respect_pragmas=True):
     if respect_pragmas and findings:
         pragmas = parse_pragmas(source.splitlines())
         if pragmas:
+            pragmas.expand_multiline(tree)
             findings = [
                 f for f in findings
                 if not pragmas.suppresses(f.line, f.code)

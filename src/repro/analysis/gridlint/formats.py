@@ -1,10 +1,20 @@
-"""Output formatters for gridlint findings: text, json, github."""
+"""Output formatters for gridlint findings: text, json, github, sarif."""
 
 from __future__ import annotations
 
 import json
 
+from repro.analysis.gridlint.rules import RULES
+
 __all__ = ["FORMATS", "render"]
+
+#: Tool metadata stamped into SARIF logs.
+_SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+_TOOL_URI = "https://example.invalid/repro/gridlint"
+_TOOL_VERSION = "2.0.0"
 
 
 def _render_text(findings):
@@ -29,15 +39,78 @@ def _render_github(findings):
     )
 
 
+def _render_sarif(findings):
+    """SARIF 2.1.0 — the code-scanning interchange format.
+
+    The full rule catalog is embedded so GitHub can render rule help
+    even for codes with no findings this run.  gridlint columns are
+    0-based; SARIF regions are 1-based, hence the ``col + 1``.
+    """
+    codes = sorted(RULES)
+    index = {code: i for i, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": RULES[code]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in codes
+    ]
+    results = []
+    for f in findings:
+        uri = f.path.replace("\\", "/")
+        if uri.startswith("./"):
+            uri = uri[2:]
+        result = {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": uri,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, f.line),
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        if f.code in index:
+            result["ruleIndex"] = index[f.code]
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "gridlint",
+                    "informationUri": _TOOL_URI,
+                    "version": _TOOL_VERSION,
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2)
+
+
 FORMATS = {
     "text": _render_text,
     "json": _render_json,
     "github": _render_github,
+    "sarif": _render_sarif,
 }
 
 
 def render(findings, format="text"):
-    """Render findings in the named format (text | json | github)."""
+    """Render findings in the named format (text|json|github|sarif)."""
     try:
         formatter = FORMATS[format]
     except KeyError:

@@ -1,0 +1,73 @@
+"""``--changed`` support: files differing from the merge base.
+
+Pre-commit hooks and CI PR jobs should not pay for a full-tree lint as
+``src/`` grows.  ``changed_files()`` asks git for everything that
+differs from ``merge-base(HEAD, origin/main)`` plus uncommitted and
+untracked work, and returns absolute paths.  Outside a repository (or
+when git itself is unavailable/broken) it returns ``None`` and callers
+fall back to a full run — ``--changed`` must never *hide* findings
+just because the environment is odd.
+
+Note that in whole-program mode the project model is still built over
+every file on the command line; only the *reported* findings are
+restricted to changed files, so interprocedural findings against a
+changed caller of an unchanged callee are still seen.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+__all__ = ["changed_files"]
+
+_GIT_TIMEOUT = 30.0
+
+
+def _git(args: list[str], cwd: str | None = None) -> str | None:
+    try:
+        result = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=_GIT_TIMEOUT,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout
+
+
+def changed_files(cwd: str | None = None,
+                  base_ref: str = "origin/main") -> set[str] | None:
+    """Absolute paths changed vs. the merge base, or None outside git.
+
+    Includes committed changes since ``merge-base(HEAD, base_ref)``,
+    staged and unstaged modifications, and untracked files.  When the
+    merge base cannot be resolved (e.g. no ``origin/main`` in a fresh
+    clone) the committed-diff component degrades to the working-tree
+    diff only rather than failing the whole mode.
+    """
+    toplevel = _git(["rev-parse", "--show-toplevel"], cwd=cwd)
+    if toplevel is None:
+        return None
+    root = toplevel.strip()
+    names: set[str] = set()
+    merge_base = _git(["merge-base", "HEAD", base_ref], cwd=cwd)
+    if merge_base is not None:
+        committed = _git(
+            ["diff", "--name-only", merge_base.strip(), "HEAD"], cwd=cwd
+        )
+        if committed:
+            names.update(committed.splitlines())
+    worktree = _git(["diff", "--name-only", "HEAD"], cwd=cwd)
+    if worktree:
+        names.update(worktree.splitlines())
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard"], cwd=cwd
+    )
+    if untracked:
+        names.update(untracked.splitlines())
+    return {
+        os.path.realpath(os.path.join(root, name))
+        for name in sorted(names) if name.strip()
+    }

@@ -16,14 +16,19 @@ Two scopes:
 
   suppresses the listed codes for the whole file.
 
-Findings are matched by the line number the AST reports for the
-violating node, so put line pragmas on the first physical line of a
-multi-line statement.
+Line pragmas cover multi-line statements: a pragma on the first
+physical line of a multi-line call/expression also suppresses findings
+the AST reports on its continuation lines (the engine expands spans via
+:meth:`PragmaMap.expand_multiline` after parsing).  For compound
+statements (``if``/``def``/...), the pragma covers the header up to
+the first body statement, never the body itself.
 """
 
 from __future__ import annotations
 
+import ast
 import re
+from typing import Any
 
 __all__ = ["PragmaMap", "parse_pragmas"]
 
@@ -54,6 +59,61 @@ class PragmaMap:
             self.file_all or self.file_codes
             or self.line_all or self.line_codes
         )
+
+    def expand_multiline(self, tree: ast.Module) -> None:
+        """Extend line pragmas across their statement's physical span.
+
+        A pragma sits on the *first* line of a statement; findings on a
+        multi-line call/expression may be reported on any continuation
+        line.  Simple statements expand over their whole span; compound
+        statements (which own a ``body``) expand only over their header
+        — up to the line before their first body statement — so a
+        pragma on a ``def`` line never silences the function body.
+        """
+        if not (self.line_all or self.line_codes):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            if start not in self.line_all and \
+                    start not in self.line_codes:
+                continue
+            end = node.end_lineno or start
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body:
+                end = min(end, body[0].lineno - 1)
+            for line in range(start + 1, end + 1):
+                if start in self.line_all:
+                    self.line_all.add(line)
+                if start in self.line_codes:
+                    self.line_codes.setdefault(line, set()).update(
+                        self.line_codes[start]
+                    )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (for the incremental cache)."""
+        return {
+            "file_all": self.file_all,
+            "file_codes": sorted(self.file_codes),
+            "line_all": sorted(self.line_all),
+            "line_codes": {
+                str(line): sorted(codes)
+                for line, codes in self.line_codes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PragmaMap":
+        pragmas = cls()
+        pragmas.file_all = bool(data.get("file_all"))
+        pragmas.file_codes = set(data.get("file_codes", ()))
+        pragmas.line_all = set(data.get("line_all", ()))
+        pragmas.line_codes = {
+            int(line): set(codes)
+            for line, codes in data.get("line_codes", {}).items()
+        }
+        return pragmas
 
 
 def parse_pragmas(source_lines: list[str]) -> PragmaMap:

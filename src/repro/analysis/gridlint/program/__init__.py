@@ -1,0 +1,40 @@
+"""Whole-program (interprocedural) analysis layer for gridlint.
+
+The file-local rules (GL001-GL007, :mod:`repro.analysis.gridlint.rules`)
+see one AST at a time; this package parses all of ``src/`` once into a
+*project model* — module graph, symbol table and a heuristic call graph
+— and runs rules that need to see across call boundaries:
+
+* GL101 — determinism taint: wall-clock / ``random`` / environment
+  reads propagated through assignments, returns and calls until they
+  reach kernel scheduling, RNG seeding or trace output.
+* GL102 — unit-dimension inference: seconds vs bytes vs bytes/s vs
+  Mbps, seeded from ``repro.units.DIMENSIONS`` plus a parameter-name
+  lexicon; flags dimension-mismatched call arguments and arithmetic.
+* GL103 — timer-guard leak proofs: a ``guard_tag``-ed timer with no
+  reachable ``cancel()`` path on any alias anywhere in the project.
+* GL104 — fast-path parity: persistent state written under one
+  ``REPRO_*`` fast-path toggle branch that the other branch never
+  writes.
+
+The model is extracted per module into JSON-serialisable
+:class:`~repro.analysis.gridlint.program.model.ModuleInfo` facts, which
+is what makes the incremental cache (``.gridlint-cache.json``) work:
+unchanged modules load their facts instead of re-parsing, and program
+findings are invalidated per module through the import graph.
+"""
+
+from repro.analysis.gridlint.program.driver import (
+    ProgramRunStats,
+    analyze_project,
+)
+from repro.analysis.gridlint.program.model import ModuleInfo, extract_module
+from repro.analysis.gridlint.program.project import ProjectModel
+
+__all__ = [
+    "ModuleInfo",
+    "ProgramRunStats",
+    "ProjectModel",
+    "analyze_project",
+    "extract_module",
+]

@@ -1,0 +1,316 @@
+"""GL102 — interprocedural unit-dimension inference.
+
+The reproduction's numeric plumbing carries three families of
+quantities — times (seconds), sizes (bytes) and rates (bytes/s) — plus
+the paper-facing units (Mbps, MB) that :mod:`repro.units` converts at
+the boundary.  A ``Mbps`` value handed to a ``bytes``-expecting
+parameter, or ``seconds + bytes`` arithmetic, type-checks fine in
+Python and silently skews every exhibit.
+
+Dimensions are seeded from two places:
+
+* ``repro.units.DIMENSIONS`` — authoritative annotations for the
+  conversion helpers (their parameter and return dimensions);
+* a parameter-name lexicon (:data:`LEXICON`) — ``delay``/``period``/
+  ``*_s`` are seconds, ``nbytes``/``*_bytes`` are bytes,
+  ``bandwidth``/``*_bytes_per_s`` are rates, ``*_mb`` is megabytes,
+  ``*_mbps`` is Mbps, and so on.
+
+Inference propagates through assignments, a small dimensional algebra
+(``bytes / seconds -> bytes_per_s``, ``bytes / bytes_per_s ->
+seconds``, ``rate * seconds -> bytes``), and function return summaries
+iterated to a fixpoint.  Findings fire only when *both* sides of an
+argument binding or a ``+``/``-`` are known and disagree — unknown
+stays silent, so the rule is conservative by construction.
+"""
+
+from __future__ import annotations
+
+from repro import units as units_module
+from repro.analysis.gridlint.findings import Finding
+from repro.analysis.gridlint.program.model import (
+    Expr,
+    FunctionInfo,
+    ModuleInfo,
+)
+from repro.analysis.gridlint.program.project import ProjectModel
+
+__all__ = ["LEXICON", "check_gl102", "dim_for_param"]
+
+#: Exact parameter/variable names with a known dimension.
+LEXICON: dict[str, str] = {
+    "delay": "seconds", "timeout": "seconds", "period": "seconds",
+    "interval": "seconds", "latency": "seconds", "duration": "seconds",
+    "horizon": "seconds", "deadline": "seconds", "rtt": "seconds",
+    "seconds": "seconds", "elapsed": "seconds",
+    "nbytes": "bytes", "size_bytes": "bytes",
+    "bandwidth": "bytes_per_s", "throughput": "bytes_per_s",
+    "bytes_per_s": "bytes_per_s",
+    "mbps": "mbps", "gbps": "gbps",
+    "megabytes": "megabytes",
+    "milliseconds": "milliseconds", "ms": "milliseconds",
+}
+
+#: Name suffixes with a known dimension (checked after exact names).
+_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_seconds", "seconds"), ("_secs", "seconds"), ("_s", "seconds"),
+    ("_ms", "milliseconds"),
+    ("_bytes", "bytes"),
+    ("_bytes_per_s", "bytes_per_s"),
+    ("_mbps", "mbps"), ("_gbps", "gbps"),
+    ("_mb", "megabytes"),
+)
+
+#: Dimension of ``left / right``.
+_DIV: dict[tuple[str, str], str] = {
+    ("bytes", "seconds"): "bytes_per_s",
+    ("bytes", "bytes_per_s"): "seconds",
+    ("megabytes", "seconds"): "mb_per_s",
+}
+
+#: Dimension of ``left * right`` (symmetric pairs listed once).
+_MUL: dict[tuple[str, str], str] = {
+    ("bytes_per_s", "seconds"): "bytes",
+}
+
+
+def dim_for_param(name: str) -> str | None:
+    """Dimension implied by a parameter/variable name, if any."""
+    exact = LEXICON.get(name)
+    if exact is not None:
+        return exact
+    for suffix, dim in _SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dim
+    return None
+
+
+def _units_dims(tgt: str) -> tuple[tuple[str, ...], str] | None:
+    """(param dims, return dim) when ``tgt`` is a repro.units helper."""
+    prefix = "repro.units."
+    if not tgt.startswith(prefix):
+        return None
+    return units_module.DIMENSIONS.get(tgt[len(prefix):])
+
+
+def _is_byte_constant(name: str) -> bool:
+    return (
+        name.startswith("repro.units.")
+        and name[len("repro.units."):] in units_module.BYTE_CONSTANTS
+    )
+
+
+class _DimensionPass:
+    """Whole-program dimension inference and mismatch detection."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: function key -> inferred return dimension
+        self.return_dims: dict[str, str] = {}
+
+    # -- per-function environment ------------------------------------------
+
+    def _env_for(self, info: ModuleInfo,
+                 fn: FunctionInfo) -> dict[str, str]:
+        env: dict[str, str] = {}
+        for param in fn.params:
+            dim = dim_for_param(param)
+            if dim is not None:
+                env[param] = dim
+        for _round in range(4):
+            changed = False
+            for assign in fn.assigns:
+                if assign["t"] in env:
+                    continue
+                dim = self._dim_of(assign["v"], env, info, fn)
+                if dim is not None:
+                    env[assign["t"]] = dim
+                    changed = True
+            if not changed:
+                break
+        return env
+
+    def _dim_of(self, expr: Expr, env: dict[str, str],
+                info: ModuleInfo, fn: FunctionInfo) -> str | None:
+        kind = expr["k"]
+        if kind == "const":
+            return None  # literals are scalars; compatible with all
+        if kind == "name":
+            name = expr["id"]
+            if name in env:
+                return env[name]
+            if _is_byte_constant(name):
+                return "bytes"
+            if name.endswith(".now") or name == "now":
+                head = name.rsplit(".", 2)
+                if len(head) >= 2 and head[-2].lstrip("_") in (
+                    "sim", "simulator"
+                ):
+                    return "seconds"
+            if name.startswith("self."):
+                return dim_for_param(name[5:].lstrip("_"))
+            return None
+        if kind == "call":
+            tgt = expr.get("tgt")
+            if tgt is not None:
+                annotated = _units_dims(tgt)
+                if annotated is not None:
+                    return annotated[1]
+            callee = self.model.resolve_call(expr, info, fn)
+            if callee is not None:
+                return self.return_dims.get(callee)
+            if expr.get("method") in ("min", "max"):
+                return None
+            if tgt in ("min", "max", "abs", "float", "sum"):
+                dims = {
+                    self._dim_of(a, env, info, fn)
+                    for a in expr["args"]
+                }
+                dims.discard(None)
+                if len(dims) == 1:
+                    return dims.pop()
+            return None
+        if kind == "binop":
+            return self._binop_dim(expr, env, info, fn)
+        return None
+
+    def _binop_dim(self, expr: Expr, env: dict[str, str],
+                   info: ModuleInfo, fn: FunctionInfo) -> str | None:
+        left = self._dim_of(expr["l"], env, info, fn)
+        right = self._dim_of(expr["r"], env, info, fn)
+        op = expr["op"]
+        if op in ("+", "-", "%"):
+            if left is not None and right is None:
+                return left
+            if right is not None and left is None:
+                return right
+            if left == right:
+                return left
+            return None
+        if op in ("/", "//"):
+            if left is not None and right is None:
+                return left
+            if left is not None and right is not None:
+                if left == right:
+                    return None  # ratio: a scalar
+                return _DIV.get((left, right))
+            return None
+        if op == "*":
+            if left is None:
+                left, right = right, left
+            if right is None:
+                return left
+            return _MUL.get((left, right)) or _MUL.get((right, left))
+        return None
+
+    # -- fixpoint over return summaries ------------------------------------
+
+    def run(self) -> None:
+        for _round in range(8):
+            changed = False
+            for name in sorted(self.model.modules):
+                info = self.model.modules[name]
+                for qualname in sorted(info.functions):
+                    fn = info.functions[qualname]
+                    key = f"{name}:{qualname}"
+                    env = self._env_for(info, fn)
+                    dims = {
+                        self._dim_of(expr, env, info, fn)
+                        for expr in fn.returns
+                    }
+                    dims.discard(None)
+                    if len(dims) == 1:
+                        dim = dims.pop()
+                        if self.return_dims.get(key) != dim:
+                            self.return_dims[key] = dim
+                            changed = True
+            if not changed:
+                break
+
+    # -- findings ----------------------------------------------------------
+
+    def findings_for(self, info: ModuleInfo) -> list[Finding]:
+        out: list[Finding] = []
+        for qualname in sorted(info.functions):
+            fn = info.functions[qualname]
+            env = self._env_for(info, fn)
+            for binop in fn.binops:
+                left = self._dim_of(binop["l"], env, info, fn)
+                right = self._dim_of(binop["r"], env, info, fn)
+                if left is not None and right is not None \
+                        and left != right:
+                    out.append(Finding(
+                        path=info.path, line=binop["line"],
+                        col=binop["col"], code="GL102",
+                        message=(
+                            f"dimension mismatch: `{left} "
+                            f"{binop['op']} {right}`; convert through "
+                            "repro.units before mixing quantities"
+                        ),
+                    ))
+            for call in fn.calls:
+                out.extend(self._check_call(call, env, info, fn))
+        return sorted(set(out))
+
+    def _check_call(self, call: Expr, env: dict[str, str],
+                    info: ModuleInfo, fn: FunctionInfo) -> list[Finding]:
+        expected: list[tuple[str, str | None]] = []
+        tgt = call.get("tgt")
+        callee_params: list[str] | None = None
+        if tgt is not None:
+            annotated = _units_dims(tgt)
+            if annotated is not None:
+                helper = tgt.rsplit(".", 1)[-1]
+                expected = [
+                    (f"{helper}({dim})", dim) for dim in annotated[0]
+                ]
+        if not expected:
+            callee = self.model.resolve_call(call, info, fn)
+            callee_fn = (
+                self.model.functions.get(callee) if callee else None
+            )
+            if callee_fn is None:
+                return []
+            callee_params = callee_fn.params
+            expected = [
+                (f"{callee_fn.qualname}({param}=...)",
+                 dim_for_param(param))
+                for param in callee_params
+            ]
+        out: list[Finding] = []
+        bound: list[tuple[int, Expr]] = list(enumerate(call["args"]))
+        if callee_params is not None:
+            index_of = {n: i for i, n in enumerate(callee_params)}
+            for name, value in call["kw"].items():
+                if name in index_of:
+                    bound.append((index_of[name], value))
+        for index, arg in bound:
+            if index >= len(expected):
+                break
+            label, want = expected[index]
+            if want is None:
+                continue
+            have = self._dim_of(arg, env, info, fn)
+            if have is not None and have != want:
+                out.append(Finding(
+                    path=info.path, line=call["line"],
+                    col=call["col"], code="GL102",
+                    message=(
+                        f"argument has dimension `{have}` but "
+                        f"`{label}` expects `{want}`; convert with "
+                        "repro.units"
+                    ),
+                ))
+        return out
+
+
+def check_gl102(model: ProjectModel) -> dict[str, list[Finding]]:
+    """Run unit-dimension inference; findings keyed by module name."""
+    analysis = _DimensionPass(model)
+    analysis.run()
+    out: dict[str, list[Finding]] = {}
+    for name in sorted(model.modules):
+        found = analysis.findings_for(model.modules[name])
+        if found:
+            out[name] = found
+    return out

@@ -1,0 +1,250 @@
+"""GL103 — timer-guard leak proofs.
+
+Every guard timer in the codebase follows the convention from the
+chaos/fault layers: the armed handle gets a ``guard_tag`` so the
+runtime leak sweep (:func:`repro.analysis.sanitizers.check_leaks`) can
+attribute it.  The static obligation this rule proves: *somewhere in
+the project there must be a reachable ``cancel()`` path for that
+handle* — otherwise an abandoned component holds the event queue open
+and the guard only surfaces at runtime, if a test happens to sweep.
+
+The proof follows the handle through its aliases:
+
+* direct — ``timer.cancel()`` on the same local name, or
+  ``self._timer.cancel()`` in *any* method of the owning class;
+* stores — ``self.attr = timer`` moves the obligation to the
+  attribute; ``container.append(timer)`` moves it to the container,
+  discharged by a loop over the container whose loop variable is
+  cancelled (the chaos engine's ``stop()`` pattern);
+* escapes — a handle *returned* from a helper moves the obligation to
+  every caller that binds the result (one level of indirection, the
+  ``self._timer(delay, tag)`` helper pattern).
+
+A handle with no cancel path on any alias is reported at the arming
+line.  This is an existence proof over the whole program, not a
+per-branch reachability proof — a cancel in *some* method counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.gridlint.findings import Finding
+from repro.analysis.gridlint.program.model import (
+    Expr,
+    FunctionInfo,
+    ModuleInfo,
+)
+from repro.analysis.gridlint.program.project import ProjectModel
+
+__all__ = ["check_gl103"]
+
+
+def _iterates(value: Expr, container: str) -> bool:
+    """True when an encoded for-target value draws from ``container``."""
+    if value.get("k") == "name":
+        return bool(value.get("id") == container)
+    if value.get("k") == "call":
+        return any(
+            _iterates(child, container)
+            for child in list(value["args"]) + list(value["kw"].values())
+        )
+    if value.get("k") == "other":
+        return any(
+            _iterates(child, container)
+            for child in value["sub"] if child is not None
+        )
+    return False
+
+
+class _GuardPass:
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: function key -> set of caller (module, FunctionInfo, binding
+        #: names) — computed lazily for escape proofs.
+        self._callers: dict[str, list[tuple[ModuleInfo, FunctionInfo,
+                                            set[str]]]] | None = None
+
+    # -- alias discovery inside one function -------------------------------
+
+    def _aliases_of(self, fn: FunctionInfo, handle: str) -> set[str]:
+        """Names the handle flows into inside ``fn`` (incl. itself)."""
+        aliases = {handle}
+        for _round in range(3):
+            grew = False
+            for assign in fn.assigns:
+                value = assign["v"]
+                if value.get("k") == "name" and value["id"] in aliases:
+                    if assign["t"] not in aliases:
+                        aliases.add(assign["t"])
+                        grew = True
+            if not grew:
+                break
+        return aliases
+
+    def _containers_of(self, fn: FunctionInfo,
+                       aliases: set[str]) -> set[str]:
+        return {
+            append["container"] for append in fn.appends
+            if append["value"] in aliases
+        }
+
+    # -- cancel proofs -----------------------------------------------------
+
+    def _cancelled_locally(self, fn: FunctionInfo,
+                           aliases: set[str]) -> bool:
+        return any(receiver in aliases for receiver in fn.cancels)
+
+    def _class_methods(self, info: ModuleInfo,
+                       cls: str) -> list[FunctionInfo]:
+        return [
+            fn for fn in info.functions.values() if fn.cls == cls
+        ]
+
+    def _class_cancels(self, info: ModuleInfo, cls: str,
+                       attrs: set[str]) -> bool:
+        """Some method cancels one of the ``self.*`` attrs directly."""
+        for method in self._class_methods(info, cls):
+            if any(receiver in attrs for receiver in method.cancels):
+                return True
+        return False
+
+    def _container_cancels(self, info: ModuleInfo, cls: str | None,
+                           containers: set[str]) -> bool:
+        """Some method loops a container and cancels the loop var."""
+        candidates = (
+            self._class_methods(info, cls) if cls is not None
+            else list(info.functions.values())
+        )
+        for method in candidates:
+            cancelled = set(method.cancels)
+            if not cancelled:
+                continue
+            for assign in method.assigns:
+                if assign["t"] not in cancelled:
+                    continue
+                for container in containers:
+                    if _iterates(assign["v"], container):
+                        return True
+        return False
+
+    # -- escape-to-caller proofs -------------------------------------------
+
+    def _caller_index(self) -> dict[str, list[tuple[ModuleInfo,
+                                                    FunctionInfo,
+                                                    set[str]]]]:
+        if self._callers is not None:
+            return self._callers
+        index: dict[str, list[tuple[ModuleInfo, FunctionInfo,
+                                    set[str]]]] = {}
+        for name in sorted(self.model.modules):
+            info = self.model.modules[name]
+            for qualname in sorted(info.functions):
+                fn = info.functions[qualname]
+                types = self.model.local_types(info, fn)
+                for assign in fn.assigns:
+                    value = assign["v"]
+                    if value.get("k") != "call":
+                        continue
+                    callee = self.model.resolve_call(
+                        value, info, fn, types
+                    )
+                    if callee is None:
+                        continue
+                    entry = index.setdefault(callee, [])
+                    found = None
+                    for existing in entry:
+                        if existing[1] is fn:
+                            found = existing
+                            break
+                    if found is None:
+                        entry.append((info, fn, {assign["t"]}))
+                    else:
+                        found[2].add(assign["t"])
+        self._callers = index
+        return index
+
+    def _returned(self, fn: FunctionInfo, aliases: set[str]) -> bool:
+        return any(
+            expr.get("k") == "name" and expr["id"] in aliases
+            for expr in fn.returns
+        )
+
+    def _caller_cancels(self, info: ModuleInfo, fn: FunctionInfo,
+                        depth: int = 0) -> bool:
+        """Every known caller that binds our return cancels it."""
+        if depth > 2:
+            return False
+        key = f"{info.module}:{fn.qualname}"
+        callers = self._caller_index().get(key, [])
+        if not callers:
+            return False
+        for caller_info, caller_fn, bindings in callers:
+            proven = False
+            for bound in sorted(bindings):
+                if self._handle_proven(
+                    caller_info, caller_fn, bound, depth + 1
+                ):
+                    proven = True
+                    break
+            if not proven:
+                return False
+        return True
+
+    # -- the combined proof -------------------------------------------------
+
+    def _handle_proven(self, info: ModuleInfo, fn: FunctionInfo,
+                       handle: str, depth: int = 0) -> bool:
+        aliases = self._aliases_of(fn, handle)
+        if self._cancelled_locally(fn, aliases):
+            return True
+        self_attrs = {a for a in aliases if a.startswith("self.")}
+        if self_attrs and fn.cls is not None:
+            if self._class_cancels(info, fn.cls, self_attrs):
+                return True
+        containers = self._containers_of(fn, aliases)
+        if containers:
+            self_containers = {
+                c for c in containers if c.startswith("self.")
+            }
+            if self._container_cancels(
+                info, fn.cls if self_containers else None,
+                containers,
+            ):
+                return True
+        if self._returned(fn, aliases):
+            if self._caller_cancels(info, fn, depth):
+                return True
+        return False
+
+    def findings_for(self, info: ModuleInfo) -> list[Finding]:
+        out: list[Finding] = []
+        for qualname in sorted(info.functions):
+            fn = info.functions[qualname]
+            for guard in fn.guards:
+                handle = guard["handle"]
+                if handle is None:
+                    continue
+                if not self._handle_proven(info, fn, handle):
+                    out.append(Finding(
+                        path=info.path, line=guard["line"], col=0,
+                        code="GL103",
+                        message=(
+                            f"guard timer `{handle}` is armed here but "
+                            "no cancel()/stop() path exists on any of "
+                            "its aliases — an abandoned guard holds "
+                            "the event queue open (leak-sweep class: "
+                            "armed-guard)"
+                        ),
+                    ))
+        return sorted(set(out))
+
+
+def check_gl103(model: ProjectModel) -> dict[str, list[Finding]]:
+    """Prove every guard-tagged timer cancellable; report the rest."""
+    analysis = _GuardPass(model)
+    out: dict[str, list[Finding]] = {}
+    for name in sorted(model.modules):
+        found = analysis.findings_for(model.modules[name])
+        if found:
+            out[name] = found
+    return out

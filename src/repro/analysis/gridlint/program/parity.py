@@ -1,0 +1,84 @@
+"""GL104 — fast-path branch parity.
+
+The fast-path work (PR 7) put every optimisation behind a ``REPRO_*``
+toggle with the invariant that both sides are *observably identical* —
+the A/B digest sweep proves it dynamically.  The easiest way to break
+that invariant while refactoring is to write persistent state
+(``self.attr = ...``) under one branch of a toggle and forget the
+other: the fast path then carries state the reference path never
+initialises, and the divergence only shows up when a later code path
+reads the attribute.
+
+This rule inspects every ``if`` whose test reads a ``REPRO_*``
+environment toggle (directly or through a variable bound from one) and
+flags ``self.*`` attributes written under some arms but not all —
+unless the same attribute is also assigned unconditionally in the same
+function outside the toggle branch (the ``self.x = None`` +
+``if fast: self.x = {}`` default-then-specialise pattern is fine).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.gridlint.findings import Finding
+from repro.analysis.gridlint.program.model import (
+    FunctionInfo,
+    ModuleInfo,
+)
+from repro.analysis.gridlint.program.project import ProjectModel
+
+__all__ = ["check_gl104"]
+
+
+def _outside_writes(fn: FunctionInfo, start: int, end: int) -> set[str]:
+    """``self.*`` targets assigned outside the [start, end] line span."""
+    return {
+        assign["t"] for assign in fn.assigns
+        if assign["t"].startswith("self.")
+        and not (start <= assign["line"] <= end)
+    }
+
+
+def _check_function(info: ModuleInfo,
+                    fn: FunctionInfo) -> list[Finding]:
+    out: list[Finding] = []
+    for toggle in fn.toggles:
+        arms: list[list[str]] = [list(arm) for arm in toggle["arms"]]
+        if not toggle["else"]:
+            arms.append([])  # the implicit empty else arm
+        union: set[str] = set()
+        for arm in arms:
+            union.update(arm)
+        if not union:
+            continue
+        unconditional = _outside_writes(
+            fn, toggle["line"], toggle["end"]
+        )
+        for attr in sorted(union):
+            missing = [arm for arm in arms if attr not in arm]
+            if not missing or attr in unconditional:
+                continue
+            out.append(Finding(
+                path=info.path, line=toggle["line"], col=0,
+                code="GL104",
+                message=(
+                    f"`{attr}` is written under only one branch of "
+                    f"the {toggle['env']} fast-path toggle; the other "
+                    "branch never writes it, so the two paths carry "
+                    "different state — initialise it unconditionally "
+                    "or write it on every arm"
+                ),
+            ))
+    return out
+
+
+def check_gl104(model: ProjectModel) -> dict[str, list[Finding]]:
+    """Check fast-path toggle branches for one-sided state writes."""
+    out: dict[str, list[Finding]] = {}
+    for name in sorted(model.modules):
+        info = model.modules[name]
+        found: list[Finding] = []
+        for qualname in sorted(info.functions):
+            found.extend(_check_function(info, info.functions[qualname]))
+        if found:
+            out[name] = sorted(set(found))
+    return out

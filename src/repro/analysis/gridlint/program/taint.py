@@ -1,0 +1,356 @@
+"""GL101 — interprocedural determinism taint.
+
+Sources of nondeterminism: wall-clock reads, the ``random`` module
+(outside the sanctioned ``repro.sim.random_streams``), and environment
+reads.  The analysis propagates taint through assignments, returns and
+calls using per-function summaries iterated to a fixpoint, and reports
+a finding when a tainted value reaches a *sink*: kernel scheduling
+(``Simulator.schedule`` / ``timeout`` / ``Timeout``), RNG seeding
+(``Simulator``/``StreamRegistry`` construction, stream naming) or trace
+output (``obs.events.emit``).
+
+Taint values are *origin sets*: the marker ``"src"`` (a source reached
+this value) plus integer parameter indices (this value depends on that
+parameter).  A function summary is then::
+
+    returns:  origin set of its return expressions
+    to_sink:  param index -> sink description (the param reaches a sink
+              inside the function, possibly through further calls)
+
+which lets a caller report ``f(tainted)`` at the call site even when
+the actual ``schedule()`` is two calls deeper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.gridlint.findings import Finding
+from repro.analysis.gridlint.program.model import (
+    ENV_READ_TARGETS,
+    Expr,
+    FunctionInfo,
+    ModuleInfo,
+    _expr_children,
+)
+from repro.analysis.gridlint.program.project import ProjectModel
+from repro.analysis.gridlint.rules import _WALL_CLOCK
+
+__all__ = ["check_gl101"]
+
+#: Modules whose use of `random` is sanctioned and deterministic
+#: (seed-derived): their draws are NOT taint sources.
+_RNG_MODULES = {"repro.sim.random_streams"}
+
+#: The origin marker for "an actual nondeterminism source".
+_SRC = -1
+
+Origins = frozenset[int]
+_EMPTY: Origins = frozenset()
+_TAINTED: Origins = frozenset((_SRC,))
+
+
+def _is_source(call: Expr, module: str) -> str | None:
+    """Source description if this call reads nondeterministic state."""
+    tgt = call.get("tgt")
+    if tgt is None:
+        return None
+    if tgt in _WALL_CLOCK:
+        return f"wall clock ({tgt})"
+    if (tgt == "random" or tgt.startswith("random.")) \
+            and module not in _RNG_MODULES:
+        return f"unseeded RNG ({tgt})"
+    if tgt in ENV_READ_TARGETS:
+        return "environment read"
+    return None
+
+
+def _env_subscript(expr: Expr) -> bool:
+    return (
+        expr["k"] == "sub"
+        and expr["base"].get("k") == "name"
+        and expr["base"].get("id") == "os.environ"
+    )
+
+
+def _sink_of(call: Expr, model: ProjectModel, info: ModuleInfo,
+             fn: FunctionInfo, types: dict[str, str]) -> str | None:
+    """Sink description if this call schedules / seeds / traces."""
+    method = call.get("method")
+    tgt = call.get("tgt")
+    if method in ("schedule", "timeout"):
+        recv_class = model.receiver_class(call, info, fn, types)
+        recv = call.get("recv") or ""
+        tail = recv.rsplit(".", 1)[-1].lstrip("_")
+        if recv_class == "repro.sim.kernel.Simulator" or \
+                tail in ("sim", "simulator"):
+            return f"kernel scheduling (Simulator.{method})"
+        return None
+    if method == "get":
+        recv = call.get("recv") or ""
+        recv_class = model.receiver_class(call, info, fn, types)
+        if recv_class == "repro.sim.random_streams.StreamRegistry" or \
+                recv.rsplit(".", 1)[-1] == "streams":
+            return "seeded stream naming (streams.get)"
+        return None
+    if method == "emit":
+        recv = call.get("recv") or ""
+        if recv == "events" or recv.endswith(".events"):
+            return "trace output (obs.events.emit)"
+        return None
+    if tgt is not None:
+        class_key = model.constructor_class(tgt, info)
+        if class_key == "repro.sim.kernel.Simulator":
+            return "RNG seeding (Simulator construction)"
+        if class_key == "repro.sim.random_streams.StreamRegistry":
+            return "RNG seeding (StreamRegistry construction)"
+        if class_key == "repro.sim.events.Timeout":
+            return "kernel scheduling (Timeout construction)"
+    return None
+
+
+class _TaintPass:
+    """One whole-program taint fixpoint plus finding generation."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: function key -> origin set of its returns
+        self.returns: dict[str, Origins] = {}
+        #: function key -> {param index: sink description}
+        self.to_sink: dict[str, dict[int, str]] = {}
+        #: tainted class attributes: "module.Class.attr"
+        self.attr_taint: set[str] = set()
+        self._types: dict[int, dict[str, str]] = {}
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _fn_key(self, info: ModuleInfo, fn: FunctionInfo) -> str:
+        return f"{info.module}:{fn.qualname}"
+
+    def _local_types(self, info: ModuleInfo,
+                     fn: FunctionInfo) -> dict[str, str]:
+        key = id(fn)
+        types = self._types.get(key)
+        if types is None:
+            types = self.model.local_types(info, fn)
+            self._types[key] = types
+        return types
+
+    def _functions(self) -> Iterator[tuple[ModuleInfo, FunctionInfo]]:
+        for name in sorted(self.model.modules):
+            info = self.model.modules[name]
+            for qualname in sorted(info.functions):
+                yield info, info.functions[qualname]
+
+    # -- taint evaluation --------------------------------------------------
+
+    def _env_for(self, info: ModuleInfo,
+                 fn: FunctionInfo) -> dict[str, Origins]:
+        """Variable origin sets from the function's assignments."""
+        env: dict[str, Origins] = {
+            param: frozenset((index,))
+            for index, param in enumerate(fn.params)
+        }
+        for _round in range(4):
+            changed = False
+            for assign in fn.assigns:
+                origins = self._origins(assign["v"], env, info, fn)
+                if origins - env.get(assign["t"], _EMPTY):
+                    env[assign["t"]] = env.get(
+                        assign["t"], _EMPTY
+                    ) | origins
+                    changed = True
+            if not changed:
+                break
+        return env
+
+    def _origins(self, expr: Expr, env: dict[str, Origins],
+                 info: ModuleInfo, fn: FunctionInfo) -> Origins:
+        kind = expr["k"]
+        if kind == "const":
+            return _EMPTY
+        if kind == "name":
+            name = expr["id"]
+            found = env.get(name, _EMPTY)
+            if name.startswith("self.") and fn.cls is not None:
+                attr_key = f"{info.module}.{fn.cls}.{name[5:]}"
+                if attr_key in self.attr_taint:
+                    found = found | _TAINTED
+            return found
+        if kind == "call":
+            return self._call_origins(expr, env, info, fn)
+        if kind == "sub" and _env_subscript(expr):
+            return _TAINTED
+        out: Origins = _EMPTY
+        for child in _expr_children(expr):
+            out = out | self._origins(child, env, info, fn)
+        return out
+
+    def _call_origins(self, call: Expr, env: dict[str, Origins],
+                      info: ModuleInfo, fn: FunctionInfo) -> Origins:
+        if _is_source(call, info.module) is not None:
+            return _TAINTED
+        arg_origins: Origins = _EMPTY
+        for child in list(call["args"]) + list(call["kw"].values()):
+            arg_origins = arg_origins | self._origins(
+                child, env, info, fn
+            )
+        callee = self.model.resolve_call(
+            call, info, fn, self._local_types(info, fn)
+        )
+        if callee is None:
+            # Unknown call: taint flows through, none is created.
+            return arg_origins
+        summary = self.returns.get(callee, _EMPTY)
+        out: Origins = frozenset(o for o in summary if o == _SRC)
+        callee_fn = self.model.functions.get(callee)
+        if callee_fn is not None:
+            for index, param in self._call_bindings(call, callee_fn):
+                if index in summary:
+                    out = out | self._origins(param, env, info, fn)
+        return out
+
+    def _call_bindings(self, call: Expr, callee: FunctionInfo,
+                       ) -> list[tuple[int, Expr]]:
+        """(callee param index, argument expression) pairs."""
+        bound = list(enumerate(call["args"]))
+        index_of = {name: i for i, name in enumerate(callee.params)}
+        for name, value in call["kw"].items():
+            if name in index_of:
+                bound.append((index_of[name], value))
+        return bound
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def run(self) -> None:
+        for _round in range(12):
+            changed = False
+            for info, fn in self._functions():
+                changed |= self._summarise(info, fn)
+            if not changed:
+                break
+
+    def _summarise(self, info: ModuleInfo, fn: FunctionInfo) -> bool:
+        key = self._fn_key(info, fn)
+        env = self._env_for(info, fn)
+        returns: Origins = _EMPTY
+        for expr in fn.returns:
+            returns = returns | self._origins(expr, env, info, fn)
+        to_sink = dict(self.to_sink.get(key, {}))
+        types = self._local_types(info, fn)
+        for call in fn.calls:
+            sink = _sink_of(call, self.model, info, fn, types)
+            callee = self.model.resolve_call(call, info, fn, types)
+            callee_fn = (
+                self.model.functions.get(callee)
+                if callee is not None else None
+            )
+            callee_sinks = (
+                self.to_sink.get(callee, {}) if callee else {}
+            )
+            for arg in list(call["args"]) + list(call["kw"].values()):
+                origins = self._origins(arg, env, info, fn)
+                for origin in origins:
+                    if origin == _SRC:
+                        continue
+                    if sink is not None:
+                        to_sink.setdefault(origin, sink)
+                if callee_fn is not None:
+                    for index, bound in self._call_bindings(
+                        call, callee_fn
+                    ):
+                        if bound is not arg or index not in callee_sinks:
+                            continue
+                        for origin in origins:
+                            if origin != _SRC:
+                                to_sink.setdefault(
+                                    origin, callee_sinks[index]
+                                )
+        changed = False
+        if returns - self.returns.get(key, _EMPTY):
+            self.returns[key] = returns | self.returns.get(key, _EMPTY)
+            changed = True
+        if to_sink != self.to_sink.get(key, {}):
+            self.to_sink[key] = to_sink
+            changed = True
+        # Class-attribute taint: tainted value stored on self.
+        if fn.cls is not None:
+            for assign in fn.assigns:
+                target = assign["t"]
+                if not target.startswith("self."):
+                    continue
+                origins = self._origins(assign["v"], env, info, fn)
+                if _SRC in origins:
+                    attr_key = f"{info.module}.{fn.cls}.{target[5:]}"
+                    if attr_key not in self.attr_taint:
+                        self.attr_taint.add(attr_key)
+                        changed = True
+        return changed
+
+    # -- findings ----------------------------------------------------------
+
+    def findings_for(self, info: ModuleInfo) -> list[Finding]:
+        out: list[Finding] = []
+        for qualname in sorted(info.functions):
+            fn = info.functions[qualname]
+            env = self._env_for(info, fn)
+            types = self._local_types(info, fn)
+            for call in fn.calls:
+                sink = _sink_of(call, self.model, info, fn, types)
+                if sink is not None:
+                    for arg in (list(call["args"])
+                                + list(call["kw"].values())):
+                        origins = self._origins(arg, env, info, fn)
+                        if _SRC in origins:
+                            out.append(self._finding(
+                                info, call,
+                                "nondeterministic value (wall-clock/"
+                                f"random/env read) reaches {sink}; "
+                                "derive it from Simulator.now or a "
+                                "seeded stream instead",
+                            ))
+                            break
+                    continue
+                callee = self.model.resolve_call(call, info, fn, types)
+                if callee is None:
+                    continue
+                callee_fn = self.model.functions.get(callee)
+                callee_sinks = self.to_sink.get(callee, {})
+                if callee_fn is None or not callee_sinks:
+                    continue
+                for index, arg in self._call_bindings(call, callee_fn):
+                    if index not in callee_sinks:
+                        continue
+                    origins = self._origins(arg, env, info, fn)
+                    if _SRC in origins:
+                        param = (
+                            callee_fn.params[index]
+                            if index < len(callee_fn.params)
+                            else f"#{index}"
+                        )
+                        out.append(self._finding(
+                            info, call,
+                            "nondeterministic value flows into "
+                            f"`{callee_fn.qualname}({param}=...)`, "
+                            f"which reaches {callee_sinks[index]}",
+                        ))
+        return out
+
+    def _finding(self, info: ModuleInfo, call: Expr,
+                 message: str) -> Finding:
+        return Finding(
+            path=info.path, line=call["line"], col=call["col"],
+            code="GL101", message=message,
+        )
+
+
+def check_gl101(model: ProjectModel) -> dict[str, list[Finding]]:
+    """Run the taint analysis; findings keyed by module name."""
+    analysis = _TaintPass(model)
+    analysis.run()
+    out: dict[str, list[Finding]] = {}
+    for name in sorted(model.modules):
+        found = analysis.findings_for(model.modules[name])
+        if found:
+            out[name] = sorted(set(found))
+    return out

@@ -46,6 +46,19 @@ RULES = {
     "GL007": "direct datachannel transfer outside repro.gridftp — raw "
              "reads bypass block-checksum verification; go through "
              "GridFtpClient / ReliableFileTransfer",
+    # Interprocedural rules (repro.analysis.gridlint.program); they run
+    # only in whole-program mode, but live in the shared catalog so
+    # --select/--ignore/--list-rules and the SARIF rule table see them.
+    "GL101": "determinism taint — a wall-clock/random/environment read "
+             "flows (through calls) into kernel scheduling, RNG "
+             "seeding or trace output",
+    "GL102": "unit-dimension mismatch — seconds/bytes/rates/Mbps "
+             "inferred from repro.units annotations and parameter "
+             "names disagree at a call argument or +/- expression",
+    "GL103": "guard-timer leak — a guard_tag'ed timer is armed with no "
+             "reachable cancel()/stop() path on any alias",
+    "GL104": "fast-path parity — state written under one REPRO_* "
+             "toggle branch that the other branch never writes",
 }
 
 #: Dotted call targets that read the host's clock.

@@ -48,3 +48,23 @@ def to_megabytes(nbytes: float) -> float:
 def milliseconds(ms: float) -> float:
     """Convert milliseconds to seconds."""
     return ms / 1e3
+
+
+#: Dimension annotations for the helpers above, consumed by gridlint's
+#: GL102 unit-dimension inference (see
+#: :mod:`repro.analysis.gridlint.program.dimensions`).  Maps helper
+#: name -> (parameter dimensions, return dimension).  Dimension names
+#: are the analysis' canonical vocabulary: ``seconds``,
+#: ``milliseconds``, ``bytes``, ``megabytes``, ``bytes_per_s``,
+#: ``mbps``, ``gbps``.
+DIMENSIONS: dict[str, tuple[tuple[str, ...], str]] = {
+    "mbit_per_s": (("mbps",), "bytes_per_s"),
+    "gbit_per_s": (("gbps",), "bytes_per_s"),
+    "to_mbit_per_s": (("bytes_per_s",), "mbps"),
+    "megabytes": (("megabytes",), "bytes"),
+    "to_megabytes": (("bytes",), "megabytes"),
+    "milliseconds": (("milliseconds",), "seconds"),
+}
+
+#: Constants above that denote byte quantities (``n * MiB`` is bytes).
+BYTE_CONSTANTS: tuple[str, ...] = ("KiB", "MiB", "GiB")

@@ -1,0 +1,11 @@
+"""Planted bug: wall-clock jitter laundered through a helper."""
+
+import time  # gridlint: disable-file=GL001 -- planted interprocedural fixture
+
+
+def jitter():
+    return time.time() % 1.0
+
+
+def doubled_jitter():
+    return jitter() * 2.0

@@ -1,0 +1,15 @@
+"""The taint crosses two call hops before hitting the scheduler."""
+
+from helper import doubled_jitter
+
+
+class Mover:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def go(self):
+        delay = doubled_jitter()
+        self.sim.schedule(delay, self._arrive)
+
+    def _arrive(self):
+        pass

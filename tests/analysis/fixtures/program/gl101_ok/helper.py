@@ -1,0 +1,5 @@
+"""Clean twin: delays derive from the seeded stream registry."""
+
+
+def service_delay(streams):
+    return streams.get("mover.service").expovariate(1.0)

@@ -1,0 +1,16 @@
+"""Seeded-stream delays are deterministic given the root seed."""
+
+from helper import service_delay
+
+
+class Mover:
+    def __init__(self, sim, streams):
+        self.sim = sim
+        self.streams = streams
+
+    def go(self):
+        delay = service_delay(self.streams)
+        self.sim.schedule(delay, self._arrive)
+
+    def _arrive(self):
+        pass

@@ -1,0 +1,14 @@
+"""Planted bugs: a seconds value in a bytes slot, seconds + bytes."""
+
+
+def transfer_time(size_bytes, bandwidth):
+    return size_bytes / bandwidth
+
+
+def caller(timeout_seconds, bandwidth):
+    # Wrong argument: passes a duration where a payload size belongs.
+    return transfer_time(timeout_seconds, bandwidth)
+
+
+def mixed_arithmetic(delay_seconds, nbytes):
+    return delay_seconds + nbytes

@@ -1,0 +1,13 @@
+"""Clean twin: dimensions line up at every call and operator."""
+
+
+def transfer_time(size_bytes, bandwidth):
+    return size_bytes / bandwidth
+
+
+def caller(payload_bytes, bandwidth):
+    return transfer_time(payload_bytes, bandwidth)
+
+
+def total_delay(delay_seconds, rtt):
+    return delay_seconds + rtt

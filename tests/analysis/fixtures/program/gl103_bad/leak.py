@@ -1,0 +1,13 @@
+"""Planted bug: a guard timer armed with no cancel path anywhere."""
+
+
+class Watchdog:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def arm(self):
+        handle = self.sim.schedule(5.0, self._fire)
+        handle.guard_tag = "fixture-watchdog"
+
+    def _fire(self):
+        pass

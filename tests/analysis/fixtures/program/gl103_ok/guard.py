@@ -1,0 +1,63 @@
+"""Clean twins for every proof strategy GL103 knows about."""
+
+
+class StoredOnSelf:
+    """Handle stored on self; a stop() method cancels it."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._timer = None
+
+    def arm(self):
+        self._timer = self.sim.schedule(5.0, self._fire)
+        self._timer.guard_tag = "stored"
+
+    def stop(self):
+        if self._timer is not None:
+            self._timer.cancel()
+
+    def _fire(self):
+        pass
+
+
+class PooledTimers:
+    """Handles appended to a container; cancel loops over it."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._pending = []
+
+    def arm_many(self, delays):
+        for delay in delays:
+            timer = self.sim.schedule(delay, self._fire)
+            timer.guard_tag = "pooled"
+            self._pending.append(timer)
+
+    def drain(self):
+        for timer in self._pending:
+            timer.cancel()
+        self._pending = []
+
+    def _fire(self):
+        pass
+
+
+class ReturnedHandle:
+    """Handle escapes to the caller, which cancels it."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def arm(self):
+        guard = self.sim.schedule(1.0, self._fire)
+        guard.guard_tag = "returned"
+        return guard
+
+    def _fire(self):
+        pass
+
+
+def run_once(sim):
+    owner = ReturnedHandle(sim)
+    guard = owner.arm()
+    guard.cancel()

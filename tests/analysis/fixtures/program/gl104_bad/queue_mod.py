@@ -1,0 +1,12 @@
+"""Planted bug: one toggle arm initialises state the other skips."""
+
+import os
+
+
+class EventQueue:
+    def __init__(self):
+        if os.environ.get("REPRO_EVENT_QUEUE") == "heap":
+            self._heap = []
+            self._count = 0
+        else:
+            self._count = 0

@@ -1,0 +1,20 @@
+"""Clean twins: parity via every-arm writes or unconditional init."""
+
+import os
+
+
+class EveryArmWrites:
+    def __init__(self):
+        if os.environ.get("REPRO_EVENT_QUEUE") == "heap":
+            self._impl = []
+            self._count = 0
+        else:
+            self._impl = {}
+            self._count = 0
+
+
+class UnconditionalInit:
+    def __init__(self):
+        self._impl = None
+        if os.environ.get("REPRO_EVENT_QUEUE") == "heap":
+            self._impl = []

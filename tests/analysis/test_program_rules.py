@@ -1,0 +1,81 @@
+"""Planted-bug / clean-twin fixtures for the interprocedural rules."""
+
+import os
+
+import pytest
+
+from repro.analysis.gridlint.program import analyze_project
+
+FIXTURES = os.path.join(
+    os.path.dirname(__file__), "fixtures", "program"
+)
+
+
+def program_codes(case):
+    """Interprocedural finding codes for one fixture directory."""
+    findings, _ = analyze_project([os.path.join(FIXTURES, case)])
+    return [f.code for f in findings if f.code.startswith("GL1")]
+
+
+@pytest.mark.parametrize("case,code", [
+    ("gl101_bad", "GL101"),
+    ("gl102_bad", "GL102"),
+    ("gl103_bad", "GL103"),
+    ("gl104_bad", "GL104"),
+])
+def test_planted_bug_is_detected(case, code):
+    codes = program_codes(case)
+    assert code in codes
+    assert set(codes) == {code}
+
+
+@pytest.mark.parametrize("case", [
+    "gl101_ok", "gl102_ok", "gl103_ok", "gl104_ok",
+])
+def test_clean_twin_stays_clean(case):
+    assert program_codes(case) == []
+
+
+def test_gl101_finding_names_the_sink():
+    findings, _ = analyze_project([os.path.join(FIXTURES, "gl101_bad")])
+    taint = [f for f in findings if f.code == "GL101"]
+    assert len(taint) == 1
+    assert taint[0].path.endswith("user.py")
+    assert "schedul" in taint[0].message
+
+
+def test_gl102_flags_both_call_and_arithmetic():
+    findings, _ = analyze_project([os.path.join(FIXTURES, "gl102_bad")])
+    messages = [f.message for f in findings if f.code == "GL102"]
+    assert len(messages) == 2
+    assert any("expects" in m for m in messages)
+    assert any("+" in m for m in messages)
+
+
+def test_gl103_anchors_at_the_arming_site():
+    findings, _ = analyze_project([os.path.join(FIXTURES, "gl103_bad")])
+    leaks = [f for f in findings if f.code == "GL103"]
+    assert len(leaks) == 1
+    assert leaks[0].path.endswith("leak.py")
+    assert "cancel" in leaks[0].message
+
+
+def test_gl104_names_the_toggle_and_attribute():
+    findings, _ = analyze_project([os.path.join(FIXTURES, "gl104_bad")])
+    parity = [f for f in findings if f.code == "GL104"]
+    assert len(parity) == 1
+    assert "REPRO_EVENT_QUEUE" in parity[0].message
+    assert "self._heap" in parity[0].message
+
+
+def test_no_program_flag_suppresses_interprocedural_rules():
+    findings, _ = analyze_project(
+        [os.path.join(FIXTURES, "gl103_bad")], program=False
+    )
+    assert [f.code for f in findings if f.code.startswith("GL1")] == []
+
+
+def test_src_tree_is_clean_of_program_findings():
+    """The real codebase holds zero unbaselined GL101-GL104 findings."""
+    findings, _ = analyze_project(["src/"])
+    assert [str(f) for f in findings] == []

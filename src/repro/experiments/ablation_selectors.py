@@ -50,16 +50,26 @@ def _make_selector(name, testbed):
 
 def run_ablation_selectors(selector_names=SELECTOR_NAMES, rounds=8,
                            gap=60.0, file_size_mb=128, seed=0,
-                           warmup=120.0):
-    """One row per policy: mean/total fetch time, oracle agreement."""
+                           warmup=None, topology=None):
+    """One row per policy: mean/total fetch time, oracle agreement.
+
+    ``topology`` runs the comparison on a topology preset (spec or
+    name); client and replica hosts then come from the spec's canonical
+    roles.  ``warmup=None`` uses the testbed's derived recommendation
+    (120 s on the paper's testbed).
+    """
     rows = []
     for name in selector_names:
-        testbed = build_testbed(seed=seed, dynamic=True)
-        register_replicas(testbed, "file-a", REPLICA_HOSTS, file_size_mb)
+        testbed = build_testbed(seed=seed, dynamic=True, topology=topology)
+        if topology is not None:
+            client, replica_hosts = testbed.roles
+        else:
+            client, replica_hosts = CLIENT, REPLICA_HOSTS
+        register_replicas(testbed, "file-a", replica_hosts, file_size_mb)
         testbed.warm_up(warmup)
         selector = _make_selector(name, testbed)
         result = run_selection_trace(
-            testbed, selector, CLIENT, "file-a",
+            testbed, selector, client, "file-a",
             rounds=rounds, gap=gap,
         )
         rows.append({

@@ -33,19 +33,29 @@ DEFAULT_WEIGHT_GRID = (
 
 def run_ablation_weights(weight_grid=DEFAULT_WEIGHT_GRID, rounds=8,
                          gap=60.0, file_size_mb=128, seed=0,
-                         warmup=120.0):
-    """One row per weight triple: realised fetch statistics."""
+                         warmup=None, topology=None):
+    """One row per weight triple: realised fetch statistics.
+
+    ``topology`` runs the sweep on a topology preset (spec or name);
+    client and replica hosts then come from the spec's canonical roles.
+    ``warmup=None`` uses the testbed's derived recommendation (120 s on
+    the paper's testbed).
+    """
     rows = []
     for bw, cpu, io in weight_grid:
         weights = SelectionWeights(bw, cpu, io)
-        testbed = build_testbed(seed=seed, dynamic=True)
-        register_replicas(testbed, "file-a", REPLICA_HOSTS, file_size_mb)
+        testbed = build_testbed(seed=seed, dynamic=True, topology=topology)
+        if topology is not None:
+            client, replica_hosts = testbed.roles
+        else:
+            client, replica_hosts = CLIENT, REPLICA_HOSTS
+        register_replicas(testbed, "file-a", replica_hosts, file_size_mb)
         testbed.warm_up(warmup)
         selector = CostModelSelector(
             testbed.grid, testbed.information, weights=weights
         )
         result = run_selection_trace(
-            testbed, selector, CLIENT, "file-a",
+            testbed, selector, client, "file-a",
             rounds=rounds, gap=gap,
         )
         rows.append({

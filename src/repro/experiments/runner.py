@@ -39,9 +39,10 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig_chaos import run_fig_chaos
 from repro.experiments.fig_integrity import run_fig_integrity
+from repro.experiments.fig_scale import run_fig_scale
 from repro.experiments.table1 import run_table1
 
-__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+__all__ = ["EXPERIMENTS", "PRESET_EXPERIMENTS", "main", "run_experiment"]
 
 
 def _fig1(quick, seed):
@@ -63,8 +64,10 @@ def _fig4(quick, seed):
     return run_fig4(sizes_mb=sizes, streams=streams, seed=seed)
 
 
-def _table1(quick, seed):
-    return run_table1(file_size_mb=64 if quick else 1024, seed=seed)
+def _table1(quick, seed, preset=None):
+    return run_table1(
+        file_size_mb=64 if quick else 1024, seed=seed, topology=preset
+    )
 
 
 def _fig5(quick, seed):
@@ -72,17 +75,19 @@ def _fig5(quick, seed):
     return run_fig5(duration=duration, seed=seed)
 
 
-def _abl_weights(quick, seed):
+def _abl_weights(quick, seed, preset=None):
     rounds = 3 if quick else 8
     size = 32 if quick else 128
-    return run_ablation_weights(rounds=rounds, file_size_mb=size, seed=seed)
+    return run_ablation_weights(
+        rounds=rounds, file_size_mb=size, seed=seed, topology=preset
+    )
 
 
-def _abl_selectors(quick, seed):
+def _abl_selectors(quick, seed, preset=None):
     rounds = 3 if quick else 8
     size = 32 if quick else 128
     return run_ablation_selectors(
-        rounds=rounds, file_size_mb=size, seed=seed
+        rounds=rounds, file_size_mb=size, seed=seed, topology=preset
     )
 
 
@@ -146,6 +151,14 @@ def _abl_coalloc(quick, seed):
     )
 
 
+def _fig_scale(quick, seed):
+    from repro.experiments.fig_scale import SIZES_FULL, SIZES_QUICK
+
+    return run_fig_scale(
+        sizes=SIZES_QUICK if quick else SIZES_FULL, seed=seed
+    )
+
+
 #: Experiment id -> runner(quick, seed).
 EXPERIMENTS = {
     "fig1": _fig1,
@@ -164,26 +177,39 @@ EXPERIMENTS = {
     "abl_forecast": _abl_forecast,
     "abl_coalloc": _abl_coalloc,
     "abl_staleness": _abl_staleness,
+    "fig_scale": _fig_scale,
 }
 
+#: Experiments accepting a ``--preset`` topology override.
+PRESET_EXPERIMENTS = frozenset({"table1", "abl_weights", "abl_selectors"})
 
-def run_experiment(experiment_id, quick=False, seed=0, seeds=1):
+
+def run_experiment(experiment_id, quick=False, seed=0, seeds=1,
+                   preset=None):
     """Run one experiment by id; returns its ExperimentResult.
 
     With ``seeds > 1`` the experiment replicates over seeds
     ``seed .. seed+seeds-1`` and reports mean ± 95% CI per cell.
+    ``preset`` runs the experiment on a named topology preset instead
+    of the paper's testbed (:data:`PRESET_EXPERIMENTS` only).
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         )
+    if preset is not None and experiment_id not in PRESET_EXPERIMENTS:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not take a topology "
+            f"preset; supported: {sorted(PRESET_EXPERIMENTS)}"
+        )
+    kwargs = {} if preset is None else {"preset": preset}
     if seeds <= 1:
-        return EXPERIMENTS[experiment_id](quick, seed)
+        return EXPERIMENTS[experiment_id](quick, seed, **kwargs)
     from repro.experiments.replication import replicate
 
     def one_run(seed):
-        return EXPERIMENTS[experiment_id](quick, seed)
+        return EXPERIMENTS[experiment_id](quick, seed, **kwargs)
 
     return replicate(one_run, range(seed, seed + seeds))
 
@@ -204,6 +230,13 @@ def main(argv=None):
     parser.add_argument(
         "--seeds", type=int, default=1,
         help="replicate over this many seeds and report mean ± 95%% CI",
+    )
+    parser.add_argument(
+        "--preset", metavar="NAME",
+        help="run on a named topology preset (paper3, fat_tree_campus, "
+             "transcontinental_federation, degraded_backbone, "
+             "scaled-<n>) — supported by "
+             "table1 / abl_weights / abl_selectors",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids"
@@ -242,6 +275,16 @@ def main(argv=None):
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.preset:
+        unsupported = [
+            e for e in requested if e not in PRESET_EXPERIMENTS
+        ]
+        if unsupported:
+            parser.error(
+                f"--preset is not supported by: "
+                f"{', '.join(unsupported)} "
+                f"(supported: {', '.join(sorted(PRESET_EXPERIMENTS))})"
+            )
 
     observing = args.trace_out or args.obs_report
     trace_handle = None
@@ -270,7 +313,7 @@ def main(argv=None):
         for experiment_id in requested:
             result = run_experiment(
                 experiment_id, quick=args.quick, seed=args.seed,
-                seeds=args.seeds,
+                seeds=args.seeds, preset=args.preset,
             )
             text = result.to_text()
             print(text)

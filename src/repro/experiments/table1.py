@@ -16,7 +16,9 @@ from repro.gridftp import GridFtpClient
 from repro.testbed import build_testbed
 from repro.units import megabytes
 
-__all__ = ["run_table1", "CLIENT", "REPLICA_HOSTS", "LOAD_PROFILE"]
+__all__ = [
+    "run_table1", "CLIENT", "REPLICA_HOSTS", "LOAD_LEVELS", "LOAD_PROFILE",
+]
 
 CLIENT = "alpha1"
 REPLICA_HOSTS = ("alpha4", "hit0", "lz02")
@@ -30,19 +32,36 @@ LOAD_PROFILE = {
     "lz02": (0.0, 0.00),
 }
 
+#: The same load levels positionally, for topology-preset runs whose
+#: replica hosts the roles derive (first replica busiest, as above).
+LOAD_LEVELS = ((1.0, 0.30), (0.4, 0.10), (0.0, 0.00))
 
-def run_table1(file_size_mb=1024, seed=0, warmup=120.0,
-               sensor_period=10.0):
-    """Regenerate Table 1.  One row per candidate replica host."""
-    testbed = build_testbed(seed=seed, sensor_period=sensor_period)
+
+def run_table1(file_size_mb=1024, seed=0, warmup=None,
+               sensor_period=10.0, topology=None):
+    """Regenerate Table 1.  One row per candidate replica host.
+
+    ``topology`` runs the same scenario on a topology preset (spec or
+    name): the client and replica hosts come from the spec's canonical
+    roles and the background-load profile is applied positionally.
+    ``warmup=None`` uses the testbed's derived recommendation (120 s on
+    the paper's testbed, longer on long-haul presets).
+    """
+    testbed = build_testbed(
+        seed=seed, sensor_period=sensor_period, topology=topology
+    )
     grid = testbed.grid
+    if topology is not None:
+        client, replica_hosts = testbed.roles
+    else:
+        client, replica_hosts = CLIENT, REPLICA_HOSTS
 
     size = megabytes(file_size_mb)
     testbed.catalog.create_logical_file("file-a", size)
-    for host_name in REPLICA_HOSTS:
+    for index, host_name in enumerate(replica_hosts):
         grid.host(host_name).filesystem.create("file-a", size)
         testbed.catalog.register_replica("file-a", host_name)
-        busy_cores, disk_util = LOAD_PROFILE[host_name]
+        busy_cores, disk_util = LOAD_LEVELS[index % len(LOAD_LEVELS)]
         grid.host(host_name).cpu.set_background_busy(busy_cores)
         grid.host(host_name).disk.set_background_utilisation(disk_util)
     grid.network.rebalance()
@@ -52,26 +71,26 @@ def run_table1(file_size_mb=1024, seed=0, warmup=120.0,
 
     decision = grid.sim.run(
         until=grid.sim.process(
-            testbed.selection_server.select(CLIENT, "file-a")
+            testbed.selection_server.select(client, "file-a")
         )
     )
 
     # Now fetch from every candidate and time it (sequentially, so the
     # measurements do not contend with each other — as in the paper).
     transfer_seconds = {}
-    for host_name in REPLICA_HOSTS:
-        client = GridFtpClient(grid, CLIENT)
+    for host_name in replica_hosts:
+        ftp_client = GridFtpClient(grid, client)
         record = grid.sim.run(
             until=grid.sim.process(
-                client.get(host_name, "file-a", f"from-{host_name}")
+                ftp_client.get(host_name, "file-a", f"from-{host_name}")
             )
         )
         transfer_seconds[host_name] = record.elapsed
-        grid.host(CLIENT).filesystem.delete(f"from-{host_name}")
+        grid.host(client).filesystem.delete(f"from-{host_name}")
 
     by_candidate = {s.candidate: s for s in decision.scores}
     rows = []
-    for host_name in REPLICA_HOSTS:
+    for host_name in replica_hosts:
         score = by_candidate[host_name]
         rows.append({
             "replica_host": host_name,
@@ -89,7 +108,7 @@ def run_table1(file_size_mb=1024, seed=0, warmup=120.0,
         experiment_id="table1",
         title=(
             "Replica selection cost model vs measured transfer time "
-            f"(file-a, {file_size_mb} MB, client {CLIENT})"
+            f"(file-a, {file_size_mb} MB, client {client})"
         ),
         headers=[
             "replica_host", "BW_P", "CPU_P", "IO_P", "score",

@@ -25,6 +25,8 @@ from repro.units import KiB
 __all__ = [
     "BENCH_SCHEMA",
     "PINNED_SUITE",
+    "SCALE_SUITE",
+    "SUITES",
     "SimUsageTracker",
     "default_bench_filename",
     "environment_fingerprint",
@@ -42,6 +44,14 @@ BENCH_SCHEMA = "repro-bench/1"
 #: two service-heavy exhibits (chaos and integrity) — together they
 #: exercise every hot subsystem the profiler attributes.
 PINNED_SUITE = ("table1", "fig3", "fig_chaos", "fig_integrity")
+
+#: The scale suite: the grid-size sweep (10 -> 1000 sites full, smaller
+#: in --quick), tracked in its own BENCH trajectory so the pinned
+#: baseline's coverage gate is untouched.
+SCALE_SUITE = ("fig_scale",)
+
+#: Named suites the CLI's ``--suite`` selects from.
+SUITES = {"pinned": PINNED_SUITE, "scale": SCALE_SUITE}
 
 #: Per-experiment metrics every BENCH entry must carry.
 EXPERIMENT_METRICS = (

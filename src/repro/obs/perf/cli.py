@@ -60,6 +60,11 @@ def main(argv=None):
         help="experiment ids to benchmark (default: the pinned suite)",
     )
     parser.add_argument(
+        "--suite", choices=("pinned", "scale"),
+        help="benchmark a named suite instead of listing experiment "
+             "ids (scale = the fig_scale grid-size sweep)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="reduced-scale runs (the CI reference configuration)",
     )
@@ -102,12 +107,20 @@ def main(argv=None):
 
     from repro.obs.perf.bench import (
         PINNED_SUITE,
+        SUITES,
         default_bench_filename,
         run_bench,
         write_bench,
     )
 
-    suite = tuple(args.experiments) if args.experiments else PINNED_SUITE
+    if args.suite and args.experiments:
+        parser.error("--suite and experiment ids are mutually exclusive")
+    if args.suite:
+        suite = SUITES[args.suite]
+    else:
+        suite = (
+            tuple(args.experiments) if args.experiments else PINNED_SUITE
+        )
     from repro.experiments.runner import EXPERIMENTS
 
     unknown = [e for e in suite if e not in EXPERIMENTS]

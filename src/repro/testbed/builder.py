@@ -1,10 +1,28 @@
-"""Builds the full simulated testbed with all services attached."""
+"""Builds the full simulated testbed with all services attached.
+
+Two construction paths share this module:
+
+* the legacy path (``sites=``): the paper's flat layout — every site
+  switch on one backbone router, all-pairs NWS mesh, single GIIS;
+* the topology path (``topology=``): any
+  :class:`~repro.testbed.topology.TopologySpec` — per-region gateway
+  routers joined by asymmetric WAN links, with either the same flat
+  ``"full"`` monitoring or the hierarchical ``"regional"`` layout
+  (per-region GIIS/NWS federated at the selection host, see
+  :mod:`repro.monitoring.federation`).
+
+``build_testbed(topology=preset("paper3"))`` reproduces the legacy
+``build_testbed()`` byte for byte — same construction order, same
+stream names, same trace digest (the differential battery in
+``tests/testbed/test_topology_differential.py`` proves it).
+"""
 
 from repro.core.server import ReplicaSelectionServer
 from repro.grid import DataGrid
 from repro.gridftp.ftp import FtpServer
 from repro.gridftp.gridftp import GridFtpServer
 from repro.hosts.load import CPULoadGenerator, DiskLoadGenerator
+from repro.monitoring.federation import FederatedGIIS, FederatedNwsMemory
 from repro.monitoring.information import InformationService
 from repro.monitoring.mds import GIIS, GRIS
 from repro.monitoring.nws import (
@@ -40,6 +58,19 @@ class Testbed:
         self.cliques = []
         self.load_generators = []
         self.cross_traffic = []
+        #: The TopologySpec this testbed was built from (None on the
+        #: legacy ``sites=`` path).
+        self.spec = None
+        #: Canonical (client_host, replica_hosts) roles, when known.
+        self.roles = None
+        #: Per-region NwsMemory / GIIS under "regional" monitoring.
+        self.region_memories = {}
+        self.region_giises = {}
+        self.sensor_period = 10.0
+        #: Worst-case host-to-host round trip, seconds.
+        self.max_wan_rtt = 0.0
+        #: Derived default for :meth:`warm_up`.
+        self.recommended_warmup = 120.0
 
     def __repr__(self):
         return (
@@ -59,26 +90,246 @@ class Testbed:
     def host_names(self):
         return self.grid.host_names()
 
-    def warm_up(self, duration=120.0):
-        """Run the simulation so monitors accumulate history."""
+    def warm_up(self, duration=None):
+        """Run the simulation so monitors accumulate history.
+
+        ``duration=None`` uses :attr:`recommended_warmup`, which scales
+        with the topology's worst WAN round trip and the sensor period
+        — the fixed 120 s the default used to be under-warms
+        transcontinental presets whose probes take seconds per round
+        trip.
+        """
+        if duration is None:
+            duration = self.recommended_warmup
         self.grid.run(until=self.sim.now + duration)
+
+
+def _derived_warmup(max_wan_rtt, sensor_period):
+    """Warm-up long enough for forecasts to settle on any topology.
+
+    Three floors: the legacy 120 s (the paper's testbed), eight sensor
+    periods (forecast batteries need a handful of samples), and 1500
+    worst-case round trips (what 120 s gives the legacy testbed's worst
+    pair, preserved as a per-RTT budget for long-haul presets).
+    """
+    return max(120.0, 8.0 * sensor_period, 1500.0 * max_wan_rtt)
+
+
+def _legacy_max_rtt(sites):
+    """Worst host-to-host RTT of the flat layout: both worst uplinks."""
+    worst = max(site.wan_latency for site in sites)
+    if len(sites) > 1 or len(sites[0].host_names) > 1:
+        return 2.0 * (worst + worst)
+    return 2.0 * worst
+
+
+def _build_site(grid, site, uplink_router):
+    """One site: switch, uplink, hosts with LAN links (shared by both
+    construction paths — order matters for digest equality)."""
+    grid.add_router(site.switch_name, site=site.name)
+    grid.connect(
+        site.switch_name, uplink_router, site.wan_capacity,
+        latency=site.wan_latency, loss_rate=site.wan_loss_rate,
+    )
+    for host_name in site.host_names:
+        grid.add_host(
+            host_name, site.name,
+            cores=site.cores,
+            frequency_ghz=site.frequency_ghz,
+            disk_bandwidth=site.disk_bandwidth,
+            disk_capacity=site.disk_capacity,
+            memory_bytes=site.memory_bytes,
+        )
+        grid.connect(
+            host_name, site.switch_name, site.lan_capacity,
+            latency=site.lan_latency,
+        )
+
+
+def _attach_full_monitoring(grid, sites, nameserver, nws_memory, giis,
+                            sensor_period, use_cliques):
+    """The paper's flat deployment: CPU sensors everywhere, bandwidth
+    sensors between every ordered host pair."""
+    sensors = []
+    cliques = []
+    for host in grid.hosts.values():
+        giis.register(GRIS(grid, host.name))
+        sensors.append(
+            CpuSensor(
+                grid.sim, nws_memory, host, period=sensor_period,
+                nameserver=nameserver,
+            )
+        )
+    host_names = grid.host_names()
+    for src in host_names:
+        members = []
+        for dst in host_names:
+            if src == dst:
+                continue
+            sensor = BandwidthSensor(
+                grid.sim, nws_memory, grid, src, dst,
+                period=sensor_period, nameserver=nameserver,
+                autostart=not use_cliques,
+            )
+            sensors.append(sensor)
+            members.append(sensor)
+        if use_cliques and members:
+            cliques.append(
+                Clique(
+                    grid.sim, f"clique@{src}", members,
+                    period=sensor_period,
+                )
+            )
+    return sensors, cliques
+
+
+def _attach_regional_monitoring(grid, spec, nameserver, selection_host,
+                                sensor_period):
+    """Hierarchical deployment: per-region GIIS/NWS memory, sensors on
+    the hierarchy only, federation frontends at the selection host.
+
+    Sensor budget: one CPU sensor per host, one bandwidth pair per
+    non-hub site (representative <-> hub) and the hub <-> hub mesh —
+    about ``hosts + 2*sites + regions^2`` sensors instead of the flat
+    layout's ``hosts^2``.
+
+    Every sensor in a region shares one tick-group phase (region index
+    spread over the period), so a thousand-site grid ticks a few dozen
+    timers per period instead of thousands.
+    """
+    sensors = []
+    region_memories = {}
+    region_giises = {}
+    region_of = {}
+    rep_of = {}
+    hub_of = {}
+    ttl = min(30.0, sensor_period)
+    n_regions = len(spec.regions)
+
+    for index, region in enumerate(spec.regions):
+        phase = sensor_period * index / n_regions
+        hub = region.hub_host
+        hub_of[region.name] = hub
+        memory = NwsMemory(grid.sim, name=f"memory@{region.name}")
+        nameserver.register("memory", memory.name, memory)
+        region_memories[region.name] = memory
+        region_giis = GIIS(grid, hub, ttl=ttl)
+        region_giises[region.name] = region_giis
+        for site in region.sites:
+            rep = site.host_names[0]
+            for host_name in site.host_names:
+                region_of[host_name] = region.name
+                rep_of[host_name] = rep
+                region_giis.register(GRIS(grid, host_name))
+                sensors.append(
+                    CpuSensor(
+                        grid.sim, memory, grid.host(host_name),
+                        period=sensor_period, nameserver=nameserver,
+                        phase=phase,
+                    )
+                )
+            if rep != hub:
+                for src, dst in ((rep, hub), (hub, rep)):
+                    sensors.append(
+                        BandwidthSensor(
+                            grid.sim, memory, grid, src, dst,
+                            period=sensor_period, nameserver=nameserver,
+                            phase=phase,
+                        )
+                    )
+
+    # Hub <-> hub mesh: each directed pair measured from the source
+    # region (stored in the source region's memory, at its phase).
+    for index, region in enumerate(spec.regions):
+        phase = sensor_period * index / n_regions
+        src_hub = hub_of[region.name]
+        for other in spec.regions:
+            if other.name == region.name:
+                continue
+            sensors.append(
+                BandwidthSensor(
+                    grid.sim, region_memories[region.name], grid,
+                    src_hub, hub_of[other.name],
+                    period=sensor_period, nameserver=nameserver,
+                    phase=phase,
+                )
+            )
+
+    fed_memory = FederatedNwsMemory(
+        grid.sim, f"memory@{selection_host}",
+        region_of=region_of, rep_of=rep_of, hub_of=hub_of,
+        memories=region_memories,
+    )
+    nameserver.register("memory", fed_memory.name, fed_memory)
+    fed_giis = FederatedGIIS(grid, selection_host, ttl=ttl)
+    for region in spec.regions:
+        fed_giis.add_region(region.name, region_giises[region.name])
+    return sensors, fed_memory, fed_giis, region_memories, region_giises
+
+
+def _attach_dynamics(testbed, grid, sites, uplinks, backbone_links):
+    """Markov-modulated load on every host plus cross traffic on every
+    WAN link (site uplinks and backbone links, both directions)."""
+    rebalance = grid.network.rebalance
+    for site in sites:
+        for host_name in site.host_names:
+            host = grid.host(host_name)
+            testbed.load_generators.append(
+                CPULoadGenerator(
+                    grid.sim, host.cpu,
+                    levels=[0.0, 0.25 * site.cores,
+                            0.6 * site.cores, 0.9 * site.cores],
+                    mean_holding_time=60.0,
+                    notify=rebalance, jitter=0.05,
+                )
+            )
+            testbed.load_generators.append(
+                DiskLoadGenerator(
+                    grid.sim, host.disk,
+                    levels=[0.0, 0.2, 0.5, 0.8],
+                    mean_holding_time=90.0,
+                    notify=rebalance, jitter=0.05,
+                )
+            )
+        router = uplinks[site.name]
+        for direction in [
+            (site.switch_name, router), (router, site.switch_name)
+        ]:
+            link = grid.topology.link(*direction)
+            testbed.cross_traffic.append(
+                CrossTrafficProcess(
+                    grid.sim, grid.network, link,
+                    levels=[0.05, 0.2, 0.4, 0.6],
+                    mean_holding_time=45.0, jitter=0.05,
+                )
+            )
+    for src, dst in backbone_links:
+        link = grid.topology.link(src, dst)
+        testbed.cross_traffic.append(
+            CrossTrafficProcess(
+                grid.sim, grid.network, link,
+                levels=[0.05, 0.2, 0.4, 0.6],
+                mean_holding_time=45.0, jitter=0.05,
+            )
+        )
 
 
 def build_testbed(sites=None, seed=0, monitoring=True,
                   sensor_period=10.0, dynamic=False,
                   catalog_host=None, selection_host=None,
-                  weights=None, use_cliques=False, observe=None):
-    """Construct the paper's three-cluster testbed.
+                  weights=None, use_cliques=False, observe=None,
+                  topology=None, monitoring_mode=None):
+    """Construct the paper's testbed, or any topology preset.
 
     Parameters
     ----------
     sites:
         Iterable of :class:`SiteSpec`; defaults to the paper's three.
+        Mutually exclusive with ``topology``.
     seed:
         Root seed for all randomness.
     monitoring:
-        Attach the NWS deployment (bandwidth sensors between every
-        cross-site host pair, CPU sensors everywhere) and MDS.
+        Attach the NWS deployment and MDS.
     sensor_period:
         NWS sensor measurement period, seconds.
     dynamic:
@@ -88,48 +339,78 @@ def build_testbed(sites=None, seed=0, monitoring=True,
     catalog_host / selection_host:
         Where the catalog and selection/information servers run;
         default: the first host of the first site (the paper runs them
-        at THU).
+        at THU), or the topology's client role on the topology path.
     weights:
         Cost-model weights; default the paper's 80/10/10.
     use_cliques:
         Schedule bandwidth probes through NWS cliques (one per source
         host, token round-robin) instead of independent timers, so
         probes from the same source never collide.  Each pair is still
-        measured once per ``sensor_period``.
+        measured once per ``sensor_period``.  Full monitoring only.
     observe:
         Attach a live observability bundle (metrics, sim-time spans,
         structured events) to the grid's simulator; reach it as
         ``testbed.obs``.  Default: off, unless a ``repro.obs.capture()``
         context is open.
+    topology:
+        A :class:`~repro.testbed.topology.TopologySpec` or preset name
+        (``"paper3"``, ``"scaled-100"``, ...) to build instead of the
+        flat ``sites=`` layout.
+    monitoring_mode:
+        ``"full"`` or ``"regional"``; default: the spec's own
+        ``monitoring`` attribute (topology path) or ``"full"``.
     """
     from repro.testbed.sites import PAPER_SITES
 
-    sites = list(sites) if sites is not None else list(PAPER_SITES)
-    if not sites:
-        raise ValueError("need at least one site")
+    if topology is not None:
+        if sites is not None:
+            raise ValueError("pass either sites= or topology=, not both")
+        if isinstance(topology, str):
+            from repro.testbed.topology import preset
+
+            topology = preset(topology)
+        topology.validate()
+    mode = monitoring_mode or (
+        topology.monitoring if topology is not None else "full"
+    )
+    if mode not in ("full", "regional"):
+        raise ValueError(f"unknown monitoring mode {mode!r}")
+    if use_cliques and mode != "full":
+        raise ValueError("use_cliques requires full monitoring")
+
     grid = DataGrid(seed=seed, observe=observe)
 
     # -- topology ---------------------------------------------------------
-    grid.add_router(BACKBONE)
-    for site in sites:
-        grid.add_router(site.switch_name, site=site.name)
-        grid.connect(
-            site.switch_name, BACKBONE, site.wan_capacity,
-            latency=site.wan_latency, loss_rate=site.wan_loss_rate,
-        )
-        for host_name in site.host_names:
-            grid.add_host(
-                host_name, site.name,
-                cores=site.cores,
-                frequency_ghz=site.frequency_ghz,
-                disk_bandwidth=site.disk_bandwidth,
-                disk_capacity=site.disk_capacity,
-                memory_bytes=site.memory_bytes,
+    if topology is None:
+        sites = list(sites) if sites is not None else list(PAPER_SITES)
+        if not sites:
+            raise ValueError("need at least one site")
+        grid.add_router(BACKBONE)
+        uplinks = {site.name: BACKBONE for site in sites}
+        backbone_links = []
+        for site in sites:
+            _build_site(grid, site, BACKBONE)
+    else:
+        sites = topology.sites()
+        uplinks = {}
+        backbone_links = []
+        for region in topology.regions:
+            grid.add_router(region.router_name)
+        for link in topology.links:
+            grid.topology.add_link(
+                link.src, link.dst, link.capacity,
+                latency=link.latency, loss_rate=link.loss_rate,
             )
-            grid.connect(
-                host_name, site.switch_name, site.lan_capacity,
-                latency=site.lan_latency,
+            grid.topology.add_link(
+                link.dst, link.src, link.reverse_capacity,
+                latency=link.latency, loss_rate=link.reverse_loss_rate,
             )
+            backbone_links.append((link.src, link.dst))
+            backbone_links.append((link.dst, link.src))
+        for region in topology.regions:
+            for site in region.sites:
+                uplinks[site.name] = region.router_name
+                _build_site(grid, site, region.router_name)
 
     # -- data services on every host ----------------------------------------
     for site in sites:
@@ -137,48 +418,38 @@ def build_testbed(sites=None, seed=0, monitoring=True,
             FtpServer(grid, host_name)
             GridFtpServer(grid, host_name)
 
-    catalog_host = catalog_host or sites[0].host_names[0]
-    selection_host = selection_host or sites[0].host_names[0]
+    if topology is not None:
+        roles = topology.default_roles()
+        default_host = roles[0]
+    else:
+        roles = None
+        default_host = sites[0].host_names[0]
+    catalog_host = catalog_host or default_host
+    selection_host = selection_host or default_host
 
     # -- monitoring -------------------------------------------------------------
     nameserver = NameServer()
-    nws_memory = NwsMemory(grid.sim, name=f"memory@{selection_host}")
-    nameserver.register("memory", nws_memory.name, nws_memory)
-    giis = GIIS(grid, selection_host, ttl=min(30.0, sensor_period))
     testbed_sensors = []
     testbed_cliques = []
-    if monitoring:
-        for host in grid.hosts.values():
-            giis.register(GRIS(grid, host.name))
-            testbed_sensors.append(
-                CpuSensor(
-                    grid.sim, nws_memory, host, period=sensor_period,
-                    nameserver=nameserver,
-                )
-            )
-        host_names = grid.host_names()
-        for src in host_names:
-            members = []
-            for dst in host_names:
-                if src == dst:
-                    continue
-                sensor = BandwidthSensor(
-                    grid.sim, nws_memory, grid, src, dst,
-                    period=sensor_period, nameserver=nameserver,
-                    autostart=not use_cliques,
-                )
-                testbed_sensors.append(sensor)
-                members.append(sensor)
-            if use_cliques and members:
-                testbed_cliques.append(
-                    Clique(
-                        grid.sim, f"clique@{src}", members,
-                        period=sensor_period,
-                    )
-                )
+    region_memories = {}
+    region_giises = {}
+    if monitoring and mode == "regional":
+        (testbed_sensors, nws_memory, giis,
+         region_memories, region_giises) = _attach_regional_monitoring(
+            grid, topology, nameserver, selection_host, sensor_period,
+        )
     else:
-        for host in grid.hosts.values():
-            giis.register(GRIS(grid, host.name))
+        nws_memory = NwsMemory(grid.sim, name=f"memory@{selection_host}")
+        nameserver.register("memory", nws_memory.name, nws_memory)
+        giis = GIIS(grid, selection_host, ttl=min(30.0, sensor_period))
+        if monitoring:
+            testbed_sensors, testbed_cliques = _attach_full_monitoring(
+                grid, sites, nameserver, nws_memory, giis,
+                sensor_period, use_cliques,
+            )
+        else:
+            for host in grid.hosts.values():
+                giis.register(GRIS(grid, host.name))
 
     information = InformationService(
         grid, selection_host, nws_memory, giis
@@ -194,39 +465,20 @@ def build_testbed(sites=None, seed=0, monitoring=True,
     )
     testbed.sensors = testbed_sensors
     testbed.cliques = testbed_cliques
+    testbed.spec = topology
+    testbed.roles = roles
+    testbed.region_memories = region_memories
+    testbed.region_giises = region_giises
+    testbed.sensor_period = sensor_period
+    testbed.max_wan_rtt = (
+        topology.max_wan_rtt() if topology is not None
+        else _legacy_max_rtt(sites)
+    )
+    testbed.recommended_warmup = _derived_warmup(
+        testbed.max_wan_rtt, sensor_period
+    )
 
     # -- dynamics ---------------------------------------------------------------
     if dynamic:
-        rebalance = grid.network.rebalance
-        for site in sites:
-            for host_name in site.host_names:
-                host = grid.host(host_name)
-                testbed.load_generators.append(
-                    CPULoadGenerator(
-                        grid.sim, host.cpu,
-                        levels=[0.0, 0.25 * site.cores,
-                                0.6 * site.cores, 0.9 * site.cores],
-                        mean_holding_time=60.0,
-                        notify=rebalance, jitter=0.05,
-                    )
-                )
-                testbed.load_generators.append(
-                    DiskLoadGenerator(
-                        grid.sim, host.disk,
-                        levels=[0.0, 0.2, 0.5, 0.8],
-                        mean_holding_time=90.0,
-                        notify=rebalance, jitter=0.05,
-                    )
-                )
-            for direction in [
-                (site.switch_name, BACKBONE), (BACKBONE, site.switch_name)
-            ]:
-                link = grid.topology.link(*direction)
-                testbed.cross_traffic.append(
-                    CrossTrafficProcess(
-                        grid.sim, grid.network, link,
-                        levels=[0.05, 0.2, 0.4, 0.6],
-                        mean_holding_time=45.0, jitter=0.05,
-                    )
-                )
+        _attach_dynamics(testbed, grid, sites, uplinks, backbone_links)
     return testbed

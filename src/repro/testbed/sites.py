@@ -47,6 +47,31 @@ class SiteSpec:
     def switch_name(self):
         return f"{self.name.lower()}-switch"
 
+    def as_dict(self):
+        """Canonical, JSON-serialisable form (topology spec digests)."""
+        return {
+            "name": self.name,
+            "host_names": list(self.host_names),
+            "cores": self.cores,
+            "frequency_ghz": self.frequency_ghz,
+            "memory_bytes": self.memory_bytes,
+            "disk_capacity": self.disk_capacity,
+            "disk_bandwidth": self.disk_bandwidth,
+            "lan_capacity": self.lan_capacity,
+            "lan_latency": self.lan_latency,
+            "wan_capacity": self.wan_capacity,
+            "wan_latency": self.wan_latency,
+            "wan_loss_rate": self.wan_loss_rate,
+        }
+
+    def __eq__(self, other):
+        if not isinstance(other, SiteSpec):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self):
+        return hash((self.name, self.host_names))
+
 
 #: Tunghai University cluster.  1 Gbps campus LAN; OC-3-class uplink to
 #: the TANet backbone (the paper's "1 Gbps" is the NIC speed; 2005

@@ -1,0 +1,479 @@
+"""Multi-region grid topology specifications.
+
+The paper's testbed is three sites on one backbone router; ROADMAP
+item 2 wants hundreds-to-thousands of sites.  A :class:`TopologySpec`
+is the declarative middle layer between the two: it describes *regions*
+(groups of :class:`~repro.testbed.sites.SiteSpec` clusters behind one
+gateway router, tagged with a tier), the asymmetric WAN links joining
+the region gateways, and the canonical experiment roles (client host,
+replica hosts) so any experiment can run on any topology.
+
+Specs are plain data: deterministic to construct, canonically
+serialisable (:meth:`TopologySpec.to_dict`) and content-addressed
+(:meth:`TopologySpec.digest`), which is what the same-seed
+byte-identical guarantees of the property battery hang off.
+
+Tiers
+-----
+Regions carry one of three tiers, ordered ``edge < metro < core``.  The
+tier invariant every valid spec upholds: site uplink capacities are
+monotone in the tier — no edge site has a fatter uplink than any metro
+site, and no metro site out-uplinks any core site.  The generator draws
+capacities from disjoint per-tier bands to guarantee it;
+:meth:`TopologySpec.validate` proves it for hand-built specs too.
+"""
+
+import hashlib
+import json
+
+__all__ = [
+    "TIERS",
+    "TIER_RANK",
+    "RegionSpec",
+    "TopologySpec",
+    "TopologyValidationError",
+    "WanLinkSpec",
+]
+
+#: Region tiers from the periphery inward.
+TIERS = ("edge", "metro", "core")
+
+#: Tier name -> ordinal (edge lowest).
+TIER_RANK = {tier: rank for rank, tier in enumerate(TIERS)}
+
+#: Unit sanity bounds enforced by validate(): dimensional mistakes
+#: (Mbps written where bytes/s belong, ms where seconds belong) land
+#: far outside these windows.
+_CAPACITY_BOUNDS = (1e5, 2e10)     # bytes/s: 0.8 Mbps .. 160 Gbps
+_LATENCY_BOUNDS = (0.0, 1.0)       # seconds, one-way
+_LOSS_BOUNDS = (0.0, 0.05)
+
+
+class TopologyValidationError(ValueError):
+    """A spec violates a structural, tier or unit invariant."""
+
+
+class WanLinkSpec:
+    """One asymmetric WAN link between two region gateway routers.
+
+    Capacity and loss are per direction (``forward`` is src->dst);
+    propagation latency is symmetric, as fibre paths are.
+    """
+
+    __slots__ = ("src", "dst", "capacity", "reverse_capacity", "latency",
+                 "loss_rate", "reverse_loss_rate")
+
+    def __init__(self, src, dst, capacity, latency, loss_rate=0.0,
+                 reverse_capacity=None, reverse_loss_rate=None):
+        self.src = src
+        self.dst = dst
+        self.capacity = float(capacity)
+        self.latency = float(latency)
+        self.loss_rate = float(loss_rate)
+        self.reverse_capacity = float(
+            capacity if reverse_capacity is None else reverse_capacity
+        )
+        self.reverse_loss_rate = float(
+            loss_rate if reverse_loss_rate is None else reverse_loss_rate
+        )
+
+    def __repr__(self):
+        return (
+            f"<WanLinkSpec {self.src}<->{self.dst} "
+            f"{self.capacity:.3g}/{self.reverse_capacity:.3g} B/s "
+            f"{self.latency * 1e3:.1f}ms>"
+        )
+
+    def as_dict(self):
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "capacity": self.capacity,
+            "reverse_capacity": self.reverse_capacity,
+            "latency": self.latency,
+            "loss_rate": self.loss_rate,
+            "reverse_loss_rate": self.reverse_loss_rate,
+        }
+
+
+class RegionSpec:
+    """A group of sites behind one gateway router, tagged with a tier."""
+
+    __slots__ = ("name", "tier", "sites", "router_name")
+
+    def __init__(self, name, tier, sites, router_name=None):
+        if tier not in TIER_RANK:
+            raise TopologyValidationError(
+                f"unknown tier {tier!r}; expected one of {TIERS}"
+            )
+        self.name = name
+        self.tier = tier
+        self.sites = tuple(sites)
+        self.router_name = router_name or f"{name}-gw"
+
+    def __repr__(self):
+        return (
+            f"<RegionSpec {self.name} ({self.tier}, "
+            f"{len(self.sites)} sites)>"
+        )
+
+    @property
+    def hub_site(self):
+        """The region's first site — hosts the region GIIS/NWS services."""
+        return self.sites[0]
+
+    @property
+    def hub_host(self):
+        """Representative host of the hub site (region service home)."""
+        return self.hub_site.host_names[0]
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "router_name": self.router_name,
+            "sites": [site.as_dict() for site in self.sites],
+        }
+
+
+class TopologySpec:
+    """A complete multi-region grid: regions, WAN links, and roles.
+
+    ``monitoring`` names the default monitoring layout
+    :func:`~repro.testbed.builder.build_testbed` uses for this spec:
+    ``"full"`` (the paper's all-pairs NWS mesh and single GIIS — only
+    affordable on small grids) or ``"regional"`` (per-region GIIS and
+    NWS memories federated at the selection host; bandwidth sensors
+    follow the hierarchy: site representative <-> region hub, hub <->
+    hub).
+
+    ``roles`` optionally pins the canonical experiment roles as
+    ``(client_host, (replica_host, ...))``; when absent,
+    :meth:`default_roles` derives them deterministically from the
+    structure.
+    """
+
+    def __init__(self, name, regions, links=(), seed=None,
+                 monitoring=None, roles=None, description=""):
+        self.name = name
+        self.regions = tuple(regions)
+        self.links = tuple(links)
+        #: Seed the generator used, or None for hand-built specs.
+        self.seed = seed
+        if monitoring is None:
+            monitoring = "full" if self.site_count() <= 12 else "regional"
+        if monitoring not in ("full", "regional"):
+            raise TopologyValidationError(
+                f"unknown monitoring layout {monitoring!r}"
+            )
+        self.monitoring = monitoring
+        self._roles = roles
+        self.description = description
+
+    def __repr__(self):
+        return (
+            f"<TopologySpec {self.name}: {len(self.regions)} regions, "
+            f"{self.site_count()} sites, {len(self.links)} WAN links>"
+        )
+
+    # -- structure queries -------------------------------------------------
+
+    def sites(self):
+        """Every site, region by region, in declaration order."""
+        return [site for region in self.regions for site in region.sites]
+
+    def site_count(self):
+        return sum(len(region.sites) for region in self.regions)
+
+    def host_count(self):
+        return sum(
+            len(site.host_names)
+            for region in self.regions for site in region.sites
+        )
+
+    def region_of(self, site_name):
+        """The :class:`RegionSpec` owning ``site_name`` (KeyError if none)."""
+        for region in self.regions:
+            for site in region.sites:
+                if site.name == site_name:
+                    return region
+        raise KeyError(f"no region owns site {site_name!r}")
+
+    def tier_sites(self, tier):
+        """Sites of every region in ``tier``, in declaration order."""
+        return [
+            site for region in self.regions if region.tier == tier
+            for site in region.sites
+        ]
+
+    def _region_latencies(self):
+        """All-pairs shortest gateway-to-gateway latency (Floyd-Warshall).
+
+        Region counts stay small (tens even at a thousand sites), so
+        cubic all-pairs is cheap and has no routing-order ambiguity.
+        """
+        names = [region.name for region in self.regions]
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        inf = float("inf")
+        dist = [[0.0 if i == j else inf for j in range(n)]
+                for i in range(n)]
+        router_region = {
+            region.router_name: region.name for region in self.regions
+        }
+        for link in self.links:
+            i = index[router_region[link.src]]
+            j = index[router_region[link.dst]]
+            if link.latency < dist[i][j]:
+                dist[i][j] = dist[j][i] = link.latency
+        for k in range(n):
+            row_k = dist[k]
+            for i in range(n):
+                d_ik = dist[i][k]
+                if d_ik == inf:
+                    continue
+                row_i = dist[i]
+                for j in range(n):
+                    cand = d_ik + row_k[j]
+                    if cand < row_i[j]:
+                        row_i[j] = cand
+        return names, dist
+
+    def max_wan_rtt(self):
+        """Worst-case round-trip time between any two hosts, seconds.
+
+        The warm-up heuristic's input: site uplink latency of the two
+        worst sites plus the longest gateway-to-gateway path, doubled.
+        """
+        names, dist = self._region_latencies()
+        index = {name: i for i, name in enumerate(names)}
+        worst = 0.0
+        # Worst uplink latency per region, then pairwise over regions.
+        uplink = {
+            region.name: max(site.wan_latency for site in region.sites)
+            for region in self.regions
+        }
+        for a in self.regions:
+            for b in self.regions:
+                between = dist[index[a.name]][index[b.name]]
+                if between == float("inf"):
+                    continue
+                one_way = uplink[a.name] + between + uplink[b.name]
+                if a.name == b.name and len(a.sites) < 2:
+                    one_way = uplink[a.name]
+                worst = max(worst, one_way)
+        return 2.0 * worst
+
+    def default_roles(self, replica_count=3):
+        """Canonical (client_host, replica_hosts) for this topology.
+
+        Pinned roles win; otherwise the client is the first host of the
+        first edge-most site and replicas spread evenly over the other
+        sites (last host of each chosen site), most-central first.
+        """
+        if self._roles is not None:
+            client, replicas = self._roles
+            return client, tuple(replicas[:replica_count])
+        ordered = sorted(
+            self.regions, key=lambda r: (TIER_RANK[r.tier], r.name)
+        )
+        client_site = ordered[0].sites[0]
+        client = client_site.host_names[0]
+        candidates = [
+            site for site in self.sites() if site.name != client_site.name
+        ]
+        if not candidates:
+            raise TopologyValidationError(
+                "cannot derive replica roles from a single-site topology"
+            )
+        count = min(replica_count, len(candidates))
+        step = len(candidates) / count
+        replicas = []
+        for i in range(count):
+            site = candidates[int(i * step)]
+            replicas.append(site.host_names[-1])
+        return client, tuple(replicas)
+
+    # -- invariants --------------------------------------------------------
+
+    def validate(self):
+        """Prove the structural, tier and unit invariants; returns self.
+
+        Raises :class:`TopologyValidationError` on: duplicate names,
+        dangling link endpoints, a disconnected region graph, tier
+        capacity non-monotonicity, or out-of-range units.
+        """
+        if not self.regions:
+            raise TopologyValidationError("topology has no regions")
+        self._validate_names()
+        self._validate_links()
+        self._validate_connectivity()
+        self._validate_tiers()
+        self._validate_units()
+        return self
+
+    def _validate_names(self):
+        region_names = [region.name for region in self.regions]
+        if len(set(region_names)) != len(region_names):
+            raise TopologyValidationError("duplicate region names")
+        router_names = [region.router_name for region in self.regions]
+        if len(set(router_names)) != len(router_names):
+            raise TopologyValidationError("duplicate region router names")
+        site_names = [site.name for site in self.sites()]
+        if len(set(site_names)) != len(site_names):
+            raise TopologyValidationError("duplicate site names")
+        host_names = [
+            host for site in self.sites() for host in site.host_names
+        ]
+        if len(set(host_names)) != len(host_names):
+            raise TopologyValidationError("duplicate host names")
+        for site in self.sites():
+            if not site.host_names:
+                raise TopologyValidationError(
+                    f"site {site.name} has no hosts"
+                )
+
+    def _validate_links(self):
+        routers = {region.router_name for region in self.regions}
+        seen = set()
+        for link in self.links:
+            if link.src not in routers or link.dst not in routers:
+                raise TopologyValidationError(
+                    f"link {link.src}<->{link.dst} references an "
+                    f"unknown region router"
+                )
+            if link.src == link.dst:
+                raise TopologyValidationError(
+                    f"self-link on {link.src}"
+                )
+            key = frozenset((link.src, link.dst))
+            if key in seen:
+                raise TopologyValidationError(
+                    f"duplicate link {link.src}<->{link.dst}"
+                )
+            seen.add(key)
+
+    def _validate_connectivity(self):
+        if len(self.regions) == 1:
+            return
+        adjacency = {region.router_name: [] for region in self.regions}
+        for link in self.links:
+            adjacency[link.src].append(link.dst)
+            adjacency[link.dst].append(link.src)
+        start = self.regions[0].router_name
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        missing = sorted(
+            region.name for region in self.regions
+            if region.router_name not in seen
+        )
+        if missing:
+            raise TopologyValidationError(
+                f"region graph is disconnected; unreachable from "
+                f"{self.regions[0].name}: {', '.join(missing)}"
+            )
+
+    def _validate_tiers(self):
+        # Site uplink capacities must be monotone edge <= metro <= core:
+        # the fastest uplink of any lower tier may not exceed the
+        # slowest uplink of any higher tier.
+        extremes = {}
+        for region in self.regions:
+            fastest = max(site.wan_capacity for site in region.sites)
+            slowest = min(site.wan_capacity for site in region.sites)
+            low, high = extremes.get(
+                region.tier, (float("inf"), 0.0)
+            )
+            extremes[region.tier] = (min(low, slowest), max(high, fastest))
+        for i, lower in enumerate(TIERS):
+            for higher in TIERS[i + 1:]:
+                if lower not in extremes or higher not in extremes:
+                    continue
+                if extremes[lower][1] <= extremes[higher][0]:
+                    continue
+                raise TopologyValidationError(
+                    f"tier capacity inversion: fastest {lower} uplink "
+                    f"({extremes[lower][1]:.4g} B/s) exceeds slowest "
+                    f"{higher} uplink ({extremes[higher][0]:.4g} B/s)"
+                )
+
+    def _validate_units(self):
+        cap_low, cap_high = _CAPACITY_BOUNDS
+        lat_low, lat_high = _LATENCY_BOUNDS
+        loss_low, loss_high = _LOSS_BOUNDS
+        for site in self.sites():
+            for label, capacity in (
+                ("wan_capacity", site.wan_capacity),
+                ("lan_capacity", site.lan_capacity),
+            ):
+                if not cap_low <= capacity <= cap_high:
+                    raise TopologyValidationError(
+                        f"{site.name}.{label} = {capacity:.4g} B/s is "
+                        f"outside [{cap_low:.4g}, {cap_high:.4g}] — "
+                        f"Mbps written where bytes/s belong?"
+                    )
+            for label, latency in (
+                ("wan_latency", site.wan_latency),
+                ("lan_latency", site.lan_latency),
+            ):
+                if not lat_low <= latency <= lat_high:
+                    raise TopologyValidationError(
+                        f"{site.name}.{label} = {latency:.4g} s is "
+                        f"outside [{lat_low}, {lat_high}] — "
+                        f"milliseconds written where seconds belong?"
+                    )
+            if not loss_low <= site.wan_loss_rate <= loss_high:
+                raise TopologyValidationError(
+                    f"{site.name}.wan_loss_rate = "
+                    f"{site.wan_loss_rate:.4g} outside "
+                    f"[{loss_low}, {loss_high}]"
+                )
+        for link in self.links:
+            for capacity in (link.capacity, link.reverse_capacity):
+                if not cap_low <= capacity <= cap_high:
+                    raise TopologyValidationError(
+                        f"link {link.src}<->{link.dst} capacity "
+                        f"{capacity:.4g} B/s outside bounds"
+                    )
+            if not lat_low <= link.latency <= lat_high:
+                raise TopologyValidationError(
+                    f"link {link.src}<->{link.dst} latency "
+                    f"{link.latency:.4g} s outside bounds"
+                )
+            for loss in (link.loss_rate, link.reverse_loss_rate):
+                if not loss_low <= loss <= loss_high:
+                    raise TopologyValidationError(
+                        f"link {link.src}<->{link.dst} loss "
+                        f"{loss:.4g} outside bounds"
+                    )
+
+    # -- canonical form ----------------------------------------------------
+
+    def to_dict(self):
+        """Canonical, JSON-serialisable description of the whole spec."""
+        roles = None
+        if self._roles is not None:
+            roles = [self._roles[0], list(self._roles[1])]
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "monitoring": self.monitoring,
+            "roles": roles,
+            "regions": [region.as_dict() for region in self.regions],
+            "links": [link.as_dict() for link in self.links],
+        }
+
+    def digest(self):
+        """SHA-256 over the canonical JSON form — the identity of the
+        generated grid; same seed and knobs must reproduce it byte for
+        byte."""
+        text = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+

@@ -1,0 +1,67 @@
+"""Differential battery: the generator provably subsumes the legacy path.
+
+``preset("paper3")`` must reproduce the hand-built ``PAPER_SITES``
+testbed exactly — same site specs, same construction, and the same
+Table-1 trace digest, so running any experiment "on a topology" is
+never a behavioural fork from the paper's testbed.
+"""
+
+from repro.analysis.sanitizers.determinism import run_traced, trace_digest
+from repro.experiments.table1 import run_table1
+from repro.testbed import PAPER_SITES, build_testbed
+from repro.testbed.topology import preset
+
+
+def test_paper3_sites_are_the_paper_sites():
+    spec = preset("paper3")
+    assert tuple(spec.sites()) == PAPER_SITES
+    assert [site.as_dict() for site in spec.sites()] == [
+        site.as_dict() for site in PAPER_SITES
+    ]
+
+
+def test_paper3_roles_are_the_canonical_trio():
+    assert preset("paper3").default_roles() == (
+        "alpha1", ("alpha4", "hit0", "lz02")
+    )
+
+
+def test_paper3_monitoring_is_full():
+    spec = preset("paper3")
+    assert spec.monitoring == "full"
+    assert spec.regions[0].router_name == "tanet"
+    assert spec.links == ()
+
+
+def test_paper3_build_matches_legacy_structure():
+    legacy = build_testbed(seed=5)
+    spec_built = build_testbed(seed=5, topology="paper3")
+    assert legacy.host_names() == spec_built.host_names()
+    assert len(legacy.sensors) == len(spec_built.sensors)
+    assert sorted(legacy.sites) == sorted(spec_built.sites)
+    assert legacy.recommended_warmup == spec_built.recommended_warmup
+    assert spec_built.recommended_warmup == 120.0
+
+
+def test_paper3_reproduces_legacy_table1_trace_digest():
+    """The acceptance criterion: identical Table-1 trace digest."""
+
+    def legacy():
+        return run_table1(file_size_mb=16, seed=0, warmup=60.0)
+
+    def via_topology():
+        return run_table1(
+            file_size_mb=16, seed=0, warmup=60.0, topology="paper3"
+        )
+
+    _, legacy_records = run_traced(legacy)
+    _, spec_records = run_traced(via_topology)
+    assert legacy_records, "legacy run produced no trace"
+    assert trace_digest(legacy_records) == trace_digest(spec_records)
+
+
+def test_sites_and_topology_are_mutually_exclusive():
+    import pytest
+
+    with pytest.raises(ValueError, match="not both"):
+        build_testbed(sites=PAPER_SITES, topology="paper3")

@@ -1,0 +1,106 @@
+"""Scale smoke: hundred-site grids run clean inside a wall budget.
+
+These tests build 100- and 500-site grids, run a short monitored
+workload, and assert (a) the wall clock stays inside a generous budget
+— a canary against accidental O(N^2) regressions in the builder or the
+monitoring hierarchy — and (b) the span/transfer leak sweep is clean.
+They run under ``pytest --sanitize`` in CI's scale job.
+"""
+
+import pytest
+
+from repro.analysis.sanitizers import check_leaks
+from repro.core.baselines import CostModelSelector
+from repro.experiments.harness import register_replicas, run_selection_trace
+from repro.obs import capture
+from repro.obs.perf.clock import wall_clock
+from repro.testbed import build_testbed
+from repro.testbed.topology import scaled
+
+#: Seconds of wall clock each smoke may burn.  The 100-site run takes
+#: well under a second on the reference machine; the budget is ~20x
+#: slack for slow CI workers, not a perf target.
+BUDGET_100 = 30.0
+BUDGET_500 = 90.0
+
+
+def _smoke(n_sites, budget, rounds):
+    begin = wall_clock()
+    with capture() as collector:
+        testbed = build_testbed(
+            topology=scaled(n_sites, seed=0, hosts_per_site=1),
+            seed=0, sensor_period=30.0, dynamic=True,
+        )
+        client, replicas = testbed.roles
+        register_replicas(testbed, "file-a", replicas, 8)
+        testbed.grid.network.rebalance()
+        testbed.warm_up(120.0)
+        trace = run_selection_trace(
+            testbed,
+            CostModelSelector(testbed.grid, testbed.information),
+            client, "file-a", rounds=rounds, gap=15.0,
+        )
+        report = check_leaks(testbed.grid)
+    elapsed = wall_clock() - begin
+    assert trace.rounds == rounds
+    assert all(fetch[2] > 0 for fetch in trace.fetches)
+    assert report.ok, report.describe()
+    assert collector.records(), "no instrumentation captured"
+    assert elapsed < budget, (
+        f"{n_sites}-site smoke took {elapsed:.1f}s "
+        f"(budget {budget:.0f}s)"
+    )
+    return testbed
+
+
+def test_hundred_site_smoke():
+    testbed = _smoke(100, BUDGET_100, rounds=2)
+    assert len(testbed.grid.hosts) == 100
+    assert testbed.region_memories
+
+
+def test_five_hundred_site_smoke():
+    testbed = _smoke(500, BUDGET_500, rounds=1)
+    assert len(testbed.grid.hosts) == 500
+
+
+def test_hundred_site_same_seed_digest_is_stable():
+    """The scale path is as deterministic as the paper's testbed."""
+    from repro.analysis.sanitizers.determinism import (
+        run_traced, trace_digest,
+    )
+
+    def scenario():
+        testbed = build_testbed(
+            topology=scaled(100, seed=0, hosts_per_site=1),
+            seed=0, sensor_period=30.0,
+        )
+        testbed.warm_up(60.0)
+        return testbed
+
+    _, first = run_traced(scenario)
+    _, second = run_traced(scenario)
+    assert first, "scenario produced no trace"
+    assert trace_digest(first) == trace_digest(second)
+
+
+def test_thousand_site_build_is_affordable():
+    """Building (not running) the full-size grid stays cheap."""
+    begin = wall_clock()
+    testbed = build_testbed(
+        topology=scaled(1000, seed=0, hosts_per_site=1),
+        seed=0, sensor_period=60.0,
+    )
+    elapsed = wall_clock() - begin
+    assert len(testbed.grid.hosts) == 1000
+    assert len(testbed.sensors) < 5000, "sensor count not hierarchical"
+    assert elapsed < 60.0, f"1000-site build took {elapsed:.1f}s"
+
+
+@pytest.mark.parametrize("n_sites", [100, 500])
+def test_scaled_specs_pin_their_digests(n_sites):
+    """Same-seed spec digests are stable across processes and runs."""
+    assert (
+        scaled(n_sites, seed=0, hosts_per_site=1).digest()
+        == scaled(n_sites, seed=0, hosts_per_site=1).digest()
+    )

@@ -1,0 +1,21 @@
+"""Benchmark: the control plane under open-loop overload (fig_frontdoor)."""
+
+from repro.experiments.fig_frontdoor import run_fig_frontdoor
+
+
+def test_bench_fig_frontdoor(regenerate):
+    result = regenerate(run_fig_frontdoor, seed=0)
+    cells = {(r["campaign"], r["policy"]): r for r in result.rows}
+    baseline = cells[("regional_brownout", "no-frontdoor")]
+    full = cells[("regional_brownout", "full")]
+    # Open-loop scale: at least a million offered requests per sim-day.
+    assert all(r["offered_per_day"] >= 1_000_000 for r in result.rows)
+    # Paired traces: every cell faces the identical arrival sequence.
+    assert len({r["offered"] for r in result.rows}) == 1
+    # The acceptance pairing: under the brownout the full control plane
+    # beats the unprotected baseline on BOTH tail latency and goodput,
+    # without failing a single admitted request.
+    assert full["p999_s"] < baseline["p999_s"]
+    assert full["goodput_mb_s"] > baseline["goodput_mb_s"]
+    assert full["failed"] == 0
+    assert baseline["failed"] > 0

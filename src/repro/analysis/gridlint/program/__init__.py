@@ -16,6 +16,10 @@ see one AST at a time; this package parses all of ``src/`` once into a
 * GL104 — fast-path parity: persistent state written under one
   ``REPRO_*`` fast-path toggle branch that the other branch never
   writes.
+* GL105 — unthrottled retry loops: a ``for``/``while`` that
+  (transitively) re-drives the raw data channel with no backoff,
+  delay or attempt timeout per iteration; ``repro.gridftp`` itself is
+  the sanctioned pacing layer and is exempt.
 
 The model is extracted per module into JSON-serialisable
 :class:`~repro.analysis.gridlint.program.model.ModuleInfo` facts, which

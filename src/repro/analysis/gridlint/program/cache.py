@@ -7,7 +7,7 @@ serialised pragma suppression table, the extracted
 the program-rule findings partitioned by what can invalidate them:
 
 * ``local``   — GL104 (depends on this module only; key: file hash);
-* ``closure`` — GL101/GL102 (depend on everything the module
+* ``closure`` — GL101/GL102/GL105 (depend on everything the module
   transitively imports; key: digest over the import closure's hashes);
 * ``global``  — GL103 (cancel paths may live in *importers*; key:
   digest over every file in the run).

@@ -3,10 +3,10 @@
 ``analyze_project`` is the one entry point.  Cold path: every file is
 parsed (in parallel across processes when the batch is large enough),
 file-local rules run per file, facts are extracted, the project model
-is built and GL101-GL104 run over it.  Warm path: per-file content
+is built and GL101-GL105 run over it.  Warm path: per-file content
 hashes match the cache, so parses are skipped wholesale; the
 program-rule keys (file hash for GL104, import-closure digest for
-GL101/GL102, whole-run digest for GL103) are recomputed from cached
+GL101/GL102/GL105, whole-run digest for GL103) are recomputed from cached
 closure lists *without* materialising the model, and when everything
 matches the run never builds a single AST.
 """
@@ -34,6 +34,7 @@ from repro.analysis.gridlint.program.model import (
 )
 from repro.analysis.gridlint.program.parity import check_gl104
 from repro.analysis.gridlint.program.project import ProjectModel
+from repro.analysis.gridlint.program.retries import check_gl105
 from repro.analysis.gridlint.program.taint import check_gl101
 from repro.analysis.gridlint.rules import check_tree
 
@@ -128,12 +129,16 @@ def _parse_many(paths: list[str], jobs: int) -> list[dict[str, Any]]:
 
 
 def _program_rules(model: ProjectModel) -> dict[str, dict[str, list[Finding]]]:
-    """Run GL101-GL104; findings keyed by part then module name."""
+    """Run GL101-GL105; findings keyed by part then module name."""
     gl101 = check_gl101(model)
     gl102 = check_gl102(model)
+    gl105 = check_gl105(model)
     closure: dict[str, list[Finding]] = {}
-    for name in sorted(set(gl101) | set(gl102)):
-        closure[name] = sorted(gl101.get(name, []) + gl102.get(name, []))
+    for name in sorted(set(gl101) | set(gl102) | set(gl105)):
+        closure[name] = sorted(
+            gl101.get(name, []) + gl102.get(name, [])
+            + gl105.get(name, [])
+        )
     return {
         "local": check_gl104(model),
         "closure": closure,

@@ -43,7 +43,7 @@ __all__ = [
 Expr = dict[str, Any]
 
 #: Bump when the extraction schema changes — part of the cache key.
-MODEL_VERSION = 1
+MODEL_VERSION = 2
 
 #: Method names whose call produces a schedulable timer/event handle
 #: (used by GL103 to tie a ``guard_tag`` assignment to its creation).
@@ -107,8 +107,13 @@ class FunctionInfo:
     nesting depth, in source order.  ``guards`` records
     ``<handle>.guard_tag = ...`` armings, ``cancels`` every receiver of
     a ``.cancel()`` call, ``appends`` container ``.append(name)`` calls
-    (alias tracking for GL103), and ``toggles`` fast-path toggle
-    branches with the ``self.*`` attributes each arm writes (GL104).
+    (alias tracking for GL103), ``toggles`` fast-path toggle branches
+    with the ``self.*`` attributes each arm writes (GL104), and
+    ``loops`` every ``for``/``while`` with the calls issued *per
+    iteration* — its body plus, for ``while``, its test — as
+    ``{"line", "end", "calls"}`` (GL105).  Calls inside a nested
+    function definition run when the closure is invoked, not per
+    iteration, so they are never attributed to an enclosing loop.
     """
 
     name: str
@@ -125,6 +130,7 @@ class FunctionInfo:
     cancels: list[str] = field(default_factory=list)
     appends: list[dict[str, Any]] = field(default_factory=list)
     toggles: list[dict[str, Any]] = field(default_factory=list)
+    loops: list[dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -134,7 +140,7 @@ class FunctionInfo:
             "yields": self.yields, "calls": self.calls,
             "binops": self.binops, "guards": self.guards,
             "cancels": self.cancels, "appends": self.appends,
-            "toggles": self.toggles,
+            "toggles": self.toggles, "loops": self.loops,
         }
 
     @classmethod
@@ -201,6 +207,7 @@ class _Extractor:
         self._imports = self.info.imports
         self._class_stack: list[ClassInfo] = []
         self._fn_stack: list[FunctionInfo] = []
+        self._loop_stack: list[dict[str, Any]] = []
 
     # -- imports -----------------------------------------------------------
 
@@ -317,6 +324,8 @@ class _Extractor:
         if self._fn_stack:
             fn = self._fn_stack[-1]
             fn.calls.append(encoded)
+            for loop in self._loop_stack:
+                loop["calls"].append(encoded)
             if method == "cancel" and recv is not None and not node.args:
                 fn.cancels.append(recv)
             if (method == "append" and recv is not None
@@ -376,14 +385,19 @@ class _Extractor:
         elif isinstance(node, ast.If):
             self._if(node)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
+            # The iterable is evaluated once, before the first
+            # iteration — its calls stay outside the loop record.
             iterable = self._encode(node.iter)
             value: Expr = {"k": "other", "sub": [iterable]}
             self._assign_target(node.target, value, node.lineno)
-            self._block(node.body)
+            self._loop(node, lambda: self._block(node.body))
             self._block(node.orelse)
         elif isinstance(node, ast.While):
-            self._encode(node.test)
-            self._block(node.body)
+            # The test re-evaluates every iteration: it belongs to
+            # the loop record alongside the body.
+            self._loop(node, lambda: (
+                self._encode(node.test), self._block(node.body)
+            ))
             self._block(node.orelse)
         elif isinstance(node, (ast.With, ast.AsyncWith)):
             for item in node.items:
@@ -404,6 +418,20 @@ class _Extractor:
     def _block(self, body: list[ast.stmt]) -> None:
         for stmt in body:
             self._stmt(stmt)
+
+    def _loop(self, node: ast.stmt, visit) -> None:
+        """Record one loop's per-iteration calls while visiting it."""
+        record: dict[str, Any] = {
+            "line": node.lineno,
+            "end": node.end_lineno or node.lineno,
+            "calls": [],
+        }
+        self._fn_stack[-1].loops.append(record)
+        self._loop_stack.append(record)
+        try:
+            visit()
+        finally:
+            self._loop_stack.pop()
 
     def _assign_target(self, target: ast.expr, value: Expr,
                        line: int) -> None:
@@ -452,9 +480,11 @@ class _Extractor:
             d for d in args.kw_defaults if d is not None
         ]:
             self._encode(default)
+        saved_loops, self._loop_stack = self._loop_stack, []
         self._fn_stack.append(fn)
         self._block(node.body)
         self._fn_stack.pop()
+        self._loop_stack = saved_loops
 
     def _class(self, node: ast.ClassDef) -> None:
         bases = []

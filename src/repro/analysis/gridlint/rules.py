@@ -59,6 +59,9 @@ RULES = {
              "reachable cancel()/stop() path on any alias",
     "GL104": "fast-path parity — state written under one REPRO_* "
              "toggle branch that the other branch never writes",
+    "GL105": "unthrottled retry loop — a loop reaches the data channel "
+             "(transitively) with no backoff, delay or attempt timeout "
+             "per iteration",
 }
 
 #: Dotted call targets that read the host's clock.

@@ -13,6 +13,7 @@ from repro.chaos.campaigns import (
     flaky_wan_link,
     hot_spot_server,
     monitor_blackout,
+    regional_brownout,
     replica_corruption,
 )
 from repro.chaos.engine import ChaosEngine
@@ -30,5 +31,6 @@ __all__ = [
     "flaky_wan_link",
     "hot_spot_server",
     "monitor_blackout",
+    "regional_brownout",
     "replica_corruption",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "flaky_wan_link",
     "hot_spot_server",
     "monitor_blackout",
+    "regional_brownout",
     "replica_corruption",
 ]
 
@@ -194,6 +195,69 @@ def replica_corruption(logical_name, replica_hosts, horizon=600.0,
         )
     return Campaign(
         f"replica-corruption-{logical_name}", events, horizon=horizon
+    )
+
+
+def regional_brownout(spec, region_name, horizon=600.0, start=None,
+                      window=None, utilisation=0.9, crash_hosts=(),
+                      include_wan=True):
+    """Brown out one whole region of a generated topology.
+
+    Unlike the Table 1 campaigns above, this factory works against any
+    :class:`~repro.testbed.topology.spec.TopologySpec`: every site
+    uplink inside ``region_name`` — and, with ``include_wan``, every
+    WAN link touching the region's gateway router — is soaked in
+    cross-traffic for one long window, optionally crashing named hosts
+    mid-window.  Replica hosts inside the region keep *answering*
+    (connections are not refused) — they just become slow enough under
+    load that attempts trip their timeouts, which is precisely the
+    grey failure circuit breakers exist for.  ``include_wan=False``
+    confines the damage to the region's own uplinks; in a transit-mesh
+    topology the gateway's WAN links carry third-party traffic, so
+    browning them degrades paths far beyond the region.
+    """
+    regions = {region.name: region for region in spec.regions}
+    region = regions.get(region_name)
+    if region is None:
+        raise ValueError(
+            f"no region {region_name!r} in topology "
+            f"(have {sorted(regions)})"
+        )
+    if start is None:
+        start = 0.2 * horizon
+    if window is None:
+        window = 0.5 * horizon
+    events = []
+    for site in region.sites:
+        events.append(EventSpec(
+            f"uplink-brownout-{site.name.lower()}", "bandwidth_brownout",
+            Schedule.at(start),
+            target=(site.switch_name, region.router_name),
+            duration=window, params={"utilisation": utilisation},
+        ))
+    seen_pairs = set()
+    for link in (spec.links if include_wan else ()):
+        if region.router_name not in (link.src, link.dst):
+            continue
+        pair = frozenset((link.src, link.dst))
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        events.append(EventSpec(
+            f"wan-brownout-{link.src.lower()}-{link.dst.lower()}",
+            "bandwidth_brownout",
+            Schedule.at(start), target=(link.src, link.dst),
+            duration=window, params={"utilisation": utilisation},
+        ))
+    for host in crash_hosts:
+        events.append(EventSpec(
+            f"crash-{host}", "host_crash",
+            Schedule.at(start + 0.25 * window),
+            target=host, duration=0.5 * window,
+        ))
+    return Campaign(
+        f"regional-brownout-{region.name.lower()}", events,
+        horizon=horizon,
     )
 
 

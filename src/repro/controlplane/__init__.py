@@ -1,0 +1,63 @@
+"""Multi-tenant control plane in front of replica selection.
+
+The data plane (selection server + reliable transfer) answers "which
+replica, and move the bytes".  This package is the control plane that
+decides *whether and when* a request reaches it at all:
+
+* :mod:`~repro.controlplane.tokenbucket` / ``admission`` — per-tenant
+  and global token buckets; load shedding at the door;
+* :mod:`~repro.controlplane.queueing` — bounded queue + worker pool
+  (queue-based load leveling);
+* :mod:`~repro.controlplane.breaker` — per-replica circuit breakers
+  over a sliding failure window, layered on the integrity health
+  registry;
+* :mod:`~repro.controlplane.idempotency` — idempotency-keyed dedup so
+  client retries never double-execute a transfer;
+* :mod:`~repro.controlplane.frontdoor` — the composition, one
+  :class:`FrontDoor` per testbed.
+
+See docs/control_plane.md for the design discussion and the
+``fig_frontdoor`` experiment for the measured effect.
+"""
+
+from repro.controlplane.admission import AdmissionController
+from repro.controlplane.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitBreakerRegistry,
+)
+from repro.controlplane.frontdoor import (
+    BreakerGuardedSelection,
+    FrontDoor,
+    FrontDoorConfig,
+)
+from repro.controlplane.idempotency import IdempotencyRegistry
+from repro.controlplane.queueing import BoundedQueue
+from repro.controlplane.tenants import (
+    TenantSpec,
+    TenantStats,
+    jain_fairness,
+    percentile,
+)
+from repro.controlplane.tokenbucket import TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "BoundedQueue",
+    "BreakerGuardedSelection",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitBreakerRegistry",
+    "FrontDoor",
+    "FrontDoorConfig",
+    "HALF_OPEN",
+    "IdempotencyRegistry",
+    "OPEN",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "jain_fairness",
+    "percentile",
+]

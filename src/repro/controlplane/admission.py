@@ -1,0 +1,77 @@
+"""Admission control: per-tenant and global token buckets.
+
+Two layers of throttling guard the front door.  Each tenant's bucket
+enforces its contracted rate — one tenant's flash crowd cannot starve
+the others at the door.  The optional global bucket caps aggregate
+admissions at what the grid can actually serve, so the queue behind
+admission levels load instead of growing without bound.
+
+Decisions are instantaneous (no sim events): a request is admitted or
+shed at its arrival instant, which is what "load shedding" means —
+refusing cheaply *now* beats queueing work that will time out anyway.
+"""
+
+from repro.controlplane.tokenbucket import TokenBucket
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Token-bucket admission over a set of tenants.
+
+    Parameters
+    ----------
+    tenants:
+        Iterable of :class:`~repro.controlplane.tenants.TenantSpec`.
+    global_rate / global_burst:
+        Aggregate admission envelope across all tenants (``None``
+        disables the global bucket).
+    """
+
+    def __init__(self, tenants, global_rate=None, global_burst=None):
+        self._buckets = {}
+        for spec in tenants:
+            if spec.name in self._buckets:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            self._buckets[spec.name] = TokenBucket(
+                spec.rate, spec.burst
+            )
+        if not self._buckets:
+            raise ValueError("need at least one tenant")
+        self._global = None
+        if global_rate is not None:
+            self._global = TokenBucket(global_rate, global_burst)
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def __repr__(self):
+        return (
+            f"<AdmissionController {len(self._buckets)} tenants, "
+            f"{self.admitted_total} admitted / {self.shed_total} shed>"
+        )
+
+    def admit(self, now, tenant_name):
+        """Admit or shed one request; returns ``(admitted, reason)``.
+
+        ``reason`` is ``None`` when admitted, else
+        ``"tenant-throttle"`` / ``"global-throttle"``.  The tenant
+        token is only spent when the global bucket also admits, so a
+        globally-shed request does not burn tenant budget.
+        """
+        bucket = self._buckets.get(tenant_name)
+        if bucket is None:
+            raise KeyError(f"unknown tenant {tenant_name!r}")
+        if bucket.level_at(now) < 1.0:
+            bucket.rejected += 1
+            self.shed_total += 1
+            return False, "tenant-throttle"
+        if self._global is not None and not self._global.try_acquire(now):
+            self.shed_total += 1
+            return False, "global-throttle"
+        bucket.try_acquire(now)
+        self.admitted_total += 1
+        return True, None
+
+    def bucket(self, tenant_name):
+        """The tenant's bucket (diagnostics/tests)."""
+        return self._buckets[tenant_name]

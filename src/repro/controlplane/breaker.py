@@ -1,0 +1,283 @@
+"""Per-replica circuit breakers: closed / open / half-open.
+
+The health registry (:mod:`repro.integrity.health`) quarantines
+replicas that served *corrupt* data; the breaker layer sits in front of
+it and reacts to *operational* failure — timeouts, refused connections,
+exhausted retries — which under a regional brownout arrive long before
+any integrity signal.  A breaker trips when the failure rate over a
+sliding outcome window crosses a threshold, rejects instantly while
+open (no connect attempts pile onto a dying replica), and after a
+cooldown admits a bounded number of *probe* requests whose outcomes
+decide between closing and re-opening.
+
+The state machine is pure — callers pass ``now`` in — so arbitrary
+interleavings can be property-tested without a simulator.  Liveness
+invariants the tests pin down:
+
+* an **open** breaker always transitions to half-open once the cooldown
+  elapses — no interleaving of late results wedges it open;
+* **half-open** admits *exactly* ``probe_quota`` requests until the
+  probes resolve; probes that never report back are treated as
+  failures after a further cooldown (re-open, then retry), so lost
+  probes cannot wedge the breaker either.
+"""
+
+__all__ = ["CircuitBreaker", "CircuitBreakerRegistry"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate tripped breaker with probe-based recovery.
+
+    Parameters
+    ----------
+    window:
+        Sliding outcome window length (most recent calls).
+    failure_threshold:
+        Failure fraction over the window that trips the breaker.
+    min_samples:
+        Outcomes required before the rate is meaningful; a single
+        failure on a cold breaker must not trip it.
+    open_seconds:
+        Cooldown while open; also the patience for outstanding
+        half-open probes before they are presumed lost.
+    probe_quota:
+        Requests admitted while half-open.
+    probe_successes:
+        Successful probes required to close again.
+    """
+
+    __slots__ = (
+        "window", "failure_threshold", "min_samples", "open_seconds",
+        "probe_quota", "probe_successes", "state", "_outcomes",
+        "_open_until", "_probes_issued", "_probe_ok", "_last_probe_at",
+        "opens_total", "closes_total", "probes_total",
+        "rejections_total",
+    )
+
+    def __init__(self, window=20, failure_threshold=0.5, min_samples=5,
+                 open_seconds=30.0, probe_quota=2, probe_successes=2):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if open_seconds <= 0:
+            raise ValueError("open_seconds must be positive")
+        if probe_quota < 1:
+            raise ValueError("probe_quota must be >= 1")
+        if not 1 <= probe_successes <= probe_quota:
+            raise ValueError(
+                "probe_successes must be in [1, probe_quota]"
+            )
+        self.window = int(window)
+        self.failure_threshold = float(failure_threshold)
+        self.min_samples = int(min_samples)
+        self.open_seconds = float(open_seconds)
+        self.probe_quota = int(probe_quota)
+        self.probe_successes = int(probe_successes)
+        self.state = CLOSED
+        #: Recent outcomes, True = success, oldest first.
+        self._outcomes = []
+        self._open_until = 0.0
+        self._probes_issued = 0
+        self._probe_ok = 0
+        self._last_probe_at = 0.0
+        self.opens_total = 0
+        self.closes_total = 0
+        self.probes_total = 0
+        self.rejections_total = 0
+
+    def __repr__(self):
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"({len(self._outcomes)} outcomes)>"
+        )
+
+    # -- transitions -------------------------------------------------------
+
+    def _trip(self, now):
+        self.state = OPEN
+        self._open_until = now + self.open_seconds
+        self._outcomes = []
+        self.opens_total += 1
+
+    def _enter_half_open(self):
+        self.state = HALF_OPEN
+        self._probes_issued = 0
+        self._probe_ok = 0
+
+    def _close(self):
+        self.state = CLOSED
+        self._outcomes = []
+        self.closes_total += 1
+
+    # -- the public protocol -----------------------------------------------
+
+    def allow(self, now):
+        """May a request be sent to this replica at ``now``?
+
+        Half-open admissions count against the probe quota; a caller
+        that got True while half-open *is* a probe and must report its
+        outcome.
+        """
+        if self.state == OPEN:
+            if now < self._open_until:
+                self.rejections_total += 1
+                return False
+            self._enter_half_open()
+        if self.state == HALF_OPEN:
+            if self._probes_issued < self.probe_quota:
+                self._probes_issued += 1
+                self.probes_total += 1
+                self._last_probe_at = now
+                return True
+            if now - self._last_probe_at >= self.open_seconds:
+                # Every probe slot was handed out and none reported
+                # back within a cooldown: presume them lost and start a
+                # fresh open window (probes will be re-issued after
+                # it — the breaker cannot wedge).
+                self._trip(now)
+            self.rejections_total += 1
+            return False
+        return True
+
+    def record_success(self, now):
+        """A request to this replica completed."""
+        if self.state == HALF_OPEN:
+            self._probe_ok += 1
+            if self._probe_ok >= self.probe_successes:
+                self._close()
+            return
+        if self.state == OPEN:
+            # Late result from before the trip; the open window stands.
+            return
+        self._push(True, now)
+
+    def record_failure(self, now):
+        """A request to this replica failed operationally."""
+        if self.state == HALF_OPEN:
+            self._trip(now)
+            return
+        if self.state == OPEN:
+            return
+        self._push(False, now)
+
+    def _push(self, ok, now):
+        self._outcomes.append(ok)
+        if len(self._outcomes) > self.window:
+            del self._outcomes[0]
+        if len(self._outcomes) < self.min_samples:
+            return
+        failures = self._outcomes.count(False)
+        if failures / len(self._outcomes) >= self.failure_threshold:
+            self._trip(now)
+
+    def retry_after(self, now):
+        """Seconds until the open window lapses (None unless open)."""
+        if self.state != OPEN or now >= self._open_until:
+            return None
+        return self._open_until - now
+
+
+class CircuitBreakerRegistry:
+    """One :class:`CircuitBreaker` per replica host.
+
+    The registry reads the clock from the grid and emits breaker
+    transitions to the observability layer; the per-host machines stay
+    pure.  ``filter_allowed`` preserves candidate order, so selection
+    rankings are unchanged apart from the exclusions.
+    """
+
+    def __init__(self, grid, **breaker_kwargs):
+        self.grid = grid
+        self._kwargs = dict(breaker_kwargs)
+        self._breakers = {}
+
+    def __repr__(self):
+        return f"<CircuitBreakerRegistry {len(self._breakers)} hosts>"
+
+    @property
+    def _now(self):
+        return self.grid.sim.now
+
+    def breaker(self, host_name):
+        breaker = self._breakers.get(host_name)
+        if breaker is None:
+            breaker = CircuitBreaker(**self._kwargs)
+            self._breakers[host_name] = breaker
+        return breaker
+
+    def allow(self, host_name):
+        return self.breaker(host_name).allow(self._now)
+
+    def record_success(self, host_name):
+        breaker = self.breaker(host_name)
+        state = breaker.state
+        breaker.record_success(self._now)
+        self._note_transition(host_name, state, breaker.state)
+
+    def record_failure(self, host_name):
+        breaker = self.breaker(host_name)
+        state = breaker.state
+        breaker.record_failure(self._now)
+        self._note_transition(host_name, state, breaker.state)
+
+    def _note_transition(self, host_name, before, after):
+        if before == after:
+            return
+        obs = self.grid.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "frontdoor.breaker_transitions", state=after
+            ).inc()
+            obs.events.emit(
+                "frontdoor.breaker", host=host_name,
+                state=after, was=before,
+            )
+
+    def filter_allowed(self, host_names):
+        """Hosts admitted right now, in the order given.
+
+        Half-open hosts consume a probe slot when admitted — the
+        caller's request to them is the probe.
+        """
+        now = self._now
+        return [
+            name for name in host_names
+            if self.breaker(name).allow(now)
+        ]
+
+    def retry_after(self, host_names):
+        """Shortest open window among ``host_names`` (None if unknown)."""
+        now = self._now
+        windows = [
+            remaining for remaining in (
+                self.breaker(name).retry_after(now)
+                for name in host_names
+            )
+            if remaining is not None
+        ]
+        return min(windows) if windows else None
+
+    def open_hosts(self):
+        """Names of currently-open breakers, sorted."""
+        now = self._now
+        return sorted(
+            name for name, breaker in self._breakers.items()
+            if breaker.state == OPEN and now < breaker._open_until
+        )
+
+    @property
+    def opens_total(self):
+        return sum(b.opens_total for b in self._breakers.values())
+
+    @property
+    def rejections_total(self):
+        return sum(
+            b.rejections_total for b in self._breakers.values()
+        )

@@ -1,0 +1,438 @@
+"""The front door: request serving around selection + reliable transfer.
+
+Composition of the control-plane primitives into one request path::
+
+    arrival -> admission (token buckets) -> idempotency (dedup/join)
+            -> bounded queue -> worker pool -> breaker-guarded
+               selection -> ReliableFileTransfer
+
+Every stage is optional so the fig_frontdoor exhibit can compare policy
+cells on the identical workload:
+
+* ``workers=None`` executes transfers inline in the caller's process —
+  unbounded concurrency, the "no queue" configuration;
+* ``admission=False`` admits everything (no throttling);
+* ``breakers=False`` uses the raw selection server.
+
+The breaker integration rides the reliable-transfer seam: the
+:class:`BreakerGuardedSelection` adapter filters breaker-open hosts
+out of the candidate list *before* scoring and registers itself as the
+transfer's ``fault_listener``, so every operational fault (timeout,
+refused connection) feeds the breaker of the replica that caused it —
+long before the integrity layer would notice anything.  Successes feed
+back the same way, closing half-open breakers through probe traffic.
+"""
+
+from repro.controlplane.admission import AdmissionController
+from repro.controlplane.breaker import CircuitBreakerRegistry
+from repro.controlplane.idempotency import IdempotencyRegistry
+from repro.controlplane.queueing import BoundedQueue
+from repro.controlplane.tenants import TenantStats, jain_fairness
+from repro.core.server import NoLiveReplicaError
+from repro.gridftp import (
+    BackoffPolicy,
+    GridFtpClient,
+    ReliableFileTransfer,
+    TooManyAttemptsError,
+)
+from repro.units import megabytes
+
+__all__ = [
+    "BreakerGuardedSelection",
+    "FrontDoor",
+    "FrontDoorConfig",
+]
+
+
+class FrontDoorConfig:
+    """Tuning knobs of one front door (see docs/control_plane.md)."""
+
+    __slots__ = (
+        "workers", "queue_capacity", "admission", "idempotency",
+        "global_rate",
+        "global_burst", "breakers", "breaker_window",
+        "breaker_failure_threshold", "breaker_min_samples",
+        "breaker_open_seconds", "breaker_probe_quota",
+        "breaker_probe_successes", "idempotency_retention",
+        "marker_interval_mb", "transfer_attempts", "attempt_timeout",
+        "backoff",
+    )
+
+    def __init__(self, workers=32, queue_capacity=256, admission=True,
+                 idempotency=True,
+                 global_rate=None, global_burst=None, breakers=True,
+                 breaker_window=16, breaker_failure_threshold=0.5,
+                 breaker_min_samples=4, breaker_open_seconds=20.0,
+                 breaker_probe_quota=2, breaker_probe_successes=1,
+                 idempotency_retention=3600.0, marker_interval_mb=8,
+                 transfer_attempts=6, attempt_timeout=20.0,
+                 backoff=None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for inline)")
+        self.workers = workers
+        self.queue_capacity = int(queue_capacity)
+        self.admission = bool(admission)
+        self.idempotency = bool(idempotency)
+        self.global_rate = global_rate
+        self.global_burst = global_burst
+        self.breakers = bool(breakers)
+        self.breaker_window = int(breaker_window)
+        self.breaker_failure_threshold = float(breaker_failure_threshold)
+        self.breaker_min_samples = int(breaker_min_samples)
+        self.breaker_open_seconds = float(breaker_open_seconds)
+        self.breaker_probe_quota = int(breaker_probe_quota)
+        self.breaker_probe_successes = int(breaker_probe_successes)
+        self.idempotency_retention = float(idempotency_retention)
+        self.marker_interval_mb = float(marker_interval_mb)
+        self.transfer_attempts = int(transfer_attempts)
+        self.attempt_timeout = attempt_timeout
+        self.backoff = backoff or BackoffPolicy(
+            base=1.0, multiplier=2.0, cap=15.0, jitter=0.25,
+            max_total_wait=60.0,
+        )
+
+
+class _BreakerFaultListener:
+    """Routes reliable-transfer fault reports into the breakers."""
+
+    __slots__ = ("breakers",)
+
+    def __init__(self, breakers):
+        self.breakers = breakers
+
+    def on_fault(self, host_name, kind):
+        self.breakers.record_failure(host_name)
+
+    def on_success(self, host_name):
+        self.breakers.record_success(host_name)
+
+
+class BreakerGuardedSelection:
+    """Selection adapter that filters breaker-open replicas.
+
+    Quacks like a :class:`~repro.core.server.ReplicaSelectionServer`
+    for the reliable transfer layer (``select`` / ``catalog`` /
+    ``health`` / ``fault_listener``): candidates whose breaker is open
+    are dropped before scoring, half-open admissions become probe
+    traffic, and when *every* replica's breaker is open the
+    :class:`~repro.core.server.NoLiveReplicaError` carries the
+    shortest open window as its ``retry_after`` hint.
+    """
+
+    def __init__(self, server, breakers):
+        self._server = server
+        self.breakers = breakers
+        self.catalog = server.catalog
+        self.health = server.health
+        self.fault_listener = _BreakerFaultListener(breakers)
+
+    def __repr__(self):
+        return f"<BreakerGuardedSelection over {self._server!r}>"
+
+    def select(self, client_name, logical_name):
+        """Generator returning a breaker-filtered SelectionDecision."""
+        entries = yield from self.catalog.query_locations(
+            client_name, logical_name
+        )
+        names = [entry.host_name for entry in entries]
+        allowed = self.breakers.filter_allowed(names)
+        if not allowed:
+            hints = [self.breakers.retry_after(names)]
+            if self.health is not None:
+                hints.append(self.health.retry_after(logical_name, names))
+            known = [hint for hint in hints if hint is not None]
+            raise NoLiveReplicaError(
+                f"all {len(names)} replica hosts of {logical_name!r} "
+                f"have open circuit breakers",
+                retry_after=min(known) if known else None,
+            )
+        decision = yield from self._server.score_candidates(
+            client_name, allowed, logical_name=logical_name
+        )
+        decision.logical_name = logical_name
+        return decision
+
+
+class _WorkItem:
+
+    __slots__ = ("request", "done", "accepted_at")
+
+    def __init__(self, request, done, accepted_at):
+        self.request = request
+        self.done = done
+        self.accepted_at = accepted_at
+
+
+class FrontDoor:
+    """Multi-tenant request-serving facade over one testbed.
+
+    Parameters
+    ----------
+    testbed:
+        A built :class:`~repro.testbed.builder.Testbed`; the front door
+        serves through its selection server.
+    tenants:
+        Iterable of :class:`~repro.controlplane.tenants.TenantSpec`.
+    config:
+        A :class:`FrontDoorConfig` (defaults used when None).
+
+    Call :meth:`start` once, then drive requests through
+    :meth:`handle` (a generator per request — spawn one process per
+    arrival).
+    """
+
+    def __init__(self, testbed, tenants, config=None):
+        self.testbed = testbed
+        self.grid = testbed.grid
+        self.config = config or FrontDoorConfig()
+        self.tenants = {spec.name: spec for spec in tenants}
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        self.stats = {
+            name: TenantStats(name) for name in self.tenants
+        }
+        sim = self.grid.sim
+        self.admission = (
+            AdmissionController(
+                self.tenants.values(),
+                global_rate=self.config.global_rate,
+                global_burst=self.config.global_burst,
+            )
+            if self.config.admission else None
+        )
+        self.idempotency = (
+            IdempotencyRegistry(
+                sim, retention_seconds=self.config.idempotency_retention
+            )
+            if self.config.idempotency else None
+        )
+        self.breakers = (
+            CircuitBreakerRegistry(
+                self.grid,
+                window=self.config.breaker_window,
+                failure_threshold=self.config.breaker_failure_threshold,
+                min_samples=self.config.breaker_min_samples,
+                open_seconds=self.config.breaker_open_seconds,
+                probe_quota=self.config.breaker_probe_quota,
+                probe_successes=self.config.breaker_probe_successes,
+            )
+            if self.config.breakers else None
+        )
+        self.selection = (
+            BreakerGuardedSelection(
+                testbed.selection_server, self.breakers
+            )
+            if self.breakers is not None
+            else testbed.selection_server
+        )
+        self.queue = (
+            BoundedQueue(sim, self.config.queue_capacity)
+            if self.config.workers is not None else None
+        )
+        self._workers = []
+        self._local_seq = 0
+        self.offered_total = 0
+
+    def __repr__(self):
+        mode = (
+            f"{self.config.workers} workers"
+            if self.queue is not None else "inline"
+        )
+        return (
+            f"<FrontDoor {len(self.tenants)} tenants, {mode}, "
+            f"{self.offered_total} offered>"
+        )
+
+    def start(self):
+        """Spawn the worker pool (no-op in inline mode); returns self."""
+        if self.queue is not None and not self._workers:
+            sim = self.grid.sim
+            for _ in range(self.config.workers):
+                self._workers.append(sim.process(self._worker()))
+        return self
+
+    # -- the request path --------------------------------------------------
+
+    def handle(self, request):
+        """Generator: one request's full lifecycle; returns the outcome.
+
+        ``request`` needs ``tenant``, ``client_name``, ``logical_name``
+        and ``key`` attributes (see
+        :class:`~repro.workloads.arrivals.ArrivalRequest`).
+        """
+        sim = self.grid.sim
+        arrival = sim.now
+        stats = self.stats.get(request.tenant)
+        if stats is None:
+            raise KeyError(f"unknown tenant {request.tenant!r}")
+        stats.offered += 1
+        self.offered_total += 1
+        # Idempotency is consulted *before* admission: a replay or an
+        # in-flight join consumes no downstream capacity, so it must
+        # not pay (or be refused) rate-limit tokens a second time.
+        disposition, payload = (
+            self.idempotency.begin(request.key)
+            if self.idempotency is not None else ("new", None)
+        )
+        if disposition == "replay":
+            stats.dedup_replayed += 1
+            if payload.get("status") == "ok":
+                stats.dedup_served += 1
+                stats.payload_bytes += payload.get("payload_bytes", 0.0)
+            self._settle(request, "replay", None, sim.now - arrival)
+            return dict(payload, replayed=True)
+        if disposition == "in-flight":
+            stats.dedup_joined += 1
+            outcome = yield payload
+            latency = sim.now - arrival
+            if outcome is None:
+                # The primary was shed from the queue after we joined.
+                stats.shed_queue += 1
+                self._settle(request, "shed", "queue-full", latency)
+                return {"status": "shed", "reason": "queue-full"}
+            stats.latencies.append(latency)
+            if outcome.get("status") == "ok":
+                stats.dedup_served += 1
+                stats.payload_bytes += outcome.get("payload_bytes", 0.0)
+            self._settle(request, "joined", None, latency)
+            return dict(outcome, joined=True)
+        if self.admission is not None:
+            admitted, reason = self.admission.admit(
+                sim.now, request.tenant
+            )
+            if not admitted:
+                stats.shed_throttle += 1
+                if self.idempotency is not None:
+                    # Release the key synchronously (no yield since
+                    # begin), so a later resubmission is "new" again
+                    # rather than joining a primary that never ran.
+                    self.idempotency.abandon(request.key)
+                self._settle(request, "shed", reason, 0.0)
+                return {"status": "shed", "reason": reason}
+        stats.admitted += 1
+        if self.queue is None:
+            outcome = yield from self._execute(request)
+        else:
+            done = sim.event()
+            item = _WorkItem(request, done, sim.now)
+            if not self.queue.offer(item):
+                stats.shed_queue += 1
+                if self.idempotency is not None:
+                    self.idempotency.abandon(request.key)
+                self._settle(request, "shed", "queue-full", 0.0)
+                return {"status": "shed", "reason": "queue-full"}
+            outcome = yield done
+        latency = sim.now - arrival
+        stats.latencies.append(latency)
+        if outcome["status"] == "ok":
+            stats.completed += 1
+            stats.payload_bytes += outcome["payload_bytes"]
+        else:
+            stats.failed += 1
+        self._settle(request, outcome["status"], outcome.get("reason"),
+                     latency)
+        return outcome
+
+    def _worker(self):
+        while True:
+            item = yield from self.queue.get()
+            outcome = yield from self._execute(item.request)
+            item.done.succeed(outcome)
+
+    def _execute(self, request):
+        """Run the transfer for one deduplicated request."""
+        self._local_seq += 1
+        local_name = f"frontdoor-{self._local_seq}"
+        config = self.config
+        rft = ReliableFileTransfer(
+            GridFtpClient(self.grid, request.client_name),
+            marker_interval_bytes=megabytes(config.marker_interval_mb),
+            max_attempts=config.transfer_attempts,
+            backoff=config.backoff,
+            attempt_timeout=config.attempt_timeout,
+        )
+        try:
+            result = yield from rft.get_logical(
+                request.logical_name, self.selection,
+                local_name=local_name,
+            )
+        except TooManyAttemptsError as error:
+            outcome = {
+                "status": "failed",
+                "reason": type(error).__name__,
+                "payload_bytes": 0.0,
+            }
+        else:
+            outcome = {
+                "status": "ok",
+                "payload_bytes": result.payload_bytes,
+                "transfer_seconds": result.elapsed,
+                "faults": result.faults,
+                "source": result.sources[-1] if result.sources else None,
+            }
+        fs = self.grid.host(request.client_name).filesystem
+        for leftover in (local_name, f"{local_name}.chunk"):
+            if leftover in fs:
+                fs.delete(leftover)
+        if self.idempotency is not None:
+            self.idempotency.finish(request.key, outcome)
+        return outcome
+
+    def _settle(self, request, status, reason, latency):
+        obs = self.grid.obs
+        if not obs.enabled:
+            return
+        obs.metrics.counter(
+            "frontdoor.requests", tenant=request.tenant, status=status
+        ).inc()
+        obs.metrics.histogram(
+            "frontdoor.latency_seconds"
+        ).observe(latency)
+        obs.events.emit(
+            "frontdoor.request", tenant=request.tenant,
+            client=request.client_name,
+            logical_name=request.logical_name, status=status,
+            reason=reason, latency_seconds=latency,
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def fairness(self):
+        """Jain's index over weight-normalised per-tenant service."""
+        shares = [
+            stats.service_ratio() / self.tenants[name].weight
+            for name, stats in sorted(self.stats.items())
+        ]
+        return jain_fairness(shares)
+
+    def summary(self):
+        """Aggregate counters over every tenant (one dict)."""
+        totals = {
+            "offered": 0, "admitted": 0, "shed_throttle": 0,
+            "shed_queue": 0, "completed": 0, "failed": 0,
+            "dedup_joined": 0, "dedup_replayed": 0, "dedup_served": 0,
+            "payload_bytes": 0.0,
+        }
+        latencies = []
+        for name in sorted(self.stats):
+            stats = self.stats[name]
+            totals["offered"] += stats.offered
+            totals["admitted"] += stats.admitted
+            totals["shed_throttle"] += stats.shed_throttle
+            totals["shed_queue"] += stats.shed_queue
+            totals["completed"] += stats.completed
+            totals["failed"] += stats.failed
+            totals["dedup_joined"] += stats.dedup_joined
+            totals["dedup_replayed"] += stats.dedup_replayed
+            totals["dedup_served"] += stats.dedup_served
+            totals["payload_bytes"] += stats.payload_bytes
+            latencies.extend(stats.latencies)
+        totals["latencies"] = latencies
+        totals["fairness"] = self.fairness()
+        totals["breaker_opens"] = (
+            self.breakers.opens_total if self.breakers is not None else 0
+        )
+        totals["queue_high_water"] = (
+            self.queue.high_water if self.queue is not None else 0
+        )
+        return totals

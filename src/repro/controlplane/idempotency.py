@@ -1,0 +1,131 @@
+"""Idempotency keys: a retried request never double-executes.
+
+Open-loop clients resubmit: an impatient user clicks again, a session
+layer retries a request it believes lost.  Without dedup every
+resubmission starts another full transfer — under overload exactly when
+duplicates are most likely.  The registry gives every request an
+idempotency key and three dispositions:
+
+* ``new`` — first sighting; the caller executes the transfer and must
+  report the outcome (:meth:`finish`) or withdraw (:meth:`abandon`);
+* ``in-flight`` — the same key is already executing; the caller gets a
+  kernel :class:`~repro.sim.events.Event` to wait on and receives the
+  original's outcome when it lands — zero extra bytes moved;
+* ``replay`` — the key already completed within the retention window;
+  the recorded outcome is returned immediately.
+
+Completed entries are retained for ``retention_seconds`` and evicted
+lazily in completion order, bounded by ``max_entries`` so a sim-day of
+requests cannot grow the table without limit.
+"""
+
+__all__ = ["IdempotencyRegistry"]
+
+
+class _Entry:
+
+    __slots__ = ("state", "waiters", "outcome", "completed_at")
+
+    def __init__(self):
+        self.state = "in_flight"
+        self.waiters = []
+        self.outcome = None
+        self.completed_at = None
+
+
+class IdempotencyRegistry:
+    """Keyed request dedup over the simulation clock."""
+
+    def __init__(self, sim, retention_seconds=3600.0, max_entries=65536):
+        if retention_seconds <= 0:
+            raise ValueError("retention_seconds must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.sim = sim
+        self.retention_seconds = float(retention_seconds)
+        self.max_entries = int(max_entries)
+        self._entries = {}
+        #: Completed keys in completion order (the eviction queue).
+        self._completed = []
+        self._evict_from = 0
+        self.new_total = 0
+        self.joined_total = 0
+        self.replayed_total = 0
+
+    def __repr__(self):
+        return (
+            f"<IdempotencyRegistry {len(self._entries)} keys "
+            f"({self.new_total} new, {self.joined_total} joined, "
+            f"{self.replayed_total} replayed)>"
+        )
+
+    def __len__(self):
+        return len(self._entries)
+
+    def begin(self, key):
+        """Register a sighting of ``key``.
+
+        Returns ``("new", None)``, ``("in-flight", event)`` or
+        ``("replay", outcome)``.
+        """
+        self._purge()
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = _Entry()
+            self.new_total += 1
+            return "new", None
+        if entry.state == "in_flight":
+            event = self.sim.event()
+            entry.waiters.append(event)
+            self.joined_total += 1
+            return "in-flight", event
+        self.replayed_total += 1
+        return "replay", entry.outcome
+
+    def finish(self, key, outcome):
+        """Record the outcome for ``key``; wakes every joined waiter."""
+        entry = self._entries.get(key)
+        if entry is None or entry.state != "in_flight":
+            raise KeyError(f"no in-flight entry for key {key!r}")
+        entry.state = "done"
+        entry.outcome = outcome
+        entry.completed_at = self.sim.now
+        self._completed.append(key)
+        waiters, entry.waiters = entry.waiters, []
+        for event in waiters:
+            event.succeed(outcome)
+
+    def abandon(self, key):
+        """Withdraw an in-flight key (the execution was shed).
+
+        Waiters that already joined are woken with ``None`` so they can
+        resubmit rather than hang on a request nobody is executing.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.state != "in_flight":
+            return
+        del self._entries[key]
+        for event in entry.waiters:
+            event.succeed(None)
+
+    def _purge(self):
+        """Evict completed entries past retention or over the cap."""
+        now = self.sim.now
+        horizon = now - self.retention_seconds
+        while self._evict_from < len(self._completed):
+            key = self._completed[self._evict_from]
+            entry = self._entries.get(key)
+            if entry is None or entry.state != "done":
+                # Key was re-registered after completion; its slot in
+                # the eviction queue is stale.
+                self._evict_from += 1
+                continue
+            over_cap = len(self._entries) > self.max_entries
+            if entry.completed_at <= horizon or over_cap:
+                del self._entries[key]
+                self._evict_from += 1
+                continue
+            break
+        if self._evict_from > 4096:
+            del self._completed[: self._evict_from]
+            self._evict_from = 0

@@ -1,0 +1,89 @@
+"""Queue-based load leveling: a bounded FIFO between door and workers.
+
+Admission smooths the *rate*; the queue smooths the *burst shape*.  A
+fixed pool of worker processes drains the queue, so transfer
+concurrency is bounded no matter how fast admitted requests arrive —
+the grid's fair-share links serve a few transfers at full speed instead
+of thousands at a trickle.  When the queue is full the request is shed
+at the door (cheap) rather than timed out deep in the data channel
+(expensive).
+
+FIFO for items *and* waiters: a worker that blocked first gets the
+next item first, so scheduling is deterministic under same-seed
+replay.
+"""
+
+__all__ = ["BoundedQueue"]
+
+
+class BoundedQueue:
+    """Bounded FIFO with process-blocking ``get``.
+
+    ``offer`` never blocks (returns False when full — the caller
+    sheds); ``get`` is a generator for worker processes that waits on a
+    kernel event when the queue is empty.
+    """
+
+    def __init__(self, sim, capacity):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._items = []
+        self._take_from = 0
+        self._waiters = []
+        self._wait_from = 0
+        self.offered_total = 0
+        self.accepted_total = 0
+        self.shed_total = 0
+        self.high_water = 0
+
+    def __repr__(self):
+        return (
+            f"<BoundedQueue {len(self)}/{self.capacity} "
+            f"({len(self._waiters) - self._wait_from} idle workers)>"
+        )
+
+    def __len__(self):
+        return len(self._items) - self._take_from
+
+    def offer(self, item):
+        """Enqueue ``item`` or hand it to an idle worker.
+
+        Returns False (shed) when the queue is at capacity.
+        """
+        self.offered_total += 1
+        while self._wait_from < len(self._waiters):
+            event = self._waiters[self._wait_from]
+            self._wait_from += 1
+            if self._wait_from > 1024:
+                del self._waiters[: self._wait_from]
+                self._wait_from = 0
+            if not event.triggered:
+                event.succeed(item)
+                self.accepted_total += 1
+                return True
+        if len(self) >= self.capacity:
+            self.shed_total += 1
+            return False
+        self._items.append(item)
+        self.accepted_total += 1
+        depth = len(self)
+        if depth > self.high_water:
+            self.high_water = depth
+        return True
+
+    def get(self):
+        """Generator: the next item, blocking while the queue is empty."""
+        if self._take_from < len(self._items):
+            item = self._items[self._take_from]
+            self._items[self._take_from] = None
+            self._take_from += 1
+            if self._take_from > 1024:
+                del self._items[: self._take_from]
+                self._take_from = 0
+            return item
+        event = self.sim.event()
+        self._waiters.append(event)
+        item = yield event
+        return item

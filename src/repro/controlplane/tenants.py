@@ -1,0 +1,143 @@
+"""Tenant identity, per-tenant accounting, and fairness metrics.
+
+Every front-door request carries a tenant name (the experiment's
+virtual organisations — CMS, ATLAS, ... in Data Grid terms).  Each
+tenant gets its own token bucket sized from its
+:class:`TenantSpec`, and its own :class:`TenantStats` so the exhibit
+can report *who* got served, not just how much.
+
+Percentiles use the nearest-rank definition on the fully-materialised
+latency list — exact and deterministic, no streaming sketch whose
+output would depend on arrival order internals.  Fairness is Jain's
+index over per-tenant service ratios: 1.0 when every tenant gets the
+same fraction of its demand served, 1/n under total capture by one.
+"""
+
+__all__ = [
+    "TenantSpec",
+    "TenantStats",
+    "jain_fairness",
+    "percentile",
+]
+
+
+def percentile(values, q):
+    """Nearest-rank percentile of ``values`` (not necessarily sorted).
+
+    ``q`` in [0, 100].  Returns NaN for an empty list.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = q / 100.0 * len(ordered)
+    index = int(rank) if rank == int(rank) else int(rank) + 1
+    return ordered[min(index, len(ordered)) - 1]
+
+
+def jain_fairness(shares):
+    """Jain's fairness index over non-negative shares.
+
+    ``(sum x)^2 / (n * sum x^2)``; 1.0 = perfectly even, ``1/n`` =
+    one tenant captured everything.  NaN for no tenants or all-zero
+    shares.
+    """
+    shares = list(shares)
+    if not shares:
+        return float("nan")
+    if any(share < 0 for share in shares):
+        raise ValueError("shares must be non-negative")
+    total = sum(shares)
+    squares = sum(share * share for share in shares)
+    if squares == 0.0:
+        return float("nan")
+    return (total * total) / (len(shares) * squares)
+
+
+class TenantSpec:
+    """Admission envelope of one tenant.
+
+    Parameters
+    ----------
+    name:
+        Tenant identity carried by its requests.
+    rate:
+        Sustained admission rate, requests/second.
+    burst:
+        Token-bucket burst (defaults to 2x the rate).
+    weight:
+        Relative share used when reporting fairness (a tenant paying
+        for twice the rate is *entitled* to twice the goodput).
+    """
+
+    __slots__ = ("name", "rate", "burst", "weight")
+
+    def __init__(self, name, rate, burst=None, weight=1.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.name = name
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else 2.0 * rate
+        self.weight = float(weight)
+
+    def __repr__(self):
+        return (
+            f"<TenantSpec {self.name} {self.rate:g}/s "
+            f"burst={self.burst:g}>"
+        )
+
+
+class TenantStats:
+    """Counters and latency samples for one tenant."""
+
+    __slots__ = (
+        "name", "offered", "admitted", "shed_throttle", "shed_queue",
+        "completed", "failed", "dedup_joined", "dedup_replayed",
+        "dedup_served", "latencies", "payload_bytes",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.offered = 0
+        self.admitted = 0
+        self.shed_throttle = 0
+        self.shed_queue = 0
+        self.completed = 0
+        self.failed = 0
+        self.dedup_joined = 0
+        self.dedup_replayed = 0
+        #: Joins/replays whose shared outcome was a success: demand
+        #: served without moving any extra bytes.
+        self.dedup_served = 0
+        #: Arrival-to-outcome seconds of settled requests, in
+        #: settlement order.
+        self.latencies = []
+        self.payload_bytes = 0.0
+
+    def __repr__(self):
+        return (
+            f"<TenantStats {self.name}: {self.offered} offered, "
+            f"{self.completed} completed>"
+        )
+
+    @property
+    def shed(self):
+        return self.shed_throttle + self.shed_queue
+
+    def service_ratio(self):
+        """Fraction of offered demand that was served.
+
+        Dedup hits count: a joiner got its file without moving extra
+        bytes, which is service, not failure.
+        """
+        if self.offered == 0:
+            return 0.0
+        return (self.completed + self.dedup_served) / self.offered
+
+    def latency_percentile(self, q):
+        return percentile(self.latencies, q)

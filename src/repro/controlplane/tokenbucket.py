@@ -1,0 +1,83 @@
+"""Token buckets: the throttling primitive of the front door.
+
+A token bucket admits sustained traffic at ``rate`` tokens/second with
+bursts of up to ``burst`` tokens.  Refill is *lazy*: instead of an
+event per token (which would swamp the event queue at millions of
+requests per sim-day), the level is recomputed from the elapsed time on
+every probe.  The bucket never touches the simulator — callers pass the
+current sim time in — so throttling decisions are pure functions of
+``(state, now)`` and can be unit-tested without a kernel.
+"""
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Lazily-refilled token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Sustained refill rate, tokens per second.
+    burst:
+        Bucket capacity — the largest burst admitted after an idle
+        stretch.  Starts full.
+    """
+
+    __slots__ = ("rate", "burst", "_level", "_last", "admitted",
+                 "rejected")
+
+    def __init__(self, rate, burst=None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst is None:
+            burst = rate
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._level = float(burst)
+        self._last = 0.0
+        #: Tokens granted / probes refused (diagnostics).
+        self.admitted = 0
+        self.rejected = 0
+
+    def __repr__(self):
+        return (
+            f"<TokenBucket rate={self.rate:g}/s burst={self.burst:g} "
+            f"level={self._level:g}>"
+        )
+
+    def _refill(self, now):
+        if now < self._last:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last}"
+            )
+        self._level = min(
+            self.burst, self._level + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def level_at(self, now):
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._level
+
+    def try_acquire(self, now, tokens=1.0):
+        """Take ``tokens`` if available; returns True on success."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        self._refill(now)
+        if self._level >= tokens:
+            self._level -= tokens
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def time_until(self, now, tokens=1.0):
+        """Seconds until ``tokens`` would be available (0 if now)."""
+        self._refill(now)
+        if self._level >= tokens:
+            return 0.0
+        return (tokens - self._level) / self.rate

@@ -159,6 +159,17 @@ def _fig_scale(quick, seed):
     )
 
 
+def _fig_frontdoor(quick, seed):
+    from repro.experiments.fig_frontdoor import run_fig_frontdoor
+
+    if quick:
+        return run_fig_frontdoor(
+            campaigns=("regional_brownout",), horizon=150.0,
+            drain=60.0, n_files=10, warmup=30.0, seed=seed,
+        )
+    return run_fig_frontdoor(seed=seed)
+
+
 #: Experiment id -> runner(quick, seed).
 EXPERIMENTS = {
     "fig1": _fig1,
@@ -178,6 +189,7 @@ EXPERIMENTS = {
     "abl_coalloc": _abl_coalloc,
     "abl_staleness": _abl_staleness,
     "fig_scale": _fig_scale,
+    "fig_frontdoor": _fig_frontdoor,
 }
 
 #: Experiments accepting a ``--preset`` topology override.

@@ -46,6 +46,7 @@ from repro.gridftp.reliable import (
     AttemptTimeout,
     ReliableFileTransfer,
     ReliableTransferResult,
+    RetryBudgetExhaustedError,
     TooManyAttemptsError,
 )
 from repro.gridftp.striped import striped_get
@@ -72,6 +73,7 @@ __all__ = [
     "ReliableFileTransfer",
     "ReliableTransferResult",
     "RemoteFileNotFoundError",
+    "RetryBudgetExhaustedError",
     "StreamMode",
     "TooManyAttemptsError",
     "TransferError",

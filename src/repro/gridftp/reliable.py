@@ -51,13 +51,32 @@ from repro.sim import Interrupt
 from repro.units import MiB
 
 __all__ = ["AttemptTimeout", "ReliableFileTransfer",
-           "ReliableTransferResult", "TooManyAttemptsError"]
+           "ReliableTransferResult", "RetryBudgetExhaustedError",
+           "TooManyAttemptsError"]
 
 logger = logging.getLogger("repro.gridftp.reliable")
 
 
 class TooManyAttemptsError(TransferError):
     """The transfer kept faulting past the attempt budget."""
+
+
+class RetryBudgetExhaustedError(TooManyAttemptsError):
+    """The backoff policy's retry budget ran out before the attempt cap.
+
+    Distinct from plain :class:`TooManyAttemptsError` so callers can
+    tell "the replicas kept faulting" from "we were not allowed to keep
+    waiting" — but a subclass of it, so every existing handler still
+    catches the exhaustion.  ``reason`` is the budget that ran out
+    (``"max-attempts"`` / ``"max-total-wait"``), ``attempts`` the fault
+    count and ``waited`` the cumulative backoff sleep so far.
+    """
+
+    def __init__(self, message, reason, attempts, waited):
+        super().__init__(message)
+        self.reason = reason
+        self.attempts = int(attempts)
+        self.waited = float(waited)
 
 
 class AttemptTimeout(Exception):
@@ -128,6 +147,7 @@ class _FixedSource:
         self.manifest = manifest
         self.verify = manifest is not None
         self.health = health
+        self.fault_listener = None
         server = rft.grid.service(server_name, rft.client.server_service)
         self.payload = server.size_of(remote_name)
 
@@ -151,6 +171,14 @@ class _FixedSource:
         if self.health is not None:
             self.health.record_success(self.filename, server_name)
 
+    def note_fault(self, server_name, kind):
+        if self.fault_listener is not None:
+            self.fault_listener.on_fault(server_name, kind)
+
+    def note_success(self, server_name):
+        if self.fault_listener is not None:
+            self.fault_listener.on_success(server_name)
+
 
 class _SelectedSource:
     """Replica binding through the selection server; re-selects on
@@ -164,6 +192,12 @@ class _SelectedSource:
         self.selection = selection
         self.catalog = selection.catalog
         self.health = getattr(selection, "health", None)
+        #: Optional per-host fault sink (``on_fault`` / ``on_success``)
+        #: exposed by the selection adapter — the circuit-breaker seam.
+        #: Unlike ``health`` (fed only verification outcomes), the
+        #: listener hears *every* operational fault: timeouts, refused
+        #: connections, corruption.
+        self.fault_listener = getattr(selection, "fault_listener", None)
         lfn = self.catalog.logical_file(logical_name)
         self.payload = lfn.size_bytes
         self.manifest = lfn.manifest
@@ -200,6 +234,14 @@ class _SelectedSource:
     def record_success(self, server_name):
         if self.health is not None:
             self.health.record_success(self.filename, server_name)
+
+    def note_fault(self, server_name, kind):
+        if self.fault_listener is not None:
+            self.fault_listener.on_fault(server_name, kind)
+
+    def note_success(self, server_name):
+        if self.fault_listener is not None:
+            self.fault_listener.on_success(server_name)
 
 
 def _stored_version(grid, host_name, physical_name):
@@ -334,6 +376,7 @@ class ReliableFileTransfer:
         corrupt_faults = failovers = delivered_corrupt = 0
         no_replica_waits = 0
         retransmitted = 0.0
+        backoff_waited = 0.0
         records = []
 
         while True:
@@ -363,6 +406,19 @@ class ReliableFileTransfer:
                         if error.retry_after is not None
                         else self.backoff.delay(faults, self._jitter_stream)
                     )
+                    exhausted = self.backoff.exhaustion(
+                        faults, backoff_waited + delay
+                    )
+                    if exhausted is not None:
+                        span.set(error="retry-budget", faults=faults)
+                        span.finish()
+                        raise RetryBudgetExhaustedError(
+                            f"{binding.filename!r}: retry budget "
+                            f"({exhausted}) exhausted after {faults} "
+                            f"faults and {backoff_waited:.1f}s waited",
+                            exhausted, faults, backoff_waited,
+                        ) from error
+                    backoff_waited += delay
                     obs.metrics.counter("rft.retries").inc()
                     logger.warning(
                         "no live replica of %r; retrying in %.1fs "
@@ -459,6 +515,7 @@ class ReliableFileTransfer:
                 faults += 1
                 timeouts += fault_kind == "timeout"
                 refused += fault_kind == "refused"
+                binding.note_fault(server_name, fault_kind)
                 wasted = chunk
                 if corrupt_error is not None:
                     corrupt_faults += 1
@@ -500,6 +557,24 @@ class ReliableFileTransfer:
                 if binding.can_failover:
                     current = None  # re-select the source
                 delay = self.backoff.delay(faults, self._jitter_stream)
+                exhausted = self.backoff.exhaustion(
+                    faults, backoff_waited + delay
+                )
+                if exhausted is not None:
+                    span.set(error="retry-budget", faults=faults)
+                    span.finish()
+                    logger.error(
+                        "%r: retry budget (%s) exhausted after %d "
+                        "faults, %.1fs waited", binding.filename,
+                        exhausted, faults, backoff_waited,
+                    )
+                    raise RetryBudgetExhaustedError(
+                        f"{binding.filename!r}: retry budget "
+                        f"({exhausted}) exhausted after {faults} faults "
+                        f"and {backoff_waited:.1f}s waited",
+                        exhausted, faults, backoff_waited,
+                    ) from None
+                backoff_waited += delay
                 obs.metrics.counter("rft.retries").inc()
                 logger.warning(
                     "retrying %r at offset %.0f after %.1fs backoff",
@@ -511,6 +586,7 @@ class ReliableFileTransfer:
             obs.metrics.counter("rft.chunks").inc()
             records.append(record)
             ranges.add(offset, offset + chunk)
+            binding.note_success(server_name)
             if binding.verify:
                 binding.record_success(server_name)
             elif binding.manifest is not None and chunk > 0:

@@ -24,6 +24,7 @@ from repro.units import KiB
 
 __all__ = [
     "BENCH_SCHEMA",
+    "FRONTDOOR_SUITE",
     "PINNED_SUITE",
     "SCALE_SUITE",
     "SUITES",
@@ -50,8 +51,17 @@ PINNED_SUITE = ("table1", "fig3", "fig_chaos", "fig_integrity")
 #: baseline's coverage gate is untouched.
 SCALE_SUITE = ("fig_scale",)
 
+#: The frontdoor suite: the control-plane overload exhibit (open-loop
+#: flash crowd through admission/queue/breakers on a 100-site grid),
+#: tracked in its own BENCH trajectory like the scale suite.
+FRONTDOOR_SUITE = ("fig_frontdoor",)
+
 #: Named suites the CLI's ``--suite`` selects from.
-SUITES = {"pinned": PINNED_SUITE, "scale": SCALE_SUITE}
+SUITES = {
+    "pinned": PINNED_SUITE,
+    "scale": SCALE_SUITE,
+    "frontdoor": FRONTDOOR_SUITE,
+}
 
 #: Per-experiment metrics every BENCH entry must carry.
 EXPERIMENT_METRICS = (

@@ -60,9 +60,10 @@ def main(argv=None):
         help="experiment ids to benchmark (default: the pinned suite)",
     )
     parser.add_argument(
-        "--suite", choices=("pinned", "scale"),
+        "--suite", choices=("pinned", "scale", "frontdoor"),
         help="benchmark a named suite instead of listing experiment "
-             "ids (scale = the fig_scale grid-size sweep)",
+             "ids (scale = the fig_scale grid-size sweep, frontdoor = "
+             "the fig_frontdoor control-plane overload exhibit)",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -6,6 +6,14 @@ which hammer replicated file sets with skewed popularity.  This package
 generates those access patterns for the examples and experiments.
 """
 
+from repro.workloads.arrivals import (
+    ArrivalRequest,
+    ConstantRate,
+    DiurnalProfile,
+    FlashCrowdProfile,
+    OpenLoopArrivals,
+    offered_per_day,
+)
 from repro.workloads.background import LOAD_SCENARIOS, apply_load_scenario
 from repro.workloads.filesizes import (
     FixedSize,
@@ -21,8 +29,13 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "ArrivalRequest",
+    "ConstantRate",
+    "DiurnalProfile",
     "FixedSize",
+    "FlashCrowdProfile",
     "LOAD_SCENARIOS",
+    "OpenLoopArrivals",
     "LogNormalSizes",
     "PAPER_SIZES_MB",
     "ParetoSizes",
@@ -31,4 +44,5 @@ __all__ = [
     "UniformSizes",
     "ZipfPopularity",
     "apply_load_scenario",
+    "offered_per_day",
 ]

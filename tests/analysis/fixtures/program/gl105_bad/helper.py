@@ -1,0 +1,7 @@
+"""A thin wrapper over the raw data channel (one call hop)."""
+
+from repro.gridftp import datachannel
+
+
+def read_block(channel, offset, nbytes):
+    return datachannel.run_data_transfer(channel, offset, nbytes)

@@ -1,0 +1,14 @@
+"""Planted bug: a tight retry loop hammers the channel via a helper."""
+
+from helper import read_block
+
+
+class Fetcher:
+    def __init__(self, channel):
+        self.channel = channel
+
+    def fetch(self, offset, nbytes):
+        while True:
+            block = read_block(self.channel, offset, nbytes)
+            if block is not None:
+                return block

@@ -1,0 +1,19 @@
+"""The clean twin: the same loop backs off between attempts."""
+
+from helper import read_block
+
+
+class Fetcher:
+    def __init__(self, sim, channel, backoff):
+        self.sim = sim
+        self.channel = channel
+        self.backoff = backoff
+
+    def fetch(self, offset, nbytes):
+        attempt = 0
+        while True:
+            block = read_block(self.channel, offset, nbytes)
+            if block is not None:
+                return block
+            attempt = attempt + 1
+            yield self.sim.timeout(self.backoff.delay(attempt))

@@ -22,6 +22,7 @@ def program_codes(case):
     ("gl102_bad", "GL102"),
     ("gl103_bad", "GL103"),
     ("gl104_bad", "GL104"),
+    ("gl105_bad", "GL105"),
 ])
 def test_planted_bug_is_detected(case, code):
     codes = program_codes(case)
@@ -30,7 +31,7 @@ def test_planted_bug_is_detected(case, code):
 
 
 @pytest.mark.parametrize("case", [
-    "gl101_ok", "gl102_ok", "gl103_ok", "gl104_ok",
+    "gl101_ok", "gl102_ok", "gl103_ok", "gl104_ok", "gl105_ok",
 ])
 def test_clean_twin_stays_clean(case):
     assert program_codes(case) == []
@@ -66,6 +67,15 @@ def test_gl104_names_the_toggle_and_attribute():
     assert len(parity) == 1
     assert "REPRO_EVENT_QUEUE" in parity[0].message
     assert "self._heap" in parity[0].message
+
+
+def test_gl105_anchors_at_the_loop_and_names_the_path():
+    findings, _ = analyze_project([os.path.join(FIXTURES, "gl105_bad")])
+    storms = [f for f in findings if f.code == "GL105"]
+    assert len(storms) == 1
+    assert storms[0].path.endswith("user.py")
+    assert "read_block" in storms[0].message
+    assert "backoff" in storms[0].message.lower()
 
 
 def test_no_program_flag_suppresses_interprocedural_rules():

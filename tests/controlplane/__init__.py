@@ -1,0 +1,1 @@
+"""Control-plane battery: admission, breakers, idempotency, queueing."""

@@ -1,0 +1,77 @@
+"""Admission control: per-tenant isolation and the global envelope."""
+
+import pytest
+
+from repro.controlplane.admission import AdmissionController
+from repro.controlplane.tenants import TenantSpec
+
+
+def controller(global_rate=None, global_burst=None):
+    return AdmissionController(
+        [
+            TenantSpec("cms", rate=2.0, burst=2.0),
+            TenantSpec("atlas", rate=2.0, burst=2.0),
+        ],
+        global_rate=global_rate, global_burst=global_burst,
+    )
+
+
+class TestTenantThrottle:
+    def test_admits_within_the_contract(self):
+        door = controller()
+        assert door.admit(0.0, "cms") == (True, None)
+
+    def test_sheds_past_the_burst(self):
+        door = controller()
+        door.admit(0.0, "cms")
+        door.admit(0.0, "cms")
+        assert door.admit(0.0, "cms") == (False, "tenant-throttle")
+
+    def test_one_tenant_cannot_starve_another(self):
+        door = controller()
+        for _ in range(10):
+            door.admit(0.0, "cms")
+        assert door.admit(0.0, "atlas") == (True, None)
+
+    def test_unknown_tenant_is_an_error(self):
+        with pytest.raises(KeyError):
+            controller().admit(0.0, "nosuch")
+
+    def test_duplicate_tenant_is_an_error(self):
+        with pytest.raises(ValueError):
+            AdmissionController(
+                [TenantSpec("cms", rate=1.0), TenantSpec("cms", rate=2.0)]
+            )
+
+    def test_needs_at_least_one_tenant(self):
+        with pytest.raises(ValueError):
+            AdmissionController([])
+
+
+class TestGlobalThrottle:
+    def test_global_bucket_caps_the_aggregate(self):
+        door = controller(global_rate=1.0, global_burst=2.0)
+        assert door.admit(0.0, "cms")[0]
+        assert door.admit(0.0, "atlas")[0]
+        assert door.admit(0.0, "cms") == (False, "global-throttle")
+
+    def test_global_shed_does_not_burn_tenant_budget(self):
+        door = controller(global_rate=1.0, global_burst=1.0)
+        door.admit(0.0, "cms")
+        door.admit(0.0, "cms")  # globally shed
+        assert door.bucket("cms").level_at(0.0) == pytest.approx(1.0)
+
+    def test_counters_track_both_outcomes(self):
+        door = controller(global_rate=1.0, global_burst=1.0)
+        door.admit(0.0, "cms")
+        door.admit(0.0, "cms")
+        door.admit(0.0, "atlas")
+        assert door.admitted_total == 1
+        assert door.shed_total == 2
+
+    def test_rates_recover_over_time(self):
+        door = controller()
+        door.admit(0.0, "cms")
+        door.admit(0.0, "cms")
+        assert not door.admit(0.0, "cms")[0]
+        assert door.admit(1.0, "cms")[0]

@@ -1,0 +1,194 @@
+"""Circuit breakers: trip/recover mechanics and liveness properties.
+
+The two hypothesis properties pin down the liveness claims in the
+module docstring: no interleaving of results and clock advances can
+wedge a breaker open, and a half-open breaker hands out *exactly* its
+probe quota until the probes resolve.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+def tripped(open_seconds=10.0, probe_quota=2, probe_successes=1):
+    """A breaker freshly tripped at t=0."""
+    breaker = CircuitBreaker(
+        window=4, failure_threshold=0.5, min_samples=2,
+        open_seconds=open_seconds, probe_quota=probe_quota,
+        probe_successes=probe_successes,
+    )
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestTrip:
+    def test_cold_breaker_ignores_a_single_failure(self):
+        breaker = CircuitBreaker(min_samples=5)
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+    def test_trips_when_the_rate_crosses_the_threshold(self):
+        breaker = CircuitBreaker(
+            window=4, failure_threshold=0.5, min_samples=4
+        )
+        for _ in range(2):
+            breaker.record_success(0.0)
+            breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert breaker.opens_total == 1
+
+    def test_successes_age_failures_out_of_the_window(self):
+        breaker = CircuitBreaker(
+            window=4, failure_threshold=0.5, min_samples=4
+        )
+        breaker.record_failure(0.0)
+        for _ in range(6):
+            breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(window=0),
+        dict(failure_threshold=0.0),
+        dict(failure_threshold=1.5),
+        dict(min_samples=0),
+        dict(open_seconds=0.0),
+        dict(probe_quota=0),
+        dict(probe_quota=2, probe_successes=3),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestOpen:
+    def test_open_rejects_instantly(self):
+        breaker = tripped(open_seconds=10.0)
+        assert not breaker.allow(5.0)
+        assert breaker.rejections_total == 1
+
+    def test_retry_after_counts_down(self):
+        breaker = tripped(open_seconds=10.0)
+        assert breaker.retry_after(4.0) == pytest.approx(6.0)
+        assert breaker.retry_after(11.0) is None
+
+    def test_late_results_cannot_extend_the_window(self):
+        breaker = tripped(open_seconds=10.0)
+        breaker.record_failure(5.0)
+        breaker.record_success(6.0)
+        assert breaker.allow(10.5)  # half-open probe
+
+
+class TestHalfOpen:
+    def test_cooldown_expiry_enters_half_open(self):
+        breaker = tripped(open_seconds=10.0)
+        assert breaker.allow(10.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_enough_probe_successes_close(self):
+        breaker = tripped(probe_quota=2, probe_successes=2)
+        breaker.allow(10.5)
+        breaker.allow(10.5)
+        breaker.record_success(11.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success(11.5)
+        assert breaker.state == CLOSED
+        assert breaker.closes_total == 1
+
+    def test_a_probe_failure_reopens(self):
+        breaker = tripped()
+        breaker.allow(10.5)
+        breaker.record_failure(11.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(12.0)
+
+    def test_lost_probes_reopen_after_a_cooldown(self):
+        breaker = tripped(open_seconds=10.0, probe_quota=1)
+        assert breaker.allow(10.5)       # the probe, never reports back
+        assert not breaker.allow(15.0)   # quota exhausted, patient
+        assert not breaker.allow(21.0)   # patience over: re-open
+        assert breaker.state == OPEN
+        assert breaker.allow(31.5)       # fresh probe after cooldown
+
+
+ACTIONS = st.lists(
+    st.one_of(
+        st.just("ok"),
+        st.just("fail"),
+        st.just("allow"),
+        st.floats(min_value=0.01, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=80,
+)
+
+
+class TestLiveness:
+    @given(script=ACTIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_breaker_never_wedges_open(self, script):
+        """After ANY interleaving of results, admissions and clock
+        advances, at most two cooldowns later the breaker hands out a
+        request again — it cannot wedge open."""
+        breaker = CircuitBreaker(
+            window=8, failure_threshold=0.5, min_samples=2,
+            open_seconds=10.0, probe_quota=2, probe_successes=1,
+        )
+        now = 0.0
+        for action in script:
+            if action == "ok":
+                breaker.record_success(now)
+            elif action == "fail":
+                breaker.record_failure(now)
+            elif action == "allow":
+                breaker.allow(now)
+            else:
+                now += action
+        admitted = False
+        for _ in range(2):
+            now += breaker.open_seconds + 0.1
+            if breaker.allow(now):
+                admitted = True
+                break
+        assert admitted
+
+    @given(quota=st.integers(min_value=1, max_value=8),
+           extra=st.integers(min_value=0, max_value=24))
+    @settings(max_examples=100, deadline=None)
+    def test_half_open_admits_exactly_the_probe_quota(self, quota,
+                                                      extra):
+        """While probes are outstanding, exactly ``probe_quota``
+        requests get through no matter how many more ask."""
+        breaker = tripped(open_seconds=10.0, probe_quota=quota)
+        admitted = sum(
+            breaker.allow(10.5) for _ in range(quota + extra)
+        )
+        assert admitted == quota
+        assert breaker.probes_total == quota
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_closed_outcomes_never_raise_and_counters_balance(
+            self, outcomes):
+        breaker = CircuitBreaker(window=8, min_samples=3)
+        now = 0.0
+        for ok in outcomes:
+            now += 1.0
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+        assert breaker.state in (CLOSED, OPEN)
+        if breaker.state == OPEN:
+            assert breaker.opens_total >= 1
+        assert breaker.rejections_total == 0  # nobody called allow

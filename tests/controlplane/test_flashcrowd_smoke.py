@@ -1,0 +1,91 @@
+"""Flash-crowd smoke: the full front door on a 100-site grid.
+
+The CI ``controlplane`` job's sanity gate: one short flash-crowd run
+of the full policy on the fig_frontdoor casting, asserting it (a)
+finishes inside a generous wall budget, (b) leaves the simulator free
+of leaked processes/flows/timers, and (c) actually served traffic
+through every control-plane stage.
+"""
+
+from repro.analysis.sanitizers import check_leaks
+from repro.controlplane import FrontDoor, TenantSpec
+from repro.experiments.fig_frontdoor import _cast, _policy_config
+from repro.experiments.harness import register_replicas
+from repro.obs.perf.clock import wall_clock
+from repro.testbed import build_testbed
+from repro.testbed.topology.presets import scaled
+from repro.workloads import (
+    FlashCrowdProfile,
+    OpenLoopArrivals,
+    ZipfPopularity,
+)
+
+#: Wall seconds the smoke may burn — ~20x the reference machine.
+WALL_BUDGET = 120.0
+
+
+def test_flash_crowd_smoke_runs_clean_inside_the_wall_budget():
+    begin = wall_clock()
+    spec = scaled(100, seed=0)
+    testbed = build_testbed(topology=spec, seed=0)
+    grid = testbed.grid
+    sim = grid.sim
+
+    _, brown_hosts, healthy_hosts, clients = _cast(
+        spec, replica_count=6, client_count=24
+    )
+    logicals = []
+    for index in range(6):
+        name = f"dataset-{index:03d}"
+        register_replicas(testbed, name, [
+            brown_hosts[index % len(brown_hosts)],
+            healthy_hosts[index % len(healthy_hosts)],
+        ], 2)
+        logicals.append(name)
+    testbed.warm_up(30.0)
+
+    horizon, drain = 60.0, 30.0
+    arrivals = OpenLoopArrivals(
+        sim.streams.get("frontdoor/arrivals"),
+        [("atlas", FlashCrowdProfile(
+            5.0, peak_factor=16.0, start=0.3 * horizon,
+            ramp=0.1 * horizon, hold=0.2 * horizon,
+        ))],
+        clients,
+        ZipfPopularity(logicals, exponent=0.8),
+        duplicate_fraction=0.25, duplicate_delay=10.0,
+    )
+    trace = arrivals.generate(horizon)
+    assert len(trace) > 100  # the crowd actually showed up
+
+    door = FrontDoor(
+        testbed,
+        [TenantSpec("atlas", rate=36.0, burst=90.0)],
+        _policy_config("full", workers=64, queue_capacity=96,
+                       global_rate=44.0),
+    ).start()
+
+    def driver():
+        start = sim.now
+        for request in trace:
+            due = start + request.time
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            sim.process(door.handle(request))
+
+    sim.process(driver())
+    sim.run(until=sim.now + horizon + drain)
+
+    summary = door.summary()
+    assert summary["offered"] == len(trace)
+    assert summary["completed"] > 0
+    assert summary["failed"] == 0
+
+    report = check_leaks(grid)
+    assert report.ok, report.describe()
+
+    elapsed = wall_clock() - begin
+    assert elapsed < WALL_BUDGET, (
+        f"flash-crowd smoke took {elapsed:.1f}s "
+        f"(budget {WALL_BUDGET:.0f}s)"
+    )

@@ -1,0 +1,225 @@
+"""Front door integration on the paper testbed.
+
+Each test drives real requests through admission -> idempotency ->
+queue -> workers -> breaker-guarded selection -> reliable transfer on
+the three-site testbed, so the composition is exercised end to end
+rather than stage by stage.
+"""
+
+import pytest
+
+from repro.controlplane import FrontDoor, FrontDoorConfig, TenantSpec
+from repro.controlplane.frontdoor import BreakerGuardedSelection
+from repro.core.server import NoLiveReplicaError
+from repro.experiments.harness import register_replicas
+from repro.testbed import build_testbed
+from repro.units import megabytes
+from repro.workloads import ArrivalRequest
+
+FILE_MB = 4
+
+
+@pytest.fixture
+def testbed():
+    bed = build_testbed(seed=0)
+    register_replicas(bed, "data", ["alpha2", "hit1"], FILE_MB)
+    return bed
+
+
+def request_for(key, tenant="cms", client="alpha1"):
+    return ArrivalRequest(0.0, tenant, client, "data", key)
+
+
+def tenants():
+    return [
+        TenantSpec("cms", rate=4.0, burst=8.0),
+        TenantSpec("atlas", rate=4.0, burst=8.0),
+    ]
+
+
+def door_with(testbed, **config_kwargs):
+    return FrontDoor(
+        testbed, tenants(), FrontDoorConfig(**config_kwargs)
+    ).start()
+
+
+def settle(testbed, generators, until=300.0):
+    """Run each handle() generator as a process; returns outcomes."""
+    sim = testbed.grid.sim
+    processes = [sim.process(gen) for gen in generators]
+    sim.run(until=until)
+    assert all(process.triggered for process in processes)
+    return [process.value for process in processes]
+
+
+class TestHappyPath:
+    def test_delivers_the_file_through_the_worker_pool(self, testbed):
+        door = door_with(testbed, workers=2)
+        [outcome] = settle(testbed, [door.handle(request_for("k1"))])
+        assert outcome["status"] == "ok"
+        assert outcome["payload_bytes"] == megabytes(FILE_MB)
+        assert outcome["source"] in ("alpha2", "hit1")
+        stats = door.stats["cms"]
+        assert stats.completed == 1
+        assert stats.payload_bytes == megabytes(FILE_MB)
+
+    def test_inline_mode_works_without_a_queue(self, testbed):
+        door = door_with(testbed, workers=None)
+        assert door.queue is None
+        [outcome] = settle(testbed, [door.handle(request_for("k1"))])
+        assert outcome["status"] == "ok"
+
+    def test_no_scratch_files_leak_onto_the_client(self, testbed):
+        door = door_with(testbed, workers=2)
+        settle(testbed, [
+            door.handle(request_for(f"k{index}"))
+            for index in range(3)
+        ])
+        fs = testbed.grid.host("alpha1").filesystem
+        for seq in range(1, 4):
+            assert f"frontdoor-{seq}" not in fs
+            assert f"frontdoor-{seq}.chunk" not in fs
+
+
+class TestIdempotency:
+    def test_concurrent_same_key_joins_one_transfer(self, testbed):
+        door = door_with(testbed, workers=2)
+        first, second = settle(testbed, [
+            door.handle(request_for("dup")),
+            door.handle(request_for("dup")),
+        ])
+        outcomes = {frozenset(o) for o in (first, second)}
+        joined = [o for o in (first, second) if o.get("joined")]
+        assert len(joined) == 1
+        summary = door.summary()
+        assert summary["completed"] == 1
+        assert summary["dedup_joined"] == 1
+        assert summary["dedup_served"] == 1
+        # The joiner is credited the payload without a second transfer.
+        assert summary["payload_bytes"] == 2 * megabytes(FILE_MB)
+        assert outcomes  # both settled
+
+    def test_sequential_same_key_replays_the_outcome(self, testbed):
+        door = door_with(testbed, workers=2)
+        [first] = settle(testbed, [door.handle(request_for("dup"))])
+        [second] = settle(testbed, [door.handle(request_for("dup"))])
+        assert first["status"] == "ok"
+        assert second.get("replayed") is True
+        assert door.summary()["dedup_replayed"] == 1
+
+
+class TestShedding:
+    def test_throttled_request_is_shed_with_a_reason(self, testbed):
+        door = FrontDoor(
+            testbed,
+            [TenantSpec("cms", rate=0.1, burst=1.0),
+             TenantSpec("atlas", rate=4.0, burst=8.0)],
+            FrontDoorConfig(workers=2),
+        ).start()
+        first, second = settle(testbed, [
+            door.handle(request_for("k1")),
+            door.handle(request_for("k2")),
+        ])
+        statuses = sorted([first["status"], second["status"]])
+        assert statuses == ["ok", "shed"]
+        shed = first if first["status"] == "shed" else second
+        assert shed["reason"] == "tenant-throttle"
+        assert door.stats["cms"].shed_throttle == 1
+
+    def test_throttle_shed_releases_the_idempotency_key(self, testbed):
+        door = FrontDoor(
+            testbed,
+            [TenantSpec("cms", rate=0.1, burst=1.0),
+             TenantSpec("atlas", rate=4.0, burst=8.0)],
+            FrontDoorConfig(workers=2),
+        ).start()
+        first, second = settle(testbed, [
+            door.handle(request_for("k1")),
+            door.handle(request_for("k2")),
+        ])
+        assert first["status"] == "ok"
+        assert second["status"] == "shed"
+        # The shed sighting abandoned its key, so the resubmission is
+        # new again — it executes instead of joining a primary that
+        # never ran.
+        [third] = settle(
+            testbed, [door.handle(request_for("k2"))], until=600.0
+        )
+        assert third["status"] == "ok"
+        assert third.get("replayed") is None
+        assert door.summary()["completed"] == 2
+
+    def test_queue_overflow_sheds_at_the_door(self, testbed):
+        door = FrontDoor(
+            testbed,
+            [TenantSpec("cms", rate=100.0, burst=100.0),
+             TenantSpec("atlas", rate=4.0, burst=8.0)],
+            FrontDoorConfig(workers=1, queue_capacity=1),
+        ).start()
+        outcomes = settle(testbed, [
+            door.handle(request_for(f"k{index}"))
+            for index in range(8)
+        ])
+        shed = [o for o in outcomes if o["status"] == "shed"]
+        assert shed
+        assert all(o["reason"] == "queue-full" for o in shed)
+        assert door.queue.high_water <= 1
+
+
+class TestBreakerGuard:
+    def open_all(self, door):
+        for host in ("alpha2", "hit1"):
+            breaker = door.breakers.breaker(host)
+            for _ in range(breaker.min_samples):
+                door.breakers.record_failure(host)
+            assert breaker.state == "open"
+
+    def test_all_breakers_open_raises_no_live_replica(self, testbed):
+        door = door_with(testbed, workers=2)
+        self.open_all(door)
+        sim = testbed.grid.sim
+
+        def probe():
+            with pytest.raises(NoLiveReplicaError) as excinfo:
+                yield from door.selection.select("alpha1", "data")
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0.0
+
+        sim.run(until=sim.process(probe()))
+
+    def test_guard_preserves_candidate_order(self, testbed):
+        door = door_with(testbed, workers=2)
+        guard = door.selection
+        assert isinstance(guard, BreakerGuardedSelection)
+        names = ["hit1", "alpha2"]
+        assert guard.breakers.filter_allowed(names) == names
+
+    def test_breakers_reopen_path_after_cooldown(self, testbed):
+        door = door_with(
+            testbed, workers=2, breaker_open_seconds=5.0,
+            transfer_attempts=6,
+        )
+        self.open_all(door)
+        [outcome] = settle(testbed, [door.handle(request_for("k1"))])
+        assert outcome["status"] == "ok"
+        assert door.breakers.opens_total >= 2
+
+
+class TestReporting:
+    def test_summary_and_fairness_cover_all_tenants(self, testbed):
+        door = door_with(testbed, workers=2)
+        settle(testbed, [
+            door.handle(request_for("k1", tenant="cms")),
+            door.handle(request_for("k2", tenant="atlas")),
+        ])
+        summary = door.summary()
+        assert summary["offered"] == 2
+        assert summary["completed"] == 2
+        assert summary["fairness"] == pytest.approx(1.0)
+        assert summary["breaker_opens"] == 0
+        assert len(summary["latencies"]) == 2
+
+    def test_unknown_tenant_is_rejected(self, testbed):
+        door = door_with(testbed, workers=2)
+        with pytest.raises(KeyError):
+            settle(testbed, [door.handle(request_for("k", tenant="x"))])

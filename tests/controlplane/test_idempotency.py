@@ -1,0 +1,178 @@
+"""Idempotency registry: dedup dispositions, eviction, replay property.
+
+The hypothesis property at the bottom is the satellite claim: under a
+same-seed replay of an open-loop arrival trace with client
+resubmissions, every idempotency key executes exactly once no matter
+how duplicates interleave with their originals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.idempotency import IdempotencyRegistry
+from repro.sim import Simulator
+from repro.sim.random_streams import RandomStream
+from repro.workloads import OpenLoopArrivals, ConstantRate, ZipfPopularity
+
+
+class TestDispositions:
+    def test_first_sighting_is_new(self):
+        registry = IdempotencyRegistry(Simulator())
+        assert registry.begin("k1") == ("new", None)
+        assert registry.new_total == 1
+
+    def test_second_sighting_joins_in_flight(self):
+        registry = IdempotencyRegistry(Simulator())
+        registry.begin("k1")
+        disposition, event = registry.begin("k1")
+        assert disposition == "in-flight"
+        assert not event.triggered
+        assert registry.joined_total == 1
+
+    def test_finish_wakes_every_waiter_with_the_outcome(self):
+        sim = Simulator()
+        registry = IdempotencyRegistry(sim)
+        registry.begin("k1")
+        _, first = registry.begin("k1")
+        _, second = registry.begin("k1")
+        registry.finish("k1", {"status": "ok"})
+        sim.run()
+        assert first.value == {"status": "ok"}
+        assert second.value == {"status": "ok"}
+
+    def test_completed_key_replays_the_outcome(self):
+        registry = IdempotencyRegistry(Simulator())
+        registry.begin("k1")
+        registry.finish("k1", {"status": "ok"})
+        assert registry.begin("k1") == ("replay", {"status": "ok"})
+        assert registry.replayed_total == 1
+
+    def test_finish_without_begin_is_an_error(self):
+        with pytest.raises(KeyError):
+            IdempotencyRegistry(Simulator()).finish("k1", {})
+
+
+class TestAbandon:
+    def test_abandon_wakes_waiters_with_none(self):
+        sim = Simulator()
+        registry = IdempotencyRegistry(sim)
+        registry.begin("k1")
+        _, event = registry.begin("k1")
+        registry.abandon("k1")
+        sim.run()
+        assert event.value is None
+
+    def test_abandoned_key_is_new_again(self):
+        registry = IdempotencyRegistry(Simulator())
+        registry.begin("k1")
+        registry.abandon("k1")
+        assert registry.begin("k1") == ("new", None)
+
+    def test_abandon_of_done_or_unknown_key_is_a_noop(self):
+        registry = IdempotencyRegistry(Simulator())
+        registry.abandon("missing")
+        registry.begin("k1")
+        registry.finish("k1", {"status": "ok"})
+        registry.abandon("k1")
+        assert registry.begin("k1")[0] == "replay"
+
+
+class TestEviction:
+    def test_entries_expire_after_retention(self):
+        sim = Simulator()
+        registry = IdempotencyRegistry(sim, retention_seconds=10.0)
+        registry.begin("k1")
+        registry.finish("k1", {"status": "ok"})
+        sim.run(until=11.0)
+        assert registry.begin("k1") == ("new", None)
+
+    def test_completed_entries_bounded_by_max_entries(self):
+        sim = Simulator()
+        registry = IdempotencyRegistry(
+            sim, retention_seconds=1e9, max_entries=8
+        )
+        for index in range(64):
+            key = f"k{index}"
+            registry.begin(key)
+            registry.finish(key, {"status": "ok"})
+        registry.begin("probe")
+        assert len(registry) <= 8 + 1
+
+    def test_in_flight_entries_are_never_evicted(self):
+        sim = Simulator()
+        registry = IdempotencyRegistry(sim, retention_seconds=10.0)
+        registry.begin("held")
+        sim.run(until=100.0)
+        assert registry.begin("held")[0] == "in-flight"
+
+
+class TestSameSeedReplay:
+    """The satellite property: dedup under same-seed replay."""
+
+    def trace(self, seed, duplicate_fraction):
+        arrivals = OpenLoopArrivals(
+            RandomStream(seed, "arrivals"),
+            [("cms", ConstantRate(2.0)), ("atlas", ConstantRate(1.0))],
+            ["c0", "c1"],
+            ZipfPopularity(["f0", "f1", "f2"], exponent=0.8),
+            duplicate_fraction=duplicate_fraction,
+            duplicate_delay=4.0,
+        )
+        return arrivals.generate(60.0)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           duplicate_fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_traces_are_identical(self, seed,
+                                            duplicate_fraction):
+        first = self.trace(seed, duplicate_fraction)
+        second = self.trace(seed, duplicate_fraction)
+        assert [
+            (r.time, r.tenant, r.client_name, r.logical_name, r.key,
+             r.duplicate)
+            for r in first
+        ] == [
+            (r.time, r.tenant, r.client_name, r.logical_name, r.key,
+             r.duplicate)
+            for r in second
+        ]
+
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           service_time=st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_every_key_executes_exactly_once(self, seed, service_time):
+        """Duplicates join in-flight work or replay completed work;
+        either way the transfer runs once per key."""
+        trace = self.trace(seed, duplicate_fraction=0.5)
+        sim = Simulator()
+        registry = IdempotencyRegistry(sim)
+        executions = []
+
+        def serve(request):
+            disposition, payload = registry.begin(request.key)
+            if disposition == "new":
+                executions.append(request.key)
+                yield sim.timeout(service_time)
+                registry.finish(request.key, {"status": "ok"})
+            elif disposition == "in-flight":
+                outcome = yield payload
+                assert outcome == {"status": "ok"}
+            else:
+                assert payload == {"status": "ok"}
+
+        def driver():
+            for request in trace:
+                if request.time > sim.now:
+                    yield sim.timeout(request.time - sim.now)
+                sim.process(serve(request))
+
+        sim.process(driver())
+        sim.run()
+        unique_keys = {request.key for request in trace}
+        assert sorted(executions) == sorted(unique_keys)
+        assert registry.new_total == len(unique_keys)
+        duplicates = sum(1 for r in trace if r.duplicate)
+        assert (
+            registry.joined_total + registry.replayed_total == duplicates
+        )

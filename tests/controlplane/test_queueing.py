@@ -1,0 +1,106 @@
+"""Bounded queue: FIFO for items and waiters, shed-at-the-door."""
+
+import pytest
+
+from repro.controlplane.queueing import BoundedQueue
+from repro.sim import Simulator
+
+
+def drain(sim, queue, taken):
+    """Worker process: take items forever, recording them."""
+    while True:
+        item = yield from queue.get()
+        taken.append(item)
+
+
+class TestOffer:
+    def test_accepts_until_capacity(self):
+        queue = BoundedQueue(Simulator(), capacity=2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")
+        assert queue.shed_total == 1
+        assert len(queue) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(Simulator(), capacity=0)
+
+    def test_high_water_tracks_the_deepest_backlog(self):
+        queue = BoundedQueue(Simulator(), capacity=8)
+        for item in range(5):
+            queue.offer(item)
+        assert queue.high_water == 5
+
+
+class TestGet:
+    def test_items_come_out_in_offer_order(self):
+        sim = Simulator()
+        queue = BoundedQueue(sim, capacity=8)
+        for item in ["a", "b", "c"]:
+            queue.offer(item)
+        taken = []
+        sim.process(drain(sim, queue, taken))
+        sim.run(until=1.0)
+        assert taken == ["a", "b", "c"]
+
+    def test_blocked_workers_wake_in_fifo_order(self):
+        sim = Simulator()
+        queue = BoundedQueue(sim, capacity=8)
+        first, second = [], []
+
+        def worker(log):
+            item = yield from queue.get()
+            log.append(item)
+
+        sim.process(worker(first))
+        sim.process(worker(second))
+        sim.run(until=0.1)
+        queue.offer("x")
+        queue.offer("y")
+        sim.run(until=0.2)
+        assert first == ["x"]
+        assert second == ["y"]
+
+    def test_offer_to_idle_worker_bypasses_the_backlog(self):
+        sim = Simulator()
+        queue = BoundedQueue(sim, capacity=1)
+        taken = []
+        sim.process(drain(sim, queue, taken))
+        sim.run(until=0.1)
+        # The idle worker absorbs one item directly, so a full queue
+        # still accepts capacity + idle items in total.
+        assert queue.offer("direct")
+        assert queue.offer("queued")
+        assert not queue.offer("shed")
+        sim.run(until=0.2)
+        assert taken == ["direct", "queued"]
+
+    def test_interleaved_offer_and_take_is_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            queue = BoundedQueue(sim, capacity=4)
+            taken = []
+            for _ in range(2):
+                sim.process(drain(sim, queue, taken))
+
+            def producer():
+                for item in range(12):
+                    queue.offer(item)
+                    yield sim.timeout(0.05)
+
+            sim.process(producer())
+            sim.run(until=2.0)
+            return taken
+
+        assert run_once() == run_once()
+
+
+class TestAccounting:
+    def test_totals_add_up(self):
+        queue = BoundedQueue(Simulator(), capacity=2)
+        for item in range(5):
+            queue.offer(item)
+        assert queue.offered_total == 5
+        assert queue.accepted_total == 2
+        assert queue.shed_total == 3

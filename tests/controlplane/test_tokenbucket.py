@@ -1,0 +1,75 @@
+"""Token bucket: lazy refill, burst cap, clock discipline."""
+
+import pytest
+
+from repro.controlplane.tokenbucket import TokenBucket
+
+
+class TestConstruction:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=5.0, burst=10.0)
+        assert bucket.level_at(0.0) == 10.0
+
+    def test_burst_defaults_to_rate(self):
+        assert TokenBucket(rate=7.0).level_at(0.0) == 7.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate=0.0),
+        dict(rate=-1.0),
+        dict(rate=1.0, burst=0.0),
+        dict(rate=1.0, burst=-2.0),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+
+class TestRefill:
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=10.0)
+        for _ in range(10):
+            assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.level_at(3.0) == pytest.approx(6.0)
+
+    def test_level_capped_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=4.0)
+        assert bucket.level_at(1000.0) == 4.0
+
+    def test_time_never_goes_backwards(self):
+        bucket = TokenBucket(rate=1.0)
+        bucket.level_at(5.0)
+        with pytest.raises(ValueError):
+            bucket.level_at(4.0)
+
+
+class TestAcquire:
+    def test_acquire_spends_tokens(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert bucket.try_acquire(0.0, tokens=2.0)
+        assert bucket.level_at(0.0) == pytest.approx(1.0)
+
+    def test_refusal_spends_nothing(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert not bucket.try_acquire(0.0, tokens=5.0)
+        assert bucket.level_at(0.0) == pytest.approx(2.0)
+
+    def test_counts_admitted_and_rejected(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        assert (bucket.admitted, bucket.rejected) == (1, 1)
+
+    def test_rejects_nonpositive_tokens(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0).try_acquire(0.0, tokens=0.0)
+
+
+class TestTimeUntil:
+    def test_zero_when_available(self):
+        assert TokenBucket(rate=1.0, burst=2.0).time_until(0.0) == 0.0
+
+    def test_waits_for_the_deficit(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        bucket.try_acquire(0.0)
+        assert bucket.time_until(0.0) == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""Acceptance gate for fig_frontdoor (quick parameters).
+
+The exhibit's operational claim, asserted as a test: under a flash
+crowd plus a regional brownout, the full control plane must beat the
+no-frontdoor baseline on BOTH tail latency (p999) and goodput.  Runs
+the two gate cells only — the three-policy sweep with both campaigns
+is the CI exhibit job's business.
+"""
+
+import pytest
+
+from repro.experiments.fig_frontdoor import run_fig_frontdoor
+
+
+@pytest.fixture(scope="module")
+def gate_rows():
+    result = run_fig_frontdoor(
+        policies=("no-frontdoor", "full"),
+        campaigns=("regional_brownout",),
+        horizon=150.0, drain=60.0, n_files=10, warmup=30.0, seed=0,
+    )
+    return {row["policy"]: row for row in result.rows}
+
+
+class TestAcceptanceGate:
+    def test_grid_scale_offered_load(self, gate_rows):
+        for row in gate_rows.values():
+            assert row["offered_per_day"] >= 1_000_000
+
+    def test_full_beats_no_frontdoor_on_p999(self, gate_rows):
+        assert (
+            gate_rows["full"]["p999_s"]
+            < gate_rows["no-frontdoor"]["p999_s"]
+        )
+
+    def test_full_beats_no_frontdoor_on_goodput(self, gate_rows):
+        assert (
+            gate_rows["full"]["goodput_mb_s"]
+            > gate_rows["no-frontdoor"]["goodput_mb_s"]
+        )
+
+    def test_full_sheds_instead_of_failing(self, gate_rows):
+        full = gate_rows["full"]
+        assert full["failed"] == 0
+        assert full["shed"] > 0
+
+    def test_no_frontdoor_exhibits_the_collapse(self, gate_rows):
+        """The baseline really is a congestion collapse, not a strawman
+        that merely lost on points: it fails a visible fraction of its
+        demand outright."""
+        baseline = gate_rows["no-frontdoor"]
+        assert baseline["failed"] > 0.2 * baseline["completed"]
+
+    def test_dedup_and_breakers_saw_action(self, gate_rows):
+        full = gate_rows["full"]
+        assert full["dedup_hits"] > 0
+        assert full["breaker_opens"] > 0
+        assert full["chaos_injections"] > 0
+
+    def test_fairness_stays_high_under_overload(self, gate_rows):
+        assert gate_rows["full"]["fairness"] > 0.8
+
+    def test_identical_offered_demand_across_cells(self, gate_rows):
+        """Paired comparison: both cells replayed the same trace."""
+        assert (
+            gate_rows["full"]["offered"]
+            == gate_rows["no-frontdoor"]["offered"]
+        )

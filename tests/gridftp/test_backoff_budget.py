@@ -1,0 +1,119 @@
+"""Retry budgets: bounded attempts and bounded cumulative sleep.
+
+The budget satellite of the control-plane work: a
+:class:`BackoffPolicy` can refuse to fund further retries, and the
+reliable transfer surfaces that as a typed
+:class:`RetryBudgetExhaustedError` (still a ``TooManyAttemptsError``,
+so existing handlers keep working).
+"""
+
+import pytest
+
+from repro.gridftp import (
+    BackoffPolicy,
+    TooManyAttemptsError,
+)
+from repro.gridftp.reliable import RetryBudgetExhaustedError
+from repro.units import mbit_per_s, megabytes
+
+from tests.conftest import build_two_host_grid, run_process
+
+
+class TestExhaustion:
+    def test_unlimited_policy_never_exhausts(self):
+        policy = BackoffPolicy()
+        assert policy.exhaustion(1000, 1e9) is None
+
+    def test_attempt_budget(self):
+        policy = BackoffPolicy(max_attempts=3)
+        assert policy.exhaustion(3, 0.0) is None
+        assert policy.exhaustion(4, 0.0) == "max-attempts"
+
+    def test_total_wait_budget(self):
+        policy = BackoffPolicy(max_total_wait=10.0)
+        assert policy.exhaustion(1, 10.0) is None
+        assert policy.exhaustion(1, 10.5) == "max-total-wait"
+
+    def test_attempts_checked_before_wait(self):
+        policy = BackoffPolicy(max_attempts=2, max_total_wait=1.0)
+        assert policy.exhaustion(3, 5.0) == "max-attempts"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(max_total_wait=0.0),
+        dict(max_total_wait=-3.0),
+    ])
+    def test_budget_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_repr_shows_the_budget(self):
+        policy = BackoffPolicy(max_attempts=4, max_total_wait=30.0)
+        assert "max_attempts=4" in repr(policy)
+        assert "max_total_wait=30" in repr(policy)
+
+
+class TestEndToEnd:
+    def failing_transfer(self, backoff, max_attempts=50):
+        """A transfer that faults on every attempt (timeout 0.05s on a
+        multi-second chunk)."""
+        from repro.gridftp import (
+            GridFtpClient,
+            GridFtpServer,
+            ReliableFileTransfer,
+        )
+
+        grid = build_two_host_grid(
+            seed=0, capacity=mbit_per_s(10), latency=0.0005
+        )
+        GridFtpServer(grid, "src")
+        grid.host("src").filesystem.create("file-a", megabytes(64))
+        rft = ReliableFileTransfer(
+            GridFtpClient(grid, "dst"),
+            marker_interval_bytes=megabytes(64),
+            max_attempts=max_attempts,
+            backoff=backoff,
+            attempt_timeout=0.05,
+        )
+        return grid, rft
+
+    def test_wait_budget_raises_the_typed_error(self):
+        grid, rft = self.failing_transfer(
+            BackoffPolicy(base=1.0, multiplier=2.0, cap=8.0,
+                          jitter=0.0, max_total_wait=5.0)
+        )
+        with pytest.raises(RetryBudgetExhaustedError) as excinfo:
+            run_process(grid, rft.get("src", "file-a"))
+        error = excinfo.value
+        assert error.reason == "max-total-wait"
+        assert error.attempts >= 1
+        assert error.waited <= 5.0
+
+    def test_attempt_budget_raises_the_typed_error(self):
+        grid, rft = self.failing_transfer(
+            BackoffPolicy(base=0.1, multiplier=1.0, cap=0.1,
+                          jitter=0.0, max_attempts=3)
+        )
+        with pytest.raises(RetryBudgetExhaustedError) as excinfo:
+            run_process(grid, rft.get("src", "file-a"))
+        assert excinfo.value.reason == "max-attempts"
+
+    def test_typed_error_is_still_too_many_attempts(self):
+        grid, rft = self.failing_transfer(
+            BackoffPolicy(base=0.1, multiplier=1.0, cap=0.1,
+                          jitter=0.0, max_attempts=2)
+        )
+        with pytest.raises(TooManyAttemptsError):
+            run_process(grid, rft.get("src", "file-a"))
+
+    def test_unbudgeted_policy_exhausts_the_attempt_cap_instead(self):
+        grid, rft = self.failing_transfer(
+            BackoffPolicy(base=0.01, multiplier=1.0, cap=0.01,
+                          jitter=0.0),
+            max_attempts=3,
+        )
+        with pytest.raises(TooManyAttemptsError) as excinfo:
+            run_process(grid, rft.get("src", "file-a"))
+        assert not isinstance(
+            excinfo.value, RetryBudgetExhaustedError
+        )
